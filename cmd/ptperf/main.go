@@ -1,0 +1,88 @@
+// Command ptperf runs the PTPerf reproduction experiments: it builds the
+// simulated measurement world (Tor substrate, twelve pluggable
+// transports, web origin) and regenerates the paper's tables and
+// figures.
+//
+// Usage:
+//
+//	ptperf -list
+//	ptperf -exp fig2a
+//	ptperf -exp all -sites 50 -repeats 5
+//
+// Reported durations are virtual seconds, directly comparable to the
+// paper's wall-clock measurements (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ptperf/internal/harness"
+	"ptperf/internal/web"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list experiments and exit")
+		exp       = flag.String("exp", "all", "experiment id to run (see -list), or 'all'")
+		seed      = flag.Int64("seed", 1, "campaign seed")
+		sites     = flag.Int("sites", 12, "sites measured per catalog (Tranco and CBL)")
+		repeats   = flag.Int("repeats", 2, "accesses per site (the paper uses 5)")
+		attempts  = flag.Int("attempts", 2, "download attempts per file size")
+		sizes     = flag.String("sizes", "", "comma-separated file sizes in MB (default 5,10,20,50,100)")
+		timeScale = flag.Float64("timescale", 0.004, "real seconds per virtual second")
+		byteScale = flag.Float64("bytescale", 0.125, "byte-quantity scale (sizes, rates and caps together)")
+		pts       = flag.String("transports", "", "comma-separated methods (default: tor plus all 12 PTs)")
+		seq       = flag.Bool("sequential", false, "measure transports one at a time")
+		plotFlag  = flag.Bool("plot", true, "render ASCII box plots and ECDF curves under the tables")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Experiments (paper artifact — description):")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-8s %-14s %s\n", e.ID, e.Artifact, e.Title)
+		}
+		return
+	}
+
+	cfg := harness.Config{
+		Seed:         *seed,
+		TimeScale:    *timeScale,
+		ByteScale:    *byteScale,
+		Sites:        *sites,
+		Repeats:      *repeats,
+		FileAttempts: *attempts,
+		Sequential:   *seq,
+		Plot:         *plotFlag,
+	}
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			mb, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || mb <= 0 {
+				fatalf("bad -sizes entry %q", s)
+			}
+			cfg.FileSizesMB = append(cfg.FileSizesMB, mb)
+		}
+	} else {
+		cfg.FileSizesMB = web.FileSizesMB
+	}
+	if *pts != "" {
+		for _, p := range strings.Split(*pts, ",") {
+			cfg.Transports = append(cfg.Transports, strings.TrimSpace(p))
+		}
+	}
+
+	r := harness.New(cfg, os.Stdout)
+	if err := r.Run(*exp); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ptperf: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,6 @@
+// Package ptperf is the root of the PTPerf reproduction: a simulated
+// re-implementation of "PTPerf: On the Performance Evaluation of Tor
+// Pluggable Transports" (IMC '23). See README.md for the architecture
+// and cmd/ptperf for the experiment runner; the per-artifact benchmarks
+// live in bench_test.go.
+package ptperf

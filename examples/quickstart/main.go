@@ -1,0 +1,46 @@
+// Quickstart: build a small simulated world, bring up the obfs4
+// transport in its paper configuration (bridge doubling as guard), and
+// fetch one website through PT+Tor, printing curl-style timings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ptperf/internal/fetch"
+	"ptperf/internal/testbed"
+)
+
+func main() {
+	// A deterministic world: relay fleet, web origin, client machine.
+	world, err := testbed.New(testbed.Options{
+		Seed:      7,
+		TimeScale: 0.002, // 500x faster than real time
+		ByteScale: 0.125,
+		TrancoN:   5, CBLN: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy obfs4 per integration set 1 and a vanilla-Tor comparator.
+	for _, method := range []string{"tor", "obfs4"} {
+		dep, err := world.Deployment(method)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dep.Preheat(); err != nil {
+			log.Fatal(err)
+		}
+		client := &fetch.Client{Net: world.Net, Dial: dep.Dial}
+		site := world.Tranco.Sites[0]
+		res := client.Get(world.Origin.Addr(), site.Path, false)
+		if !res.Complete() {
+			log.Fatalf("%s: fetch failed: %v", method, res.Err)
+		}
+		fmt.Printf("%-6s fetched %s (%d bytes): TTFB %.2fs, total %.2fs\n",
+			method, site.Path, res.BytesGot, res.TTFB.Seconds(), res.Total.Seconds())
+	}
+	fmt.Println("\nBoth paths traverse a full 3-hop onion circuit; obfs4 adds its")
+	fmt.Println("handshake and record framing but uses a less-utilized bridge as guard.")
+}

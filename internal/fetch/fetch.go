@@ -1,0 +1,219 @@
+// Package fetch implements the client side of PTPerf's measurements: a
+// curl-like single-resource fetcher with TTFB capture, a selenium-like
+// browser emulator that loads a page's sub-resources over parallel
+// connections, and a browsertime-like speed-index integrator.
+//
+// All timing is reported in virtual durations from the netem clock, so
+// results are directly comparable to the paper's seconds.
+package fetch
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"ptperf/internal/netem"
+	"ptperf/internal/web"
+)
+
+// Dialer opens a connection to an origin ("host:port"). Measurements
+// plug a direct dialer, a SOCKS-through-Tor dialer, or a PT dialer here.
+type Dialer func(target string) (net.Conn, error)
+
+// DefaultTimeout mirrors the paper's 120 s page-load timeout.
+const DefaultTimeout = 120 * time.Second
+
+// FileTimeout mirrors the paper's 1200 s bulk-download timeout.
+const FileTimeout = 1200 * time.Second
+
+// Client issues measured requests.
+type Client struct {
+	// Net supplies the virtual clock.
+	Net *netem.Network
+	// Dial opens connections to the origin.
+	Dial Dialer
+	// Timeout bounds one request in virtual time (DefaultTimeout if 0).
+	Timeout time.Duration
+}
+
+// Result is the outcome of one measured transfer.
+type Result struct {
+	// Status is the HTTP status (0 if none was received).
+	Status int
+	// TTFB is the virtual time from request start to the first response
+	// byte.
+	TTFB time.Duration
+	// Total is the virtual time from request start to completion or
+	// failure.
+	Total time.Duration
+	// BytesWanted is the declared content length (-1 if unknown).
+	BytesWanted int64
+	// BytesGot counts body bytes actually received.
+	BytesGot int64
+	// Body holds the body when capture was requested.
+	Body []byte
+	// Err is the transport error, if any.
+	Err error
+}
+
+// Complete reports whether the full declared body arrived.
+func (r Result) Complete() bool {
+	return r.Err == nil && r.Status == 200 && r.BytesWanted >= 0 && r.BytesGot >= r.BytesWanted
+}
+
+// Failed reports whether nothing at all was downloaded.
+func (r Result) Failed() bool { return r.BytesGot == 0 && !r.Complete() }
+
+// Partial reports whether some but not all content arrived.
+func (r Result) Partial() bool { return !r.Complete() && !r.Failed() }
+
+// Fraction is the downloaded share of the declared size in [0,1].
+func (r Result) Fraction() float64 {
+	if r.BytesWanted <= 0 {
+		if r.Complete() {
+			return 1
+		}
+		return 0
+	}
+	f := float64(r.BytesGot) / float64(r.BytesWanted)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultTimeout
+}
+
+// Get fetches origin+path once over a fresh connection (Connection:
+// close), like the paper's curl invocation. keepBody captures the body
+// for manifest parsing.
+func (c *Client) Get(origin, path string, keepBody bool) Result {
+	start := c.Net.Now()
+	deadline := c.Net.VirtualDeadline(c.timeout())
+	res := Result{BytesWanted: -1}
+
+	conn, err := c.Dial(origin)
+	if err != nil {
+		res.Err = err
+		res.Total = c.Net.Since(start)
+		return res
+	}
+	defer conn.Close()
+	conn.SetDeadline(deadline)
+
+	if err := web.WriteRequest(conn, path, true); err != nil {
+		res.Err = err
+		res.Total = c.Net.Since(start)
+		return res
+	}
+
+	// TTFB: time of the first byte of the response.
+	br := bufio.NewReaderSize(&firstByteReader{
+		r: conn,
+		onFirst: func() {
+			res.TTFB = c.Net.Since(start)
+		},
+	}, 32<<10)
+	resp, err := web.ReadResponse(br)
+	if err != nil {
+		res.Err = err
+		res.Total = c.Net.Since(start)
+		return res
+	}
+	res.Status = resp.Status
+	res.BytesWanted = resp.ContentLength
+
+	var sink io.Writer = countWriter{&res.BytesGot}
+	var bodyBuf *[]byte
+	if keepBody {
+		buf := make([]byte, 0, int(min64(resp.ContentLength, 1<<20)))
+		bodyBuf = &buf
+		sink = io.MultiWriter(sink, sliceWriter{bodyBuf})
+	}
+	_, err = io.Copy(sink, io.LimitReader(br, resp.ContentLength))
+	if err == nil && res.BytesGot < resp.ContentLength {
+		err = io.ErrUnexpectedEOF
+	}
+	res.Err = err
+	res.Total = c.Net.Since(start)
+	if bodyBuf != nil {
+		res.Body = *bodyBuf
+	}
+	return res
+}
+
+// DownloadFile fetches a bulk file of sizeBytes from the origin's file
+// host, reporting completeness for the reliability analysis (§4.6).
+func (c *Client) DownloadFile(origin string, sizeBytes int) Result {
+	return c.Get(origin, web.FilePath(sizeBytes), false)
+}
+
+// fetchOn issues one keep-alive GET over an existing connection,
+// returning body bytes received. Used by the browser's worker conns.
+func fetchOn(conn net.Conn, br *bufio.Reader, path string) (int64, error) {
+	if err := web.WriteRequest(conn, path, false); err != nil {
+		return 0, err
+	}
+	resp, err := web.ReadResponse(br)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != 200 {
+		return 0, fmt.Errorf("fetch: status %d for %s", resp.Status, path)
+	}
+	var got int64
+	_, err = io.Copy(countWriter{&got}, io.LimitReader(br, resp.ContentLength))
+	if err == nil && got < resp.ContentLength {
+		err = io.ErrUnexpectedEOF
+	}
+	return got, err
+}
+
+// firstByteReader invokes onFirst once, at the first successful read.
+type firstByteReader struct {
+	r       io.Reader
+	onFirst func()
+	fired   bool
+}
+
+func (f *firstByteReader) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	if n > 0 && !f.fired {
+		f.fired = true
+		if f.onFirst != nil {
+			f.onFirst()
+		}
+	}
+	return n, err
+}
+
+type countWriter struct{ n *int64 }
+
+func (c countWriter) Write(p []byte) (int, error) {
+	*c.n += int64(len(p))
+	return len(p), nil
+}
+
+type sliceWriter struct{ buf *[]byte }
+
+func (s sliceWriter) Write(p []byte) (int, error) {
+	*s.buf = append(*s.buf, p...)
+	return len(p), nil
+}
+
+func min64(a, b int64) int64 {
+	if a < 0 {
+		return b
+	}
+	if a < b {
+		return a
+	}
+	return b
+}

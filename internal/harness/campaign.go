@@ -1,0 +1,262 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"ptperf/internal/fetch"
+	"ptperf/internal/pt"
+	"ptperf/internal/testbed"
+)
+
+// accessData holds one method's aligned per-site measurements: index i
+// of every slice refers to the same site, which is what makes paired
+// t-tests across methods valid.
+type accessData struct {
+	// Name is the access method.
+	Name string
+	// Times are per-site mean access times (seconds).
+	Times []float64
+	// TTFBs are per-site mean times to first byte (seconds).
+	TTFBs []float64
+	// SpeedIndexes are per-site mean speed indexes (seconds; selenium
+	// campaigns only).
+	SpeedIndexes []float64
+}
+
+// pageTimeout mirrors the paper's 120 s page timeout.
+const pageTimeout = 120 * time.Second
+
+// fileTimeout mirrors the paper's 1200 s bulk timeout.
+const fileTimeout = 1200 * time.Second
+
+// curlData runs (once) the curl website-access campaign for every
+// configured method over Tranco+CBL.
+func (r *Runner) curlData() (map[string]*accessData, error) {
+	return r.cachedAccess("curl", r.cfg.Transports, func(w *testbed.World, d *testbed.Deployment, site siteRef) (float64, float64, float64, error) {
+		c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: pageTimeout}
+		res := c.Get(w.Origin.Addr(), site.path, false)
+		return seconds(res.Total), seconds(res.TTFB), 0, nil
+	})
+}
+
+// seleniumData runs (once) the browser campaign; camoufler is excluded
+// because it cannot serve parallel streams (§4.2).
+func (r *Runner) seleniumData() (map[string]*accessData, error) {
+	methods := make([]string, 0, len(r.cfg.Transports))
+	for _, m := range r.cfg.Transports {
+		if info, ok := pt.InfoFor(m); ok && !info.ParallelStreams {
+			continue
+		}
+		methods = append(methods, m)
+	}
+	return r.cachedAccess("selenium", methods, func(w *testbed.World, d *testbed.Deployment, site siteRef) (float64, float64, float64, error) {
+		c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: pageTimeout}
+		pr := c.Browse(w.Origin.Addr(), site.path, fetch.DefaultBrowserConns)
+		if !pr.OK {
+			// Incomplete page loads count as the timeout, as selenium
+			// reports them; a dead circuit is rebuilt for the next run.
+			d.FreshCircuit()
+			return pageTimeout.Seconds(), seconds(pr.TTFB), pageTimeout.Seconds(), nil
+		}
+		return seconds(pr.PageLoadTime), seconds(pr.TTFB), seconds(pr.SpeedIndex), nil
+	})
+}
+
+// cachedAccess runs one access campaign (or returns the cached result).
+func (r *Runner) cachedAccess(kind string, methods []string, measure func(*testbed.World, *testbed.Deployment, siteRef) (float64, float64, float64, error)) (map[string]*accessData, error) {
+	r.mu.Lock()
+	if v, ok := r.cache[kind]; ok {
+		r.mu.Unlock()
+		return v.(map[string]*accessData), nil
+	}
+	r.mu.Unlock()
+
+	w, err := r.World()
+	if err != nil {
+		return nil, err
+	}
+	sites := r.sites(w)
+
+	results, err := r.forEachMethod(methods, func(name string) (any, error) {
+		d, err := w.Deployment(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Preheat(); err != nil {
+			return nil, fmt.Errorf("preheat: %w", err)
+		}
+		data := &accessData{Name: name}
+		for si, site := range sites {
+			// MaxCircuitDirtiness analog: rotate circuits every few
+			// sites, as a real client browsing this long would.
+			if si > 0 && si%8 == 0 {
+				d.FreshCircuit()
+				if err := d.Preheat(); err != nil {
+					return nil, fmt.Errorf("circuit rotation: %w", err)
+				}
+			}
+			var tSum, fSum, sSum float64
+			n := 0
+			for rep := 0; rep < r.cfg.Repeats; rep++ {
+				total, ttfb, si, err := measure(w, d, site)
+				if err != nil {
+					continue
+				}
+				tSum += total
+				fSum += ttfb
+				sSum += si
+				n++
+			}
+			if n == 0 {
+				n = 1
+				tSum = pageTimeout.Seconds()
+				fSum = pageTimeout.Seconds()
+			}
+			data.Times = append(data.Times, tSum/float64(n))
+			data.TTFBs = append(data.TTFBs, fSum/float64(n))
+			data.SpeedIndexes = append(data.SpeedIndexes, sSum/float64(n))
+		}
+		return data, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]*accessData, len(results))
+	for name, v := range results {
+		if v != nil {
+			out[name] = v.(*accessData)
+		}
+	}
+	r.mu.Lock()
+	r.cache[kind] = out
+	r.mu.Unlock()
+	return out, nil
+}
+
+// fileAttempt is one bulk-download attempt.
+type fileAttempt struct {
+	// SizeBytes is the requested (scaled) file size.
+	SizeBytes int
+	// SizeMB is the paper-scale label (5/10/20/50/100).
+	SizeMB int
+	// Seconds is the attempt duration.
+	Seconds float64
+	// Fraction is the share of the file received.
+	Fraction float64
+	// Complete / Failed classify the attempt (else partial).
+	Complete, Failed bool
+}
+
+// fileData holds one method's download attempts.
+type fileData struct {
+	Name     string
+	Attempts []fileAttempt
+}
+
+// meanTime returns the mean duration of complete downloads of one size,
+// and how many attempts completed.
+func (fd *fileData) meanTime(sizeMB int) (float64, int) {
+	var sum float64
+	n := 0
+	for _, a := range fd.Attempts {
+		if a.SizeMB == sizeMB && a.Complete {
+			sum += a.Seconds
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+// counts returns (complete, partial, failed) attempt counts.
+func (fd *fileData) counts() (int, int, int) {
+	var c, p, f int
+	for _, a := range fd.Attempts {
+		switch {
+		case a.Complete:
+			c++
+		case a.Failed:
+			f++
+		default:
+			p++
+		}
+	}
+	return c, p, f
+}
+
+// fractions lists per-attempt downloaded fractions.
+func (fd *fileData) fractions() []float64 {
+	out := make([]float64, 0, len(fd.Attempts))
+	for _, a := range fd.Attempts {
+		out = append(out, a.Fraction)
+	}
+	return out
+}
+
+// filesData runs (once) the bulk-download campaign.
+func (r *Runner) filesData() (map[string]*fileData, error) {
+	r.mu.Lock()
+	if v, ok := r.cache["files"]; ok {
+		r.mu.Unlock()
+		return v.(map[string]*fileData), nil
+	}
+	r.mu.Unlock()
+
+	w, err := r.World()
+	if err != nil {
+		return nil, err
+	}
+	results, err := r.forEachMethodN(r.cfg.Transports, 3, func(name string) (any, error) {
+		d, err := w.Deployment(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Preheat(); err != nil {
+			return nil, err
+		}
+		c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: fileTimeout}
+		data := &fileData{Name: name}
+		for _, mb := range r.cfg.FileSizesMB {
+			size := w.Bytes(mb << 20)
+			for attempt := 0; attempt < r.cfg.FileAttempts; attempt++ {
+				res := c.DownloadFile(w.Origin.Addr(), size)
+				data.Attempts = append(data.Attempts, fileAttempt{
+					SizeBytes: size,
+					SizeMB:    mb,
+					Seconds:   seconds(res.Total),
+					Fraction:  res.Fraction(),
+					Complete:  res.Complete(),
+					Failed:    res.Failed(),
+				})
+				// A broken circuit (snowflake churn, meek budget) must
+				// not poison subsequent attempts.
+				if !res.Complete() {
+					d.FreshCircuit()
+					if err := d.Preheat(); err != nil {
+						// The transport may be temporarily out of
+						// capacity; subsequent dials retry anyway.
+						continue
+					}
+				}
+			}
+		}
+		return data, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*fileData, len(results))
+	for name, v := range results {
+		if v != nil {
+			out[name] = v.(*fileData)
+		}
+	}
+	r.mu.Lock()
+	r.cache["files"] = out
+	r.mu.Unlock()
+	return out, nil
+}

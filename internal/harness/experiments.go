@@ -1,0 +1,717 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"ptperf/internal/fetch"
+	"ptperf/internal/geo"
+	"ptperf/internal/pt"
+	"ptperf/internal/stats"
+	"ptperf/internal/testbed"
+	"ptperf/internal/tor"
+)
+
+// boxRows builds the standard per-method box table from a dataset.
+func boxRows(data map[string]*accessData, pick func(*accessData) []float64, order []string) []struct {
+	Name string
+	Box  stats.Box
+} {
+	var rows []struct {
+		Name string
+		Box  stats.Box
+	}
+	for _, name := range order {
+		d, ok := data[name]
+		if !ok {
+			continue
+		}
+		rows = append(rows, struct {
+			Name string
+			Box  stats.Box
+		}{name, stats.Summarize(pick(d))})
+	}
+	return rows
+}
+
+func times(d *accessData) []float64   { return d.Times }
+func ttfbs(d *accessData) []float64   { return d.TTFBs }
+func speedIx(d *accessData) []float64 { return d.SpeedIndexes }
+
+// runTable1 prints the campaign inventory in the shape of Table 1.
+func (r *Runner) runTable1() error {
+	c := r.cfg
+	sites := 2 * c.Sites
+	t := newTable("measurement type", "measurements", "target")
+	methods := len(c.Transports)
+	t.add("Website Download (curl)", fmt.Sprintf("%d", sites*c.Repeats*methods), fmt.Sprintf("Tranco top-%d & CBL-%d", c.Sites, c.Sites))
+	t.add("Website Download (selenium)", fmt.Sprintf("%d", sites*c.Repeats*(methods-1)), fmt.Sprintf("Tranco top-%d & CBL-%d", c.Sites, c.Sites))
+	t.add("File Downloads (curl)", fmt.Sprintf("%d", len(c.FileSizesMB)*c.FileAttempts*methods), fmt.Sprintf("%v MB", c.FileSizesMB))
+	t.add("Speed Index", fmt.Sprintf("%d", sites*c.Repeats*(methods-1)), fmt.Sprintf("Tranco top-%d", c.Sites))
+	t.add("PT Overhead", fmt.Sprintf("%d", c.Sites*len(testbed.OverheadPTs)), fmt.Sprintf("Tranco top-%d", c.Sites))
+	t.add("Location Variation", fmt.Sprintf("%d", 3*3*c.Sites*c.Repeats), "Tranco & CBL")
+	t.write(r.out)
+	return nil
+}
+
+// runTable2 prints the appendix's 28-candidate comparison.
+func (r *Runner) runTable2() error {
+	t := newTable("name", "status", "code", "functional", "integratable", "evaluated", "technology", "challenge")
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, c := range pt.Candidates {
+		t.add(c.Name, c.Status.String(), yn(c.CodeAvailable), yn(c.Functional),
+			yn(c.Integratable), yn(c.Evaluated), c.Technology, c.Challenge)
+	}
+	t.write(r.out)
+	fmt.Fprintf(r.out, "\n%d of %d candidates were functional, integratable and evaluated.\n",
+		pt.EvaluatedCount(), len(pt.Candidates))
+	return nil
+}
+
+// runMedium reproduces §4.7: the same website-access measurement over a
+// wired and a wireless (campus WiFi) client, expecting no change in the
+// between-transport trend.
+func (r *Runner) runMedium() error {
+	methods := []string{"tor", "obfs4", "meek", "dnstt", "cloak"}
+	var rows []struct {
+		Name string
+		Box  stats.Box
+	}
+	for mi, medium := range []geo.Medium{geo.Wired, geo.Wireless} {
+		opts := r.worldOptions(4000 + int64(mi))
+		opts.Medium = medium
+		opts.ClientLocation = geo.Toronto
+		w, err := testbed.New(opts)
+		if err != nil {
+			return err
+		}
+		sites := r.sites(w)
+		if len(sites) > r.cfg.Sites {
+			sites = sites[:r.cfg.Sites]
+		}
+		results, err := r.forEachMethod(methods, func(name string) (any, error) {
+			d, err := w.Deployment(name)
+			if err != nil {
+				return nil, err
+			}
+			if err := d.Preheat(); err != nil {
+				return nil, err
+			}
+			c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: pageTimeout}
+			var xs []float64
+			for _, site := range sites {
+				res := c.Get(w.Origin.Addr(), site.path, false)
+				xs = append(xs, seconds(res.Total))
+			}
+			return xs, nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, name := range methods {
+			xs, _ := results[name].([]float64)
+			rows = append(rows, struct {
+				Name string
+				Box  stats.Box
+			}{fmt.Sprintf("%s/%s", name, medium), stats.Summarize(xs)})
+		}
+	}
+	r.writeBoxes("Website access time by access medium (s)", rows)
+	fmt.Fprintln(r.out, "Expected: the between-transport ordering is unchanged by the medium (§4.7).")
+	return nil
+}
+
+// runFig2a prints the curl website-access box plots.
+func (r *Runner) runFig2a() error {
+	data, err := r.curlData()
+	if err != nil {
+		return err
+	}
+	r.writeBoxes("Website access time via curl (seconds, per-site means over Tranco+CBL)",
+		boxRows(data, times, orderedMethods(r.cfg.Transports)))
+	return nil
+}
+
+// runFig2b prints the selenium page-load box plots.
+func (r *Runner) runFig2b() error {
+	data, err := r.seleniumData()
+	if err != nil {
+		return err
+	}
+	r.writeBoxes("Website access time via selenium (seconds; camoufler unsupported)",
+		boxRows(data, times, orderedMethods(r.cfg.Transports)))
+	// The headline §4.2.1 comparison: PTs whose bridge is the guard can
+	// beat vanilla Tor.
+	if tor, ok := data["tor"]; ok {
+		for _, name := range []string{"obfs4", "webtunnel", "conjure"} {
+			if d, ok := data[name]; ok {
+				if res, err := stats.PairedT(tor.Times, d.Times); err == nil {
+					fmt.Fprintf(r.out, "paired t (tor−%s): t=%.2f P=%s CI=[%.2f, %.2f] mean-diff=%.2f\n",
+						name, res.T, pvalue(res.P), res.CILower, res.CIUpper, res.MeanDiff)
+				}
+			}
+		}
+		fmt.Fprintln(r.out)
+	}
+	return nil
+}
+
+// fixedCircuitSamples measures the rig's three methods over pinned
+// circuits; aligned by (iteration, site).
+func (r *Runner) fixedCircuitSamples(w *testbed.World, rig *testbed.FixedCircuitRig, iters int, pinPair bool) (map[string][]float64, error) {
+	sites := r.sites(w)
+	if len(sites) > 5 {
+		sites = sites[:5] // the paper samples five representative sites
+	}
+	out := map[string][]float64{}
+	for it := 0; it < iters; it++ {
+		var m, e *tor.Descriptor
+		if pinPair {
+			m, e = rig.PickPair(it)
+		}
+		clients, err := rig.Clients(m, e)
+		if err != nil {
+			return nil, err
+		}
+		for _, method := range rig.Methods() {
+			cl := clients[method]
+			if err := cl.Preheat(); err != nil {
+				return nil, fmt.Errorf("%s preheat: %w", method, err)
+			}
+			c := &fetch.Client{Net: w.Net, Dial: cl.Dial, Timeout: pageTimeout}
+			for _, site := range sites {
+				res := c.Get(w.Origin.Addr(), site.path, false)
+				out[method] = append(out[method], seconds(res.Total))
+			}
+			cl.Close()
+		}
+	}
+	return out, nil
+}
+
+// runFig3 prints the fixed-circuit boxes (3a) and the ECDF of per-site
+// absolute differences (3b).
+func (r *Runner) runFig3() error {
+	w, err := testbed.New(r.worldOptions(1000))
+	if err != nil {
+		return err
+	}
+	rig, err := w.NewFixedCircuitRig()
+	if err != nil {
+		return err
+	}
+	iters := r.cfg.Repeats * 3
+	if iters < 4 {
+		iters = 4
+	}
+	samples, err := r.fixedCircuitSamples(w, rig, iters, true)
+	if err != nil {
+		return err
+	}
+	var rows []struct {
+		Name string
+		Box  stats.Box
+	}
+	for _, m := range rig.Methods() {
+		rows = append(rows, struct {
+			Name string
+			Box  stats.Box
+		}{m, stats.Summarize(samples[m])})
+	}
+	r.writeBoxes("Fixed circuit (same guard/middle/exit) website access time (s)", rows)
+
+	for _, m := range []string{"obfs4", "webtunnel"} {
+		res, err := stats.PairedT(samples[m], samples["tor"])
+		if err == nil {
+			fmt.Fprintf(r.out, "paired t (%s−tor): t=%.2f P=%s CI=[%.2f, %.2f]\n", m, res.T, pvalue(res.P), res.CILower, res.CIUpper)
+		}
+	}
+	diffs := map[string][]float64{
+		"obfs4-vs-tor":     stats.AbsDiffs(samples["obfs4"], samples["tor"]),
+		"webtunnel-vs-tor": stats.AbsDiffs(samples["webtunnel"], samples["tor"]),
+	}
+	r.writeECDF("\nECDF of |PT − Tor| per access (s)", diffs, []string{"obfs4-vs-tor", "webtunnel-vs-tor"})
+	return nil
+}
+
+// runFig4 prints the fixed-guard / variable middle+exit comparison.
+func (r *Runner) runFig4() error {
+	w, err := testbed.New(r.worldOptions(1100))
+	if err != nil {
+		return err
+	}
+	rig, err := w.NewFixedCircuitRig()
+	if err != nil {
+		return err
+	}
+	iters := r.cfg.Repeats * 2
+	if iters < 3 {
+		iters = 3
+	}
+	samples, err := r.fixedCircuitSamples(w, rig, iters, false)
+	if err != nil {
+		return err
+	}
+	var rows []struct {
+		Name string
+		Box  stats.Box
+	}
+	for _, m := range []string{"tor", "obfs4"} {
+		rows = append(rows, struct {
+			Name string
+			Box  stats.Box
+		}{m, stats.Summarize(samples[m])})
+	}
+	r.writeBoxes("Fixed guard, Tor-selected middle/exit: website access time (s)", rows)
+	return nil
+}
+
+// runFig5 prints mean download time per file size, excluding methods
+// that completed a size fewer than two times (as the paper does).
+func (r *Runner) runFig5() error {
+	data, err := r.filesData()
+	if err != nil {
+		return err
+	}
+	head := []string{"method"}
+	for _, mb := range r.cfg.FileSizesMB {
+		head = append(head, fmt.Sprintf("%dMB", mb))
+	}
+	t := newTable(head...)
+	for _, name := range orderedMethods(r.cfg.Transports) {
+		fd, ok := data[name]
+		if !ok {
+			continue
+		}
+		row := []string{name}
+		usable := false
+		for _, mb := range r.cfg.FileSizesMB {
+			mean, n := fd.meanTime(mb)
+			if n >= 1 {
+				row = append(row, fmt.Sprintf("%.1f", mean))
+				if n >= 2 || r.cfg.FileAttempts < 2 {
+					usable = true
+				}
+			} else {
+				row = append(row, "-")
+			}
+		}
+		if !usable {
+			row = append(row[:1], "excluded (unreliable, see fig8)")
+			t.add(row...)
+			continue
+		}
+		t.add(row...)
+	}
+	fmt.Fprintln(r.out, "Mean complete-download time per file size (seconds)")
+	t.write(r.out)
+	fmt.Fprintln(r.out)
+	return nil
+}
+
+// runFig6 prints the TTFB ECDF.
+func (r *Runner) runFig6() error {
+	data, err := r.curlData()
+	if err != nil {
+		return err
+	}
+	series := map[string][]float64{}
+	for name, d := range data {
+		series[name] = d.TTFBs
+	}
+	r.writeECDF("Time to first byte, ECDF quantiles (s)", series, orderedMethods(r.cfg.Transports))
+	return nil
+}
+
+// runFig7 measures meek/obfs4/snowflake from the paper's three client
+// cities.
+func (r *Runner) runFig7() error {
+	methods := []string{"obfs4", "meek", "snowflake"}
+	locs := []geo.Location{geo.Bangalore, geo.London, geo.Toronto}
+	var rows []struct {
+		Name string
+		Box  stats.Box
+	}
+	for li, loc := range locs {
+		opts := r.worldOptions(1200 + int64(li))
+		opts.ClientLocation = loc
+		w, err := testbed.New(opts)
+		if err != nil {
+			return err
+		}
+		sites := r.sites(w)
+		if len(sites) > r.cfg.Sites {
+			sites = sites[:r.cfg.Sites]
+		}
+		results, err := r.forEachMethod(methods, func(name string) (any, error) {
+			d, err := w.Deployment(name)
+			if err != nil {
+				return nil, err
+			}
+			if err := d.Preheat(); err != nil {
+				return nil, err
+			}
+			c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: pageTimeout}
+			var xs []float64
+			for _, site := range sites {
+				res := c.Get(w.Origin.Addr(), site.path, false)
+				xs = append(xs, seconds(res.Total))
+			}
+			return xs, nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, name := range methods {
+			xs, _ := results[name].([]float64)
+			rows = append(rows, struct {
+				Name string
+				Box  stats.Box
+			}{fmt.Sprintf("%s@%s", name, loc.Short()), stats.Summarize(xs)})
+		}
+	}
+	r.writeBoxes("Website access time by client location (s)", rows)
+	return nil
+}
+
+// runFig8 prints reliability: the complete/partial/failed split (8a)
+// and the downloaded-fraction ECDF for the three unreliable PTs (8b).
+func (r *Runner) runFig8() error {
+	data, err := r.filesData()
+	if err != nil {
+		return err
+	}
+	t := newTable("method", "complete", "partial", "failed", "complete%")
+	for _, name := range orderedMethods(r.cfg.Transports) {
+		fd, ok := data[name]
+		if !ok {
+			continue
+		}
+		c, p, f := fd.counts()
+		total := c + p + f
+		if total == 0 {
+			continue
+		}
+		t.add(name, fmt.Sprintf("%d", c), fmt.Sprintf("%d", p), fmt.Sprintf("%d", f),
+			fmt.Sprintf("%.0f%%", 100*float64(c)/float64(total)))
+	}
+	fmt.Fprintln(r.out, "File-download reliability per method")
+	t.write(r.out)
+	fmt.Fprintln(r.out)
+
+	series := map[string][]float64{}
+	for _, name := range []string{"meek", "dnstt", "snowflake"} {
+		if fd, ok := data[name]; ok {
+			series[name] = fd.fractions()
+		}
+	}
+	r.writeECDF("Downloaded fraction per attempt, ECDF quantiles", series, []string{"meek", "dnstt", "snowflake"})
+	return nil
+}
+
+// runFig9 prints per-transport overhead over an identical pinned
+// circuit: positive means the PT added time over vanilla Tor.
+func (r *Runner) runFig9() error {
+	w, err := testbed.New(r.worldOptions(2000))
+	if err != nil {
+		return err
+	}
+	sites := r.sites(w)
+	if len(sites) > r.cfg.Sites {
+		sites = sites[:r.cfg.Sites]
+	}
+	results, err := r.forEachMethod(testbed.OverheadPTs, func(name string) (any, error) {
+		rig, err := w.NewOverheadRig(name, int64(len(name))*13)
+		if err != nil {
+			return nil, err
+		}
+		var diffs []float64
+		for _, site := range sites {
+			torC := &fetch.Client{Net: w.Net, Dial: rig.TorDial, Timeout: pageTimeout}
+			ptC := &fetch.Client{Net: w.Net, Dial: rig.PTDial, Timeout: pageTimeout}
+			tTor := torC.Get(w.Origin.Addr(), site.path, false)
+			tPT := ptC.Get(w.Origin.Addr(), site.path, false)
+			diffs = append(diffs, seconds(tPT.Total)-seconds(tTor.Total))
+		}
+		return diffs, nil
+	})
+	if err != nil {
+		return err
+	}
+	var rows []struct {
+		Name string
+		Box  stats.Box
+	}
+	for _, name := range testbed.OverheadPTs {
+		diffs, _ := results[name].([]float64)
+		rows = append(rows, struct {
+			Name string
+			Box  stats.Box
+		}{name, stats.Summarize(diffs)})
+	}
+	r.writeBoxes("PT − vanilla Tor time difference on an identical circuit (s)", rows)
+	return nil
+}
+
+// snowflakeAccess measures snowflake website access in the current load
+// state of its own world.
+func (r *Runner) snowflakeAccess(w *testbed.World, nSites int) ([]float64, error) {
+	d, err := w.Deployment("snowflake")
+	if err != nil {
+		return nil, err
+	}
+	d.FreshCircuit()
+	// Under heavy churn a build can land on a dying volunteer; retry a
+	// few times like a real client would.
+	for attempt := 0; attempt < 5; attempt++ {
+		if err = d.Preheat(); err == nil {
+			break
+		}
+		d.FreshCircuit()
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: pageTimeout}
+	sites := r.sites(w)
+	if len(sites) > nSites {
+		sites = sites[:nSites]
+	}
+	var xs []float64
+	for _, site := range sites {
+		res := c.Get(w.Origin.Addr(), site.path, false)
+		xs = append(xs, seconds(res.Total))
+	}
+	return xs, nil
+}
+
+// loadLevels models the §5.3 timeline: background utilization of
+// volunteer proxies and their mean lifetime per period.
+var loadLevels = []struct {
+	Label    string
+	Util     float64
+	Lifetime time.Duration
+}{
+	{"pre-Sept-2022", 0.1, 300 * time.Second},
+	{"post-Sept-2022", 0.8, 25 * time.Second},
+	{"Nov-2022", 0.82, 25 * time.Second},
+	{"Dec-2022", 0.78, 30 * time.Second},
+	{"Jan-2023", 0.8, 28 * time.Second},
+	{"Feb-2023", 0.76, 30 * time.Second},
+	{"Mar-2023", 0.75, 32 * time.Second},
+}
+
+// runFig10 prints the snowflake user-count timeline (10a, from the load
+// model) and access time before/after the surge (10b).
+func (r *Runner) runFig10() error {
+	fmt.Fprintln(r.out, "Modeled snowflake daily users (relative load timeline)")
+	t := newTable("period", "users", "proxy-utilization", "mean-proxy-lifetime")
+	base := 20000.0
+	for _, lv := range loadLevels {
+		users := int(base * (1 + 6*lv.Util))
+		t.add(lv.Label, fmt.Sprintf("%d", users), fmt.Sprintf("%.2f", lv.Util), lv.Lifetime.String())
+	}
+	t.write(r.out)
+	fmt.Fprintln(r.out)
+
+	w, err := testbed.New(r.worldOptions(3000))
+	if err != nil {
+		return err
+	}
+	d, err := w.Deployment("snowflake")
+	if err != nil {
+		return err
+	}
+	d.Snowflake().SetLoad(loadLevels[0].Util, loadLevels[0].Lifetime)
+	pre, err := r.snowflakeAccess(w, r.cfg.Sites)
+	if err != nil {
+		return err
+	}
+	d.Snowflake().SetLoad(loadLevels[1].Util, loadLevels[1].Lifetime)
+	post, err := r.snowflakeAccess(w, r.cfg.Sites)
+	if err != nil {
+		return err
+	}
+	rows := []struct {
+		Name string
+		Box  stats.Box
+	}{
+		{"pre-September", stats.Summarize(pre)},
+		{"post-September", stats.Summarize(post)},
+	}
+	r.writeBoxes("Snowflake website access time before/after the surge (s)", rows)
+	if res, err := stats.PairedT(pre, post); err == nil {
+		fmt.Fprintf(r.out, "paired t (pre−post): t=%.2f P=%s CI=[%.2f, %.2f] mean-diff=%.2f\n\n",
+			res.T, pvalue(res.P), res.CILower, res.CIUpper, res.MeanDiff)
+	}
+	return nil
+}
+
+// runFig11 prints the browsertime speed-index boxes.
+func (r *Runner) runFig11() error {
+	data, err := r.seleniumData()
+	if err != nil {
+		return err
+	}
+	r.writeBoxes("Speed index (seconds; camoufler unsupported)",
+		boxRows(data, speedIx, orderedMethods(r.cfg.Transports)))
+	return nil
+}
+
+// runFig12 prints the post-September monthly monitoring boxes.
+func (r *Runner) runFig12() error {
+	w, err := testbed.New(r.worldOptions(3100))
+	if err != nil {
+		return err
+	}
+	d, err := w.Deployment("snowflake")
+	if err != nil {
+		return err
+	}
+	n := r.cfg.Sites / 2
+	if n < 4 {
+		n = 4
+	}
+	var rows []struct {
+		Name string
+		Box  stats.Box
+	}
+	for _, lv := range loadLevels {
+		if lv.Label == "post-Sept-2022" {
+			continue // fig12 shows pre + the monthly series
+		}
+		d.Snowflake().SetLoad(lv.Util, lv.Lifetime)
+		xs, err := r.snowflakeAccess(w, n)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, struct {
+			Name string
+			Box  stats.Box
+		}{lv.Label, stats.Summarize(xs)})
+	}
+	r.writeBoxes("Snowflake monthly website access time (s)", rows)
+	return nil
+}
+
+// runTables34 prints the curl paired t-test table.
+func (r *Runner) runTables34() error {
+	data, err := r.curlData()
+	if err != nil {
+		return err
+	}
+	writePairedT(r.out, "Paired t-tests, website access via curl (all method pairs)",
+		allPairs(data, times, orderedMethods(r.cfg.Transports)))
+	return nil
+}
+
+// runTables56 prints the selenium paired t-test table.
+func (r *Runner) runTables56() error {
+	data, err := r.seleniumData()
+	if err != nil {
+		return err
+	}
+	writePairedT(r.out, "Paired t-tests, website access via selenium (all method pairs)",
+		allPairs(data, times, orderedMethods(r.cfg.Transports)))
+	return nil
+}
+
+// runTable7 prints the file-download paired t-test table, pairing
+// attempts by (size, attempt index).
+func (r *Runner) runTable7() error {
+	data, err := r.filesData()
+	if err != nil {
+		return err
+	}
+	acc := map[string]*accessData{}
+	for name, fd := range data {
+		d := &accessData{Name: name}
+		for _, a := range fd.Attempts {
+			d.Times = append(d.Times, a.Seconds)
+		}
+		acc[name] = d
+	}
+	writePairedT(r.out, "Paired t-tests, file download times (attempts paired by size and index)",
+		allPairs(acc, times, orderedMethods(r.cfg.Transports)))
+	return nil
+}
+
+// runTables89 prints the speed-index paired t-test table.
+func (r *Runner) runTables89() error {
+	data, err := r.seleniumData()
+	if err != nil {
+		return err
+	}
+	writePairedT(r.out, "Paired t-tests, speed index (all method pairs)",
+		allPairs(data, speedIx, orderedMethods(r.cfg.Transports)))
+	return nil
+}
+
+// runTable10 prints the category-pair t-tests over the curl data.
+func (r *Runner) runTable10() error {
+	data, err := r.curlData()
+	if err != nil {
+		return err
+	}
+	cats := pt.ByCategory()
+	catData := map[string]*accessData{}
+	if d, ok := data["tor"]; ok {
+		catData["Tor"] = d
+	}
+	for cat, members := range cats {
+		agg := &accessData{Name: cat.String()}
+		var n int
+		for _, m := range members {
+			d, ok := data[m]
+			if !ok {
+				continue
+			}
+			if agg.Times == nil {
+				agg.Times = make([]float64, len(d.Times))
+			}
+			for i, v := range d.Times {
+				agg.Times[i] += v
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		for i := range agg.Times {
+			agg.Times[i] /= float64(n)
+		}
+		catData[cat.String()] = agg
+	}
+	order := []string{"Tor", pt.ProxyLayer.String(), pt.Tunneling.String(), pt.Mimicry.String(), pt.FullyEncrypted.String()}
+	writePairedT(r.out, "Paired t-tests, PT category pairs (curl access)",
+		allPairsNamed(catData, order))
+	return nil
+}
+
+// allPairsNamed is allPairs over explicitly named datasets.
+func allPairsNamed(data map[string]*accessData, order []string) []pairResult {
+	var out []pairResult
+	for i := 0; i < len(order); i++ {
+		a, ok := data[order[i]]
+		if !ok {
+			continue
+		}
+		for j := i + 1; j < len(order); j++ {
+			b, ok := data[order[j]]
+			if !ok {
+				continue
+			}
+			res, err := stats.PairedT(a.Times, b.Times)
+			if err != nil {
+				continue
+			}
+			out = append(out, pairResult{Name: order[i] + "-" + order[j], Res: res})
+		}
+	}
+	return out
+}

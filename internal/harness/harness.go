@@ -1,0 +1,248 @@
+// Package harness runs the paper's experiments: it builds testbed
+// worlds, drives the measurement campaigns (curl, selenium, speed index,
+// bulk files, locations, load scenarios), applies the statistics, and
+// prints each table and figure of the evaluation section.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"ptperf/internal/pt"
+	"ptperf/internal/testbed"
+	"ptperf/internal/web"
+)
+
+// Config sizes a campaign. The zero value is a CI-friendly small run;
+// the paper-scale campaign raises Sites/Repeats/FileAttempts.
+type Config struct {
+	// Seed drives the whole campaign deterministically.
+	Seed int64
+	// TimeScale is real seconds per virtual second.
+	TimeScale float64
+	// ByteScale scales sizes, rates and caps together (see testbed).
+	ByteScale float64
+	// Sites is the number of sites measured per catalog.
+	Sites int
+	// Repeats is accesses per site (the paper uses 5).
+	Repeats int
+	// FileAttempts is download attempts per file size (paper: 10–20).
+	FileAttempts int
+	// FileSizesMB selects which of Figure 5's sizes to run.
+	FileSizesMB []int
+	// Transports lists methods to evaluate; empty means all 12 + tor.
+	Transports []string
+	// Sequential disables the per-transport parallelism.
+	Sequential bool
+	// Plot adds ASCII box plots and ECDF curves under the tables,
+	// mirroring the paper's figure shapes.
+	Plot bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 0.004
+	}
+	if c.ByteScale <= 0 {
+		c.ByteScale = 0.125
+	}
+	if c.Sites <= 0 {
+		c.Sites = 12
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 2
+	}
+	if c.FileAttempts <= 0 {
+		c.FileAttempts = 2
+	}
+	if len(c.FileSizesMB) == 0 {
+		c.FileSizesMB = web.FileSizesMB
+	}
+	if len(c.Transports) == 0 {
+		c.Transports = append([]string{"tor"}, pt.Names()...)
+	}
+	return c
+}
+
+// Runner executes experiments and writes reports.
+type Runner struct {
+	cfg Config
+	out io.Writer
+
+	mu    sync.Mutex
+	world *testbed.World
+	cache map[string]any
+}
+
+// New creates a Runner writing its reports to out.
+func New(cfg Config, out io.Writer) *Runner {
+	return &Runner{cfg: cfg.withDefaults(), out: out, cache: make(map[string]any)}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// Experiment describes one runnable artifact reproduction.
+type Experiment struct {
+	// ID is the CLI name (e.g. "fig2a").
+	ID string
+	// Artifact names the paper table/figure.
+	Artifact string
+	// Title is a one-line description.
+	Title string
+	run   func(*Runner) error
+}
+
+// Experiments lists every reproducible artifact in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "table1", Artifact: "Table 1", Title: "measurement campaign overview", run: (*Runner).runTable1},
+		{ID: "table2", Artifact: "Table 2", Title: "28 candidate transports at a glance", run: (*Runner).runTable2},
+		{ID: "fig2a", Artifact: "Figure 2a", Title: "website access time, curl", run: (*Runner).runFig2a},
+		{ID: "fig2b", Artifact: "Figure 2b", Title: "website access time, selenium", run: (*Runner).runFig2b},
+		{ID: "fig3", Artifact: "Figure 3a/3b", Title: "fixed-circuit comparison and ECDF", run: (*Runner).runFig3},
+		{ID: "fig4", Artifact: "Figure 4", Title: "fixed guard, variable middle/exit", run: (*Runner).runFig4},
+		{ID: "fig5", Artifact: "Figure 5", Title: "file download time by size", run: (*Runner).runFig5},
+		{ID: "fig6", Artifact: "Figure 6", Title: "time to first byte ECDF", run: (*Runner).runFig6},
+		{ID: "fig7", Artifact: "Figure 7", Title: "client-location variation", run: (*Runner).runFig7},
+		{ID: "fig8", Artifact: "Figure 8a/8b", Title: "download reliability", run: (*Runner).runFig8},
+		{ID: "fig9", Artifact: "Figure 9", Title: "PT overhead vs vanilla Tor", run: (*Runner).runFig9},
+		{ID: "fig10", Artifact: "Figure 10a/10b", Title: "snowflake under load", run: (*Runner).runFig10},
+		{ID: "fig11", Artifact: "Figure 11", Title: "speed index", run: (*Runner).runFig11},
+		{ID: "fig12", Artifact: "Figure 12", Title: "snowflake post-September months", run: (*Runner).runFig12},
+		{ID: "medium", Artifact: "Section 4.7", Title: "wired vs wireless access medium", run: (*Runner).runMedium},
+		{ID: "table3", Artifact: "Tables 3–4", Title: "paired t-tests, curl access", run: (*Runner).runTables34},
+		{ID: "table5", Artifact: "Tables 5–6", Title: "paired t-tests, selenium access", run: (*Runner).runTables56},
+		{ID: "table7", Artifact: "Table 7", Title: "paired t-tests, file download", run: (*Runner).runTable7},
+		{ID: "table8", Artifact: "Tables 8–9", Title: "paired t-tests, speed index", run: (*Runner).runTables89},
+		{ID: "table10", Artifact: "Table 10", Title: "paired t-tests, PT categories", run: (*Runner).runTable10},
+	}
+}
+
+// Run executes one experiment by ID ("all" runs everything).
+func (r *Runner) Run(id string) error {
+	if id == "all" {
+		for _, e := range Experiments() {
+			if err := r.Run(e.ID); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		}
+		return nil
+	}
+	for _, e := range Experiments() {
+		if e.ID == id {
+			fmt.Fprintf(r.out, "\n=== %s — %s (%s) ===\n", e.ID, e.Title, e.Artifact)
+			return e.run(r)
+		}
+	}
+	return fmt.Errorf("harness: unknown experiment %q", id)
+}
+
+// World returns the shared default world (client in Toronto, wired).
+func (r *Runner) World() (*testbed.World, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.world != nil {
+		return r.world, nil
+	}
+	w, err := testbed.New(r.worldOptions(0))
+	if err != nil {
+		return nil, err
+	}
+	r.world = w
+	return w, nil
+}
+
+func (r *Runner) worldOptions(extraSeed int64) testbed.Options {
+	return testbed.Options{
+		Seed:      r.cfg.Seed + extraSeed,
+		TimeScale: r.cfg.TimeScale,
+		ByteScale: r.cfg.ByteScale,
+		TrancoN:   r.cfg.Sites,
+		CBLN:      r.cfg.Sites,
+	}
+}
+
+// sites returns the measured site set: the first Sites entries of each
+// catalog, Tranco first (order is what aligns paired samples).
+type siteRef struct {
+	list web.List
+	path string
+}
+
+func (r *Runner) sites(w *testbed.World) []siteRef {
+	var out []siteRef
+	for i := 0; i < r.cfg.Sites && i < len(w.Tranco.Sites); i++ {
+		out = append(out, siteRef{web.Tranco, w.Tranco.Sites[i].Path})
+	}
+	for i := 0; i < r.cfg.Sites && i < len(w.CBL.Sites); i++ {
+		out = append(out, siteRef{web.CBL, w.CBL.Sites[i].Path})
+	}
+	return out
+}
+
+// forEachMethod runs fn for each configured method, in parallel unless
+// Sequential, and returns results keyed by method name.
+func (r *Runner) forEachMethod(methods []string, fn func(name string) (any, error)) (map[string]any, error) {
+	return r.forEachMethodN(methods, r.parallelism(), fn)
+}
+
+// forEachMethodN bounds the concurrency explicitly; bulk campaigns use a
+// low bound so simultaneous downloads do not contend on the shared relay
+// fleet in a way the paper's time-gapped measurements never did.
+func (r *Runner) forEachMethodN(methods []string, limit int, fn func(name string) (any, error)) (map[string]any, error) {
+	if r.cfg.Sequential || limit < 1 {
+		limit = 1
+	}
+	out := make(map[string]any, len(methods))
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, limit)
+	for _, name := range methods {
+		name := name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			v, err := fn(name)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", name, err)
+			}
+			out[name] = v
+		}()
+	}
+	wg.Wait()
+	return out, firstErr
+}
+
+func (r *Runner) parallelism() int {
+	if r.cfg.Sequential {
+		return 1
+	}
+	return 16
+}
+
+// seconds converts a virtual duration to float seconds for stats.
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// orderedMethods keeps report rows in category order: Tor first, then
+// the paper's PT ordering.
+func orderedMethods(methods []string) []string {
+	rank := map[string]int{"tor": 0}
+	for i, n := range pt.Names() {
+		rank[n] = i + 1
+	}
+	out := append([]string(nil), methods...)
+	sort.Slice(out, func(i, j int) bool { return rank[out[i]] < rank[out[j]] })
+	return out
+}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"io"
+	"testing"
+
+	"ptperf/internal/stats"
+)
+
+// TestPaperShapeHolds asserts the paper's qualitative findings on a
+// small but statistically meaningful campaign. This is the regression
+// guard for the reproduction itself: if a transport model drifts, this
+// fails before EXPERIMENTS.md does.
+func TestPaperShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign-scale test")
+	}
+	cfg := Config{
+		Seed:         3,
+		TimeScale:    0.002,
+		ByteScale:    0.1,
+		Sites:        6,
+		Repeats:      1,
+		FileAttempts: 2,
+		FileSizesMB:  []int{20, 50},
+		Transports:   []string{"tor", "obfs4", "webtunnel", "dnstt", "camoufler", "marionette", "meek"},
+	}
+	r := New(cfg, io.Discard)
+
+	curl, err := r.curlData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(name string) float64 { return stats.Mean(curl[name].Times) }
+
+	// §4.2: marionette is the slowest PT by a wide margin.
+	for _, other := range []string{"tor", "obfs4", "webtunnel", "dnstt", "camoufler"} {
+		if mean("marionette") < 2*mean(other) {
+			t.Errorf("marionette (%.2f) should dwarf %s (%.2f)", mean("marionette"), other, mean(other))
+		}
+	}
+	// §4.2: tunneling PTs pay their carrier protocol: dnstt and
+	// camoufler clearly slower than vanilla Tor.
+	if mean("dnstt") < 1.2*mean("tor") {
+		t.Errorf("dnstt (%.2f) should exceed tor (%.2f)", mean("dnstt"), mean("tor"))
+	}
+	if mean("camoufler") < 1.2*mean("tor") {
+		t.Errorf("camoufler (%.2f) should exceed tor (%.2f)", mean("camoufler"), mean("tor"))
+	}
+	// §4.2: the fully-encrypted/tunneling leaders sit near vanilla Tor.
+	for _, fast := range []string{"obfs4", "webtunnel"} {
+		if mean(fast) > 1.5*mean("tor") {
+			t.Errorf("%s (%.2f) should be near tor (%.2f)", fast, mean(fast), mean("tor"))
+		}
+	}
+
+	// §4.6: meek cannot complete bulk downloads; obfs4 can.
+	files, err := r.filesData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _, _ := files["obfs4"].counts(); c == 0 {
+		t.Error("obfs4 should complete bulk downloads")
+	}
+	// Across four attempts spanning 20–50 MB, meek's bridge budget
+	// (median "3 MB") must cut at least one download.
+	if c, p, f := files["meek"].counts(); p+f == 0 {
+		t.Errorf("meek bulk downloads should be cut by the bridge budget (complete=%d)", c)
+	}
+	if c, p, f := files["marionette"].counts(); p+f == 0 {
+		t.Errorf("marionette bulk downloads should time out (complete=%d)", c)
+	}
+
+	// §4.4: marionette/camoufler/meek have the worst TTFB tail.
+	ttfbTor := stats.Quantile(curl["tor"].TTFBs, 0.8)
+	ttfbCam := stats.Quantile(curl["camoufler"].TTFBs, 0.8)
+	if ttfbCam <= ttfbTor {
+		t.Errorf("camoufler p80 TTFB (%.2f) should exceed tor (%.2f)", ttfbCam, ttfbTor)
+	}
+}

@@ -1,0 +1,123 @@
+package netem
+
+import (
+	"sync"
+	"time"
+)
+
+// Bucket is a token-bucket rate limiter on the virtual clock. Buckets are
+// shared: every conn leaving a host reserves transmission time on the
+// host's egress bucket, so concurrent flows through the same host contend
+// for its capacity. This is the mechanism that reproduces the paper's
+// central observation that a loaded first hop (volunteer guard) dominates
+// download time while an idle PT bridge does not.
+type Bucket struct {
+	mu sync.Mutex
+	// rate is the effective data rate in bytes per virtual second.
+	rate float64
+	// free is the virtual time at which the link becomes idle.
+	free time.Duration
+	// queueDelay is the M/M/1-style queueing latency a segment pays on
+	// a loaded link: util/(1−util) × a base service time. This is the
+	// latency half of relay load — the bandwidth half is the rate
+	// reduction — and is what makes a saturated volunteer guard slower
+	// than an idle PT bridge even for small transfers (§4.2.1).
+	queueDelay time.Duration
+}
+
+// queueBase is the nominal per-segment service time scaled by the load
+// factor util/(1−util).
+const queueBase = 20 * time.Millisecond
+
+// maxQueueDelay caps the modeled queueing latency.
+const maxQueueDelay = 150 * time.Millisecond
+
+// NewBucket returns a bucket with the given capacity in bytes per virtual
+// second, reduced by the background utilization factor in [0,1). The
+// utilization models traffic from other network users (e.g. regular Tor
+// clients on a volunteer guard) that our flows must share the link with.
+func NewBucket(capacity float64, utilization float64) *Bucket {
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 0.97 {
+		utilization = 0.97
+	}
+	eff := capacity * (1 - utilization)
+	if eff < 1 {
+		eff = 1
+	}
+	qd := time.Duration(float64(queueBase) * utilization / (1 - utilization))
+	if qd > maxQueueDelay {
+		qd = maxQueueDelay
+	}
+	return &Bucket{rate: eff, queueDelay: qd}
+}
+
+// QueueDelay reports the per-segment queueing latency of the link.
+func (b *Bucket) QueueDelay() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.queueDelay
+}
+
+// Rate reports the effective rate in bytes per virtual second.
+func (b *Bucket) Rate() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rate
+}
+
+// SetRate changes the effective rate. Used by load scenarios (e.g. the
+// post-September snowflake surge).
+func (b *Bucket) SetRate(rate float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if rate < 1 {
+		rate = 1
+	}
+	b.rate = rate
+}
+
+// Reload reconfigures capacity and utilization together, recomputing
+// both the effective rate and the queueing latency.
+func (b *Bucket) Reload(capacity, utilization float64) {
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 0.97 {
+		utilization = 0.97
+	}
+	eff := capacity * (1 - utilization)
+	if eff < 1 {
+		eff = 1
+	}
+	qd := time.Duration(float64(queueBase) * utilization / (1 - utilization))
+	if qd > maxQueueDelay {
+		qd = maxQueueDelay
+	}
+	b.mu.Lock()
+	b.rate = eff
+	b.queueDelay = qd
+	b.mu.Unlock()
+}
+
+// Reserve books n bytes of transmission starting no earlier than now and
+// returns the virtual time at which the last byte has been serialized.
+func (b *Bucket) Reserve(now time.Duration, n int) time.Duration {
+	if n <= 0 {
+		return now
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	start := now
+	if b.free > start {
+		start = b.free
+	}
+	tx := time.Duration(float64(n) / b.rate * float64(time.Second))
+	b.free = start + tx
+	return b.free
+}
+
+// Unlimited returns a bucket that never delays.
+func Unlimited() *Bucket { return &Bucket{rate: 1e15} }

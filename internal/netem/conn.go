@@ -1,0 +1,183 @@
+package netem
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// segmentSize is the shaping granularity. Large enough that a segment's
+// transmission time on a typical link exceeds the scheduler's sleep
+// resolution, small enough to pipeline multi-hop transfers.
+const segmentSize = 16 << 10
+
+// Addr is a virtual network address ("host:port" on network "vnet").
+type Addr struct{ host string }
+
+// Network returns the virtual network name.
+func (Addr) Network() string { return "vnet" }
+
+func (a Addr) String() string { return a.host }
+
+// shape holds the per-direction shaping parameters of a conn.
+type shape struct {
+	egress  *Bucket       // sender host egress
+	ingress *Bucket       // receiver host ingress
+	delay   time.Duration // one-way propagation delay
+	jitter  time.Duration // max uniform extra per segment
+	loss    float64       // per-segment loss-event probability
+	lossPen time.Duration // penalty charged per loss event (≈RTO)
+}
+
+// Conn is a shaped virtual connection implementing net.Conn.
+type Conn struct {
+	local, remote Addr
+	tx, rx        *pipe
+	out           shape
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	wmu sync.Mutex // serializes writers
+
+	dlMu sync.Mutex
+	rdl  time.Time
+	wdl  time.Time
+
+	closeOnce sync.Once
+}
+
+// newConnPair wires two conns back to back. aOut shapes a→b traffic and
+// bOut shapes b→a traffic.
+func newConnPair(clock *Clock, aAddr, bAddr Addr, aOut, bOut shape, seed int64) (*Conn, *Conn) {
+	ab := newPipe(clock, 0)
+	ba := newPipe(clock, 0)
+	a := &Conn{local: aAddr, remote: bAddr, tx: ab, rx: ba, out: aOut, rng: rand.New(rand.NewSource(seed))}
+	b := &Conn{local: bAddr, remote: aAddr, tx: ba, rx: ab, out: bOut, rng: rand.New(rand.NewSource(seed + 1))}
+	return a, b
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.dlMu.Lock()
+	dl := c.rdl
+	c.dlMu.Unlock()
+	for {
+		n, err := c.rx.pop(p, dl)
+		if n > 0 || err != nil {
+			return n, err
+		}
+		if len(p) == 0 {
+			return 0, nil
+		}
+	}
+}
+
+// Write implements net.Conn. Data is chunked into segments; each segment
+// reserves transmission time on the sender-egress and receiver-ingress
+// buckets and is delivered after the propagation delay plus jitter and
+// loss penalties. The writer blocks through its own serialization time,
+// which yields sender-side backpressure.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.dlMu.Lock()
+	dl := c.wdl
+	c.dlMu.Unlock()
+
+	clock := c.tx.clock
+	written := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > segmentSize {
+			n = segmentSize
+		}
+		data := make([]byte, n)
+		copy(data, p[:n])
+
+		now := clock.Now()
+		done := c.out.egress.Reserve(now, n)
+		done = c.out.ingress.Reserve(done, n)
+		arrival := done + c.out.delay + c.extraDelay() +
+			c.out.egress.QueueDelay() + c.out.ingress.QueueDelay()
+		if err := c.tx.push(data, arrival, dl); err != nil {
+			if written > 0 && err == ErrTimeout {
+				return written, err
+			}
+			return written, err
+		}
+		clock.SleepUntil(done)
+		written += n
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// extraDelay draws the per-segment jitter and loss penalty.
+func (c *Conn) extraDelay() time.Duration {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	var d time.Duration
+	if c.out.jitter > 0 {
+		d += time.Duration(c.rng.Int63n(int64(c.out.jitter)))
+	}
+	if c.out.loss > 0 && c.rng.Float64() < c.out.loss {
+		d += c.out.lossPen
+	}
+	return d
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.tx.closeWrite()
+		c.rx.closeRead()
+	})
+	return nil
+}
+
+// CloseWrite half-closes the sending direction, like TCP shutdown(WR).
+func (c *Conn) CloseWrite() error {
+	c.tx.closeWrite()
+	return nil
+}
+
+// Abort tears the connection down as a mid-transfer failure: the peer's
+// pending data is dropped and both directions error out. Failure-injection
+// models (snowflake proxy churn, meek session budgets) use this.
+func (c *Conn) Abort() {
+	c.tx.closeWrite()
+	c.tx.closeRead()
+	c.rx.closeRead()
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.rdl, c.wdl = t, t
+	c.dlMu.Unlock()
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.rdl = t
+	c.dlMu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.wdl = t
+	c.dlMu.Unlock()
+	return nil
+}

@@ -1,0 +1,200 @@
+package netem
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ptperf/internal/geo"
+)
+
+// HostConfig describes a virtual machine attached to the network.
+type HostConfig struct {
+	// Name is the unique DNS-like name of the host.
+	Name string
+	// Location places the host in one of the six modeled cities.
+	Location geo.Location
+	// Medium is the access medium (wired unless stated otherwise).
+	Medium geo.Medium
+	// UplinkBps / DownlinkBps are link capacities in bytes per virtual
+	// second. Zero means a fast default (100 MB/s).
+	UplinkBps   float64
+	DownlinkBps float64
+	// Utilization in [0,1) is the share of link capacity consumed by
+	// background traffic (other users of a relay, CDN tenants, …).
+	Utilization float64
+}
+
+// Host is a named machine on the virtual network.
+type Host struct {
+	net     *Network
+	name    string
+	loc     geo.Location
+	medium  geo.Medium
+	egress  *Bucket
+	ingress *Bucket
+
+	mu        sync.Mutex
+	listeners map[int]*Listener
+	nextPort  int
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Location returns the host's city.
+func (h *Host) Location() geo.Location { return h.loc }
+
+// Egress exposes the shared uplink bucket (load scenarios adjust it).
+func (h *Host) Egress() *Bucket { return h.egress }
+
+// Ingress exposes the shared downlink bucket.
+func (h *Host) Ingress() *Bucket { return h.ingress }
+
+// Network returns the network the host is attached to.
+func (h *Host) Network() *Network { return h.net }
+
+// Listener accepts virtual connections on one host port.
+type Listener struct {
+	host *Host
+	port int
+
+	mu     sync.Mutex
+	queue  chan *Conn
+	closed bool
+}
+
+// Listen opens a listener on the given port (0 picks an ephemeral port).
+func (h *Host) Listen(port int) (*Listener, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if port == 0 {
+		h.nextPort++
+		port = 40000 + h.nextPort
+	}
+	if _, busy := h.listeners[port]; busy {
+		return nil, fmt.Errorf("netem: %s port %d already in use", h.name, port)
+	}
+	l := &Listener{host: h, port: port, queue: make(chan *Conn, 128)}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, ok := <-l.queue
+	if !ok {
+		return nil, ErrClosed
+	}
+	return c, nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	l.host.mu.Lock()
+	delete(l.host.listeners, l.port)
+	l.host.mu.Unlock()
+	close(l.queue)
+	return nil
+}
+
+// Addr returns the listener's address ("host:port").
+func (l *Listener) Addr() net.Addr {
+	return Addr{host: fmt.Sprintf("%s:%d", l.host.name, l.port)}
+}
+
+// deliver hands an inbound conn to the accept queue.
+func (l *Listener) deliver(c *Conn) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	select {
+	case l.queue <- c:
+		return nil
+	default:
+		return fmt.Errorf("netem: accept backlog full on %s:%d", l.host.name, l.port)
+	}
+}
+
+// Dial opens a shaped connection from this host to "host:port". It costs
+// one round trip (the transport handshake) on the virtual clock.
+func (h *Host) Dial(address string) (net.Conn, error) {
+	hostName, portStr, ok := strings.Cut(address, ":")
+	if !ok {
+		return nil, fmt.Errorf("netem: bad address %q", address)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("netem: bad port in %q", address)
+	}
+	peer := h.net.host(hostName)
+	if peer == nil {
+		return nil, fmt.Errorf("netem: no such host %q", hostName)
+	}
+	peer.mu.Lock()
+	l := peer.listeners[port]
+	peer.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("netem: connection refused: %s", address)
+	}
+
+	localAddr := Addr{host: fmt.Sprintf("%s:%d", h.name, h.ephemeral())}
+	remoteAddr := Addr{host: address}
+	out, in := h.net.shapes(h, peer)
+	seed := h.net.nextSeed()
+	cc, sc := newConnPair(h.net.clock, localAddr, remoteAddr, out, in, seed)
+
+	rtt := out.delay + in.delay
+	// Deliver the server side after one one-way delay (the SYN), then
+	// return to the dialer after the full handshake round trip.
+	go func() {
+		h.net.clock.Sleep(out.delay)
+		if err := l.deliver(sc); err != nil {
+			cc.Abort()
+		}
+	}()
+	h.net.clock.Sleep(rtt)
+	return cc, nil
+}
+
+// DialTimeout is Dial bounded by a virtual timeout.
+func (h *Host) DialTimeout(address string, vtimeout time.Duration) (net.Conn, error) {
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := h.Dial(address)
+		ch <- res{c, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.c, r.err
+	case <-h.net.clock.Timer(vtimeout):
+		go func() {
+			if r := <-ch; r.c != nil {
+				r.c.Close()
+			}
+		}()
+		return nil, ErrTimeout
+	}
+}
+
+func (h *Host) ephemeral() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextPort++
+	return 40000 + h.nextPort
+}

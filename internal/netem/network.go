@@ -1,0 +1,136 @@
+package netem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ptperf/internal/geo"
+)
+
+// defaultLinkBps is the link capacity assumed when a HostConfig leaves it
+// zero: 100 MB/s, i.e. effectively unconstrained compared to relays.
+const defaultLinkBps = 100 << 20
+
+// Network is the virtual internet: a set of hosts plus the shared clock.
+type Network struct {
+	clock *Clock
+	seed  int64
+
+	mu    sync.Mutex
+	hosts map[string]*Host
+
+	connSeq atomic.Int64
+}
+
+// Option configures a Network.
+type Option func(*options)
+
+type options struct {
+	scale float64
+	seed  int64
+}
+
+// WithTimeScale sets real seconds slept per virtual second.
+func WithTimeScale(scale float64) Option { return func(o *options) { o.scale = scale } }
+
+// WithSeed sets the base RNG seed for jitter/loss draws.
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// New creates an empty network.
+func New(opts ...Option) *Network {
+	o := options{scale: DefaultTimeScale, seed: 1}
+	for _, f := range opts {
+		f(&o)
+	}
+	return &Network{
+		clock: NewClock(o.scale),
+		seed:  o.seed,
+		hosts: make(map[string]*Host),
+	}
+}
+
+// Clock returns the shared virtual clock.
+func (n *Network) Clock() *Clock { return n.clock }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.clock.Now() }
+
+// Since returns the virtual time elapsed since a mark from Now.
+func (n *Network) Since(mark time.Duration) time.Duration { return n.clock.Now() - mark }
+
+// VirtualDeadline converts a virtual timeout into a real time.Time usable
+// with net.Conn deadlines.
+func (n *Network) VirtualDeadline(v time.Duration) time.Time {
+	return time.Now().Add(n.clock.real(v))
+}
+
+// AddHost attaches a host to the network.
+func (n *Network) AddHost(cfg HostConfig) (*Host, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("netem: host needs a name")
+	}
+	up, down := cfg.UplinkBps, cfg.DownlinkBps
+	if up <= 0 {
+		up = defaultLinkBps
+	}
+	if down <= 0 {
+		down = defaultLinkBps
+	}
+	h := &Host{
+		net:       n,
+		name:      cfg.Name,
+		loc:       cfg.Location,
+		medium:    cfg.Medium,
+		egress:    NewBucket(up, cfg.Utilization),
+		ingress:   NewBucket(down, cfg.Utilization),
+		listeners: make(map[int]*Listener),
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.hosts[cfg.Name]; dup {
+		return nil, fmt.Errorf("netem: duplicate host %q", cfg.Name)
+	}
+	n.hosts[cfg.Name] = h
+	return h, nil
+}
+
+// MustAddHost is AddHost that panics on configuration errors; topology
+// construction is programmer-controlled so errors are bugs.
+func (n *Network) MustAddHost(cfg HostConfig) *Host {
+	h, err := n.AddHost(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Host looks up a host by name, or nil.
+func (n *Network) Host(name string) *Host { return n.host(name) }
+
+func (n *Network) host(name string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hosts[name]
+}
+
+func (n *Network) nextSeed() int64 {
+	return n.seed*1e9 + n.connSeq.Add(2)
+}
+
+// shapes computes the per-direction shaping for a conn between two hosts:
+// propagation is half the city-pair RTT; each endpoint's medium profile
+// contributes latency, jitter and loss; loss events are charged one RTT.
+func (n *Network) shapes(a, b *Host) (aOut, bOut shape) {
+	rtt := geo.RTT(a.loc, b.loc)
+	pa := geo.MediumProfile(a.medium)
+	pb := geo.MediumProfile(b.medium)
+	owd := rtt/2 + pa.ExtraLatency + pb.ExtraLatency
+	jitter := pa.Jitter + pb.Jitter
+	loss := pa.Loss + pb.Loss
+	pen := rtt + 20*time.Millisecond
+	aOut = shape{egress: a.egress, ingress: b.ingress, delay: owd, jitter: jitter, loss: loss, lossPen: pen}
+	bOut = shape{egress: b.egress, ingress: a.ingress, delay: owd, jitter: jitter, loss: loss, lossPen: pen}
+	return aOut, bOut
+}

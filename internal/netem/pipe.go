@@ -1,0 +1,178 @@
+package netem
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// Shaping errors surfaced through net.Conn operations.
+var (
+	// ErrClosed is returned for operations on a closed conn.
+	ErrClosed = errors.New("netem: use of closed connection")
+	// ErrReset is returned when writing to a conn whose peer has closed.
+	ErrReset = errors.New("netem: connection reset by peer")
+	// ErrTimeout is returned when a deadline expires. It satisfies
+	// net.Error with Timeout() == true via timeoutError.
+	ErrTimeout = &timeoutError{}
+)
+
+type timeoutError struct{}
+
+func (*timeoutError) Error() string   { return "netem: i/o timeout" }
+func (*timeoutError) Timeout() bool   { return true }
+func (*timeoutError) Temporary() bool { return true }
+
+// seg is one shaped segment in flight: its payload and the virtual time at
+// which the last byte arrives at the receiver.
+type seg struct {
+	data []byte
+	at   time.Duration
+}
+
+// pipe is one direction of a shaped duplex connection.
+type pipe struct {
+	clock *Clock
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	segs     []seg
+	buffered int  // bytes queued and not yet read
+	maxBuf   int  // receive-window bound for backpressure
+	wclosed  bool // writer has closed; reader drains then sees EOF
+	rclosed  bool // reader has closed; writes fail
+	werr     error
+}
+
+func newPipe(clock *Clock, maxBuf int) *pipe {
+	if maxBuf <= 0 {
+		maxBuf = 256 << 10
+	}
+	p := &pipe{clock: clock, maxBuf: maxBuf}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// push enqueues a shaped segment, blocking while the receive window is
+// full. It returns an error if either side has closed.
+func (p *pipe) push(data []byte, arrival time.Duration, deadline time.Time) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.buffered+len(data) > p.maxBuf && !p.rclosed && !p.wclosed {
+		if expired(deadline) {
+			return ErrTimeout
+		}
+		p.waitLocked(deadline)
+	}
+	if p.wclosed {
+		return ErrClosed
+	}
+	if p.rclosed {
+		return ErrReset
+	}
+	p.segs = append(p.segs, seg{data: data, at: arrival})
+	p.buffered += len(data)
+	p.cond.Broadcast()
+	return nil
+}
+
+// pop reads up to len(buf) bytes that have "arrived" on the virtual clock,
+// sleeping through propagation delay as needed.
+func (p *pipe) pop(buf []byte, deadline time.Time) (int, error) {
+	p.mu.Lock()
+	for {
+		if p.rclosed {
+			p.mu.Unlock()
+			return 0, ErrClosed
+		}
+		if len(p.segs) > 0 {
+			break
+		}
+		if p.wclosed {
+			p.mu.Unlock()
+			return 0, io.EOF
+		}
+		if expired(deadline) {
+			p.mu.Unlock()
+			return 0, ErrTimeout
+		}
+		p.waitLocked(deadline)
+	}
+	s := &p.segs[0]
+	at := s.at
+	p.mu.Unlock()
+
+	// Wait for the segment to propagate, bounded by the deadline.
+	if wait := at - p.clock.Now(); wait > 0 {
+		if !deadline.IsZero() {
+			realAt := time.Now().Add(p.clock.real(wait))
+			if realAt.After(deadline) {
+				time.Sleep(time.Until(deadline))
+				return 0, ErrTimeout
+			}
+		}
+		p.clock.SleepUntil(at)
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rclosed {
+		return 0, ErrClosed
+	}
+	if len(p.segs) == 0 {
+		if p.wclosed {
+			return 0, io.EOF
+		}
+		return 0, nil
+	}
+	s = &p.segs[0]
+	n := copy(buf, s.data)
+	if n == len(s.data) {
+		p.segs = p.segs[1:]
+	} else {
+		s.data = s.data[n:]
+	}
+	p.buffered -= n
+	p.cond.Broadcast()
+	return n, nil
+}
+
+// closeWrite marks the writer side closed; the reader drains then gets EOF.
+func (p *pipe) closeWrite() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wclosed = true
+	p.cond.Broadcast()
+}
+
+// closeRead marks the reader side closed; pending data is dropped and
+// subsequent writes fail with ErrReset.
+func (p *pipe) closeRead() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rclosed = true
+	p.segs = nil
+	p.buffered = 0
+	p.cond.Broadcast()
+}
+
+// waitLocked waits on the pipe condition, honouring an optional deadline
+// by scheduling a broadcast wakeup.
+func (p *pipe) waitLocked(deadline time.Time) {
+	if deadline.IsZero() {
+		p.cond.Wait()
+		return
+	}
+	stop := time.AfterFunc(time.Until(deadline), func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	p.cond.Wait()
+	stop.Stop()
+}
+
+func expired(deadline time.Time) bool {
+	return !deadline.IsZero() && !time.Now().Before(deadline)
+}

@@ -1,0 +1,116 @@
+package plot
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ptperf/internal/stats"
+)
+
+func sample(rng *rand.Rand, mean float64, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = mean + rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestBoxesRendering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var buf bytes.Buffer
+	rows := []Box{
+		{Label: "tor", Stats: stats.Summarize(sample(rng, 5, 50))},
+		{Label: "marionette", Stats: stats.Summarize(sample(rng, 25, 50))},
+	}
+	Boxes(&buf, "access time", rows, 60, false)
+	out := buf.String()
+	for _, want := range []string{"tor", "marionette", "#", "[", "]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The slow method's median marker must sit to the right of the
+	// fast method's.
+	lines := strings.Split(out, "\n")
+	fast := strings.Index(lines[1], "#")
+	slow := strings.Index(lines[2], "#")
+	if slow <= fast {
+		t.Fatalf("marionette median (%d) should plot right of tor (%d)\n%s", slow, fast, out)
+	}
+}
+
+func TestBoxesEmptyAndDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	Boxes(&buf, "x", nil, 40, false)
+	if buf.Len() != 0 {
+		t.Fatal("no rows should render nothing")
+	}
+	Boxes(&buf, "x", []Box{{Label: "a"}}, 40, false)
+	if buf.Len() != 0 {
+		t.Fatal("all-empty rows should render nothing")
+	}
+}
+
+func TestBoxesNeverPanics(t *testing.T) {
+	f := func(vals []float64, logScale bool) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if v == v && v > -1e12 && v < 1e12 { // drop NaN/huge
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var buf bytes.Buffer
+		Boxes(&buf, "t", []Box{{Label: "x", Stats: stats.Summarize(clean)}}, 30, logScale)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDFRendering(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var buf bytes.Buffer
+	ECDF(&buf, "ttfb", []Series{
+		{Label: "fast", Values: sample(rng, 2, 80)},
+		{Label: "slow", Values: sample(rng, 8, 80)},
+	}, 50, 10)
+	out := buf.String()
+	if !strings.Contains(out, "a = fast") || !strings.Contains(out, "b = slow") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1.00 |") || !strings.Contains(out, "0.00 |") {
+		t.Fatalf("probability axis missing:\n%s", out)
+	}
+	// The fast curve must reach the top (p=1) earlier (left of) slow.
+	topLine := strings.Split(out, "\n")[1]
+	firstA := strings.Index(topLine, "a")
+	firstB := strings.Index(topLine, "b")
+	if firstA == -1 || (firstB != -1 && firstA > firstB) {
+		t.Fatalf("fast curve should saturate first:\n%s", out)
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	ECDF(&buf, "x", nil, 40, 10)
+	ECDF(&buf, "x", []Series{{Label: "e"}}, 40, 10)
+	if buf.Len() != 0 {
+		t.Fatal("empty series should render nothing")
+	}
+}
+
+func TestProject(t *testing.T) {
+	if p := project(5, 0, 10, false); p != 0.5 {
+		t.Fatalf("linear midpoint: %v", p)
+	}
+	if p := project(10, 1, 100, true); p < 0.49 || p > 0.51 {
+		t.Fatalf("log midpoint: %v", p)
+	}
+}

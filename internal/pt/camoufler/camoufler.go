@@ -1,0 +1,576 @@
+// Package camoufler implements the IM-app tunneling transport: censored
+// bytes travel as instant messages between the client's IM account and a
+// proxy-side account, relayed by the IM provider's servers. The censor
+// sees only end-to-end-encrypted IM traffic.
+//
+// The performance-defining constraints from the paper are implemented
+// literally:
+//
+//   - content is chunked into IM messages of bounded size,
+//   - the provider rate-limits messages per account (the API limits the
+//     paper blames for camoufler's 12.8 s web and 173 s/50 MB results),
+//   - each message pays a server-side delivery latency,
+//   - a small per-message loss probability models dropped messages: with
+//     no retransmission the tunnel stalls, the paper's ~10% outright
+//     failures,
+//   - only one stream can use the account pair at a time, which is why
+//     the paper could not evaluate camoufler under selenium.
+//
+// camoufler is an integration-set-2 transport.
+package camoufler
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"ptperf/internal/netem"
+	"ptperf/internal/pt"
+)
+
+// Defaults tuned to public IM API limits: messages deliver with high
+// latency (IM servers fan out through their own infrastructure) but the
+// API sustains a moderate message rate, so camoufler's bulk throughput
+// is tolerable while its interactive latency is poor — exactly the
+// paper's finding (12.8 s web access yet 173 s for a 50 MB file).
+const (
+	// DefaultMessageCap is the payload per IM message.
+	DefaultMessageCap = 4 << 10
+	// DefaultRatePerSec is the per-account message rate limit.
+	DefaultRatePerSec = 64
+	// DefaultDeliveryDelay is the provider's per-message delivery
+	// latency (pipelined, FIFO).
+	DefaultDeliveryDelay = 600 * time.Millisecond
+	// DefaultLossProb is the chance one message never arrives.
+	DefaultLossProb = 0.0006
+)
+
+// Config parameterizes the tunnel.
+type Config struct {
+	// MessageCap overrides DefaultMessageCap.
+	MessageCap int
+	// RatePerSec overrides DefaultRatePerSec.
+	RatePerSec float64
+	// DeliveryDelay overrides DefaultDeliveryDelay.
+	DeliveryDelay time.Duration
+	// LossProb overrides DefaultLossProb (negative disables loss).
+	LossProb float64
+	// Seed drives loss draws.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MessageCap <= 0 {
+		c.MessageCap = DefaultMessageCap
+	}
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = DefaultRatePerSec
+	}
+	if c.DeliveryDelay <= 0 {
+		c.DeliveryDelay = DefaultDeliveryDelay
+	}
+	if c.LossProb == 0 {
+		c.LossProb = DefaultLossProb
+	}
+	if c.LossProb < 0 {
+		c.LossProb = 0
+	}
+	return c
+}
+
+// Message frame on IM-server connections:
+//
+//	[2B total len][1B to-len][to][8B seq][payload]
+func writeMessage(w io.Writer, to string, seq uint64, payload []byte) error {
+	if len(to) > 255 {
+		return errors.New("camoufler: account name too long")
+	}
+	buf := make([]byte, 2+1+len(to)+8+len(payload))
+	binary.BigEndian.PutUint16(buf, uint16(1+len(to)+8+len(payload)))
+	buf[2] = byte(len(to))
+	copy(buf[3:], to)
+	binary.BigEndian.PutUint64(buf[3+len(to):], seq)
+	copy(buf[3+len(to)+8:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readMessage(r io.Reader) (to string, seq uint64, payload []byte, err error) {
+	var lenBuf [2]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return
+	}
+	n := int(binary.BigEndian.Uint16(lenBuf[:]))
+	buf := make([]byte, n)
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return
+	}
+	if n < 9 {
+		err = errors.New("camoufler: short message")
+		return
+	}
+	toLen := int(buf[0])
+	if 1+toLen+8 > n {
+		err = errors.New("camoufler: malformed message")
+		return
+	}
+	to = string(buf[1 : 1+toLen])
+	seq = binary.BigEndian.Uint64(buf[1+toLen : 1+toLen+8])
+	payload = buf[1+toLen+8:]
+	return
+}
+
+// IMServer is the instant-messaging provider: accounts connect, send
+// rate-limited messages, and receive messages addressed to them.
+type IMServer struct {
+	cfg Config
+	ln  *netem.Listener
+	net *netem.Network
+
+	mu       sync.Mutex
+	accounts map[string]*account
+	rng      *rand.Rand
+}
+
+type account struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	// sendFree enforces the per-account API rate limit (virtual time
+	// at which the account may send its next message).
+	sendFree time.Duration
+	// deliver is the inbound queue: messages wait out the provider's
+	// delivery latency here, pipelined but FIFO.
+	deliver chan delivery
+}
+
+// delivery is one queued message with its delivery due time.
+type delivery struct {
+	from    string
+	seq     uint64
+	payload []byte
+	at      time.Duration
+	stop    bool
+}
+
+// StartIMServer runs the provider on host:port.
+func StartIMServer(host *netem.Host, port int, cfg Config) (*IMServer, error) {
+	ln, err := host.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	s := &IMServer{
+		cfg:      cfg.withDefaults(),
+		ln:       ln,
+		net:      host.Network(),
+		accounts: make(map[string]*account),
+		rng:      rand.New(rand.NewSource(cfg.Seed + 2)),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the provider's contact address.
+func (s *IMServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the provider.
+func (s *IMServer) Close() error { return s.ln.Close() }
+
+func (s *IMServer) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveConn(c)
+	}
+}
+
+// serveConn handles one logged-in account: the first message names the
+// account ("login"), subsequent frames are relayed.
+func (s *IMServer) serveConn(c net.Conn) {
+	name, _, _, err := readMessage(c)
+	if err != nil {
+		c.Close()
+		return
+	}
+	clock := s.net.Clock()
+	acct := &account{conn: c, deliver: make(chan delivery, 512)}
+	go func() {
+		// Pipelined FIFO delivery: each message waits out its due time.
+		for d := range acct.deliver {
+			if d.stop {
+				return
+			}
+			clock.SleepUntil(d.at)
+			acct.wmu.Lock()
+			err := writeMessage(acct.conn, d.from, d.seq, d.payload)
+			acct.wmu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+	}()
+	s.mu.Lock()
+	s.accounts[name] = acct
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if s.accounts[name] == acct {
+			delete(s.accounts, name)
+		}
+		s.mu.Unlock()
+		// Stop the delivery goroutine; the channel stays open so late
+		// producers never panic (their sends fall into the buffer or
+		// the drop default).
+		select {
+		case acct.deliver <- delivery{stop: true}:
+		default:
+		}
+		c.Close()
+	}()
+
+	perMsg := time.Duration(float64(time.Second) / s.cfg.RatePerSec)
+	for {
+		to, seq, payload, err := readMessage(c)
+		if err != nil {
+			return
+		}
+		// API rate limit: the sender's next slot.
+		s.mu.Lock()
+		now := clock.Now()
+		if acct.sendFree < now {
+			acct.sendFree = now
+		}
+		wait := acct.sendFree - now
+		acct.sendFree += perMsg
+		dropped := s.cfg.LossProb > 0 && s.rng.Float64() < s.cfg.LossProb
+		dst := s.accounts[to]
+		s.mu.Unlock()
+
+		if wait > 0 {
+			clock.Sleep(wait)
+		}
+		if dropped || dst == nil {
+			continue
+		}
+		d := delivery{from: name, seq: seq, at: clock.Now() + s.cfg.DeliveryDelay}
+		d.payload = append([]byte(nil), payload...)
+		select {
+		case dst.deliver <- d:
+		default:
+			// Queue overflow behaves like a dropped message.
+		}
+	}
+}
+
+// imConn is one end of the IM tunnel: a net.Conn whose bytes travel as
+// messages between two accounts.
+type imConn struct {
+	cap     int
+	self    string
+	peer    string
+	conn    net.Conn // to the IM server
+	wmu     sync.Mutex
+	sendSeq uint64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	recvBuf []byte
+	rnext   uint64
+	held    map[uint64][]byte
+	closed  bool
+	rdl     time.Time
+	onClose func()
+}
+
+func newIMConn(conn net.Conn, self, peer string, capBytes int) *imConn {
+	// Data messages carry seq ≥ 1 (seq 0 is the login frame).
+	ic := &imConn{cap: capBytes, self: self, peer: peer, conn: conn, held: make(map[uint64][]byte), rnext: 1}
+	ic.cond = sync.NewCond(&ic.mu)
+	go ic.recvLoop()
+	return ic
+}
+
+// login announces the account to the provider.
+func (ic *imConn) login() error {
+	ic.wmu.Lock()
+	defer ic.wmu.Unlock()
+	return writeMessage(ic.conn, ic.self, 0, nil)
+}
+
+func (ic *imConn) recvLoop() {
+	for {
+		_, seq, payload, err := readMessage(ic.conn)
+		if err != nil {
+			ic.mu.Lock()
+			ic.closed = true
+			ic.cond.Broadcast()
+			ic.mu.Unlock()
+			return
+		}
+		ic.mu.Lock()
+		if seq == ic.rnext {
+			ic.recvBuf = append(ic.recvBuf, payload...)
+			ic.rnext++
+			for {
+				held, ok := ic.held[ic.rnext]
+				if !ok {
+					break
+				}
+				delete(ic.held, ic.rnext)
+				ic.recvBuf = append(ic.recvBuf, held...)
+				ic.rnext++
+			}
+			ic.cond.Broadcast()
+		} else if seq > ic.rnext {
+			// Out-of-order delivery; a lost message leaves a
+			// permanent gap and the stream stalls (no retransmit).
+			ic.held[seq] = append([]byte(nil), payload...)
+		}
+		ic.mu.Unlock()
+	}
+}
+
+// Read implements net.Conn.
+func (ic *imConn) Read(p []byte) (int, error) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	for len(ic.recvBuf) == 0 {
+		if ic.closed {
+			return 0, io.EOF
+		}
+		if !ic.rdl.IsZero() && !time.Now().Before(ic.rdl) {
+			return 0, errIMTimeout
+		}
+		if ic.rdl.IsZero() {
+			ic.cond.Wait()
+		} else {
+			timer := time.AfterFunc(time.Until(ic.rdl), func() {
+				ic.mu.Lock()
+				ic.cond.Broadcast()
+				ic.mu.Unlock()
+			})
+			ic.cond.Wait()
+			timer.Stop()
+		}
+	}
+	n := copy(p, ic.recvBuf)
+	ic.recvBuf = ic.recvBuf[n:]
+	return n, nil
+}
+
+// Write implements net.Conn: chunk into messages.
+func (ic *imConn) Write(p []byte) (int, error) {
+	ic.wmu.Lock()
+	defer ic.wmu.Unlock()
+	written := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > ic.cap {
+			n = ic.cap
+		}
+		ic.sendSeq++
+		if err := writeMessage(ic.conn, ic.peer, ic.sendSeq, p[:n]); err != nil {
+			return written, err
+		}
+		written += n
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// Close implements net.Conn.
+func (ic *imConn) Close() error {
+	ic.mu.Lock()
+	wasClosed := ic.closed
+	ic.closed = true
+	ic.cond.Broadcast()
+	onClose := ic.onClose
+	ic.onClose = nil
+	ic.mu.Unlock()
+	if !wasClosed && onClose != nil {
+		onClose()
+	}
+	return ic.conn.Close()
+}
+
+// LocalAddr implements net.Conn.
+func (ic *imConn) LocalAddr() net.Addr { return imAddr(ic.self) }
+
+// RemoteAddr implements net.Conn.
+func (ic *imConn) RemoteAddr() net.Addr { return imAddr(ic.peer) }
+
+// SetDeadline implements net.Conn.
+func (ic *imConn) SetDeadline(t time.Time) error { return ic.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (ic *imConn) SetReadDeadline(t time.Time) error {
+	ic.mu.Lock()
+	ic.rdl = t
+	ic.cond.Broadcast()
+	ic.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn as a no-op.
+func (ic *imConn) SetWriteDeadline(time.Time) error { return nil }
+
+type imAddr string
+
+func (imAddr) Network() string  { return "im" }
+func (a imAddr) String() string { return string(a) }
+
+type imTimeout struct{}
+
+func (imTimeout) Error() string   { return "camoufler: i/o timeout" }
+func (imTimeout) Timeout() bool   { return true }
+func (imTimeout) Temporary() bool { return true }
+
+var errIMTimeout = imTimeout{}
+
+// Proxy is the uncensored-side camoufler endpoint: it logs into the
+// proxy account and serves each client session.
+type Proxy struct {
+	cfg    Config
+	host   *netem.Host
+	imAddr string
+	acct   string
+	handle pt.StreamHandler
+
+	mu     sync.Mutex
+	closed bool
+	conns  []net.Conn
+}
+
+// StartProxy launches the proxy side. Each client session uses a fresh
+// account pair "<base>-cN" / "<base>-pN"; the proxy pre-registers its
+// account when the client announces the session (first message on the
+// control account).
+//
+// For simulation simplicity the proxy listens on a family of accounts:
+// clients derive the pair from their session number.
+func StartProxy(host *netem.Host, imServerAddr, accountBase string, cfg Config, handle pt.StreamHandler) (*Proxy, error) {
+	p := &Proxy{
+		cfg:    cfg.withDefaults(),
+		host:   host,
+		imAddr: imServerAddr,
+		acct:   accountBase,
+		handle: handle,
+	}
+	return p, nil
+}
+
+// serveSession logs the proxy account for session n in and handles it.
+func (p *Proxy) serveSession(n uint64) error {
+	conn, err := p.host.Dial(p.imAddr)
+	if err != nil {
+		return err
+	}
+	self := fmt.Sprintf("%s-p%d", p.acct, n)
+	peer := fmt.Sprintf("%s-c%d", p.acct, n)
+	ic := newIMConn(conn, self, peer, p.cfg.MessageCap)
+	if err := ic.login(); err != nil {
+		ic.Close()
+		return err
+	}
+	p.mu.Lock()
+	p.conns = append(p.conns, ic)
+	p.mu.Unlock()
+	go func() {
+		target, err := pt.ReadTarget(ic)
+		if err != nil {
+			ic.Close()
+			return
+		}
+		p.handle(target, ic)
+	}()
+	return nil
+}
+
+// Close shuts down proxy-side sessions.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for _, c := range p.conns {
+		c.Close()
+	}
+	return nil
+}
+
+// Dialer is the camoufler client. It admits a single concurrent stream:
+// concurrent Dial calls fail, mirroring the paper's observation that
+// camoufler cannot serve selenium's parallel requests.
+type Dialer struct {
+	cfg    Config
+	host   *netem.Host
+	imAddr string
+	acct   string
+	proxy  *Proxy
+
+	mu      sync.Mutex
+	session uint64
+	active  bool
+}
+
+// ErrBusy reports a second concurrent stream on the account pair.
+var ErrBusy = errors.New("camoufler: account pair already carries a stream")
+
+// NewDialer returns the camoufler client bound to the proxy deployment.
+func NewDialer(host *netem.Host, imServerAddr, accountBase string, cfg Config, proxy *Proxy) *Dialer {
+	return &Dialer{
+		cfg:    cfg.withDefaults(),
+		host:   host,
+		imAddr: imServerAddr,
+		acct:   accountBase,
+		proxy:  proxy,
+	}
+}
+
+// Dial implements pt.Dialer.
+func (d *Dialer) Dial(target string) (net.Conn, error) {
+	d.mu.Lock()
+	if d.active {
+		d.mu.Unlock()
+		return nil, ErrBusy
+	}
+	d.active = true
+	d.session++
+	n := d.session
+	d.mu.Unlock()
+
+	release := func() {
+		d.mu.Lock()
+		d.active = false
+		d.mu.Unlock()
+	}
+
+	// The proxy side brings its account online for this session.
+	if err := d.proxy.serveSession(n); err != nil {
+		release()
+		return nil, err
+	}
+	conn, err := d.host.Dial(d.imAddr)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	self := fmt.Sprintf("%s-c%d", d.acct, n)
+	peer := fmt.Sprintf("%s-p%d", d.acct, n)
+	ic := newIMConn(conn, self, peer, d.cfg.MessageCap)
+	ic.onClose = release
+	if err := ic.login(); err != nil {
+		ic.Close()
+		return nil, err
+	}
+	if err := pt.WriteTarget(ic, target); err != nil {
+		ic.Close()
+		return nil, err
+	}
+	return ic, nil
+}

@@ -1,0 +1,98 @@
+package pt
+
+// This file reproduces the appendix's Table 2: the 28 circumvention
+// systems the paper surveyed, of which only the 12 in Infos could be
+// run and measured.
+
+// AdoptionStatus is the paper's four-way grouping by Tor-project
+// adoption.
+type AdoptionStatus int
+
+// Adoption categories of Table 2.
+const (
+	// Bundled transports ship in the Tor Browser.
+	Bundled AdoptionStatus = iota
+	// UnderDeployment transports are listed by the Tor project and in
+	// testing.
+	UnderDeployment
+	// ListedUndeployed transports are listed but not deployed.
+	ListedUndeployed
+	// Unlisted transports are not under Tor-project consideration.
+	Unlisted
+)
+
+func (s AdoptionStatus) String() string {
+	switch s {
+	case Bundled:
+		return "bundled in Tor Browser"
+	case UnderDeployment:
+		return "listed, under deployment/testing"
+	case ListedUndeployed:
+		return "listed, undeployed"
+	default:
+		return "neither listed nor deployed"
+	}
+}
+
+// Candidate is one row of Table 2.
+type Candidate struct {
+	// Name is the system's name.
+	Name string
+	// Status is the adoption grouping.
+	Status AdoptionStatus
+	// CodeAvailable reports public source availability.
+	CodeAvailable bool
+	// Functional reports whether the paper could run it.
+	Functional bool
+	// Integratable reports whether it could be wired into Tor.
+	Integratable bool
+	// Evaluated reports whether it is one of the 12 measured PTs.
+	Evaluated bool
+	// Challenge summarizes the implementation obstacle, if any.
+	Challenge string
+	// Technology is the underlying circumvention primitive.
+	Technology string
+}
+
+// Candidates lists all 28 systems of Table 2 in the paper's order.
+var Candidates = []Candidate{
+	{"obfs4", Bundled, true, true, true, true, "none", "random obfuscation"},
+	{"meek", Bundled, true, true, true, true, "requires CDN with domain fronting", "domain fronting"},
+	{"snowflake", Bundled, true, true, true, true, "dependency on domain fronting", "WebRTC"},
+	{"dnstt", UnderDeployment, true, true, true, true, "none", "DoH/DoT tunneling"},
+	{"conjure", UnderDeployment, true, true, true, true, "needs ISP support", "decoy routing"},
+	{"webtunnel", UnderDeployment, true, true, true, true, "none", "tunneling over HTTP"},
+	{"torcloak", UnderDeployment, false, false, false, false, "code not public", "tunneling over WebRTC"},
+	{"marionette", ListedUndeployed, true, true, true, true, "Python 2.7 dependencies", "traffic obfuscation"},
+	{"shadowsocks", ListedUndeployed, true, true, true, true, "none", "traffic obfuscation"},
+	{"stegotorus", ListedUndeployed, true, true, true, true, "none", "steganographic obfuscation"},
+	{"psiphon", ListedUndeployed, true, true, true, true, "none", "proxy-based"},
+	{"lampshade", ListedUndeployed, true, false, false, false, "no ready-to-deploy code", "obfuscated encryption"},
+	{"cloak", Unlisted, true, true, true, true, "none", "traffic obfuscation"},
+	{"camoufler", Unlisted, true, true, true, true, "dependency on IM accounts", "tunneling over IM"},
+	{"massbrowser", Unlisted, true, true, true, false, "requires per-device invite code", "domain fronting + browser proxy"},
+	{"protozoa", Unlisted, true, false, false, false, "code compilation issues", "tunneling over WebRTC"},
+	{"stegozoa", Unlisted, true, false, false, false, "only text over sockets", "tunneling over WebRTC"},
+	{"sweet", Unlisted, true, false, false, false, "dependency issues", "tunneling over email"},
+	{"deltashaper", Unlisted, true, false, false, false, "requires unsupported Skype", "tunneling over video"},
+	{"rook", Unlisted, true, true, false, false, "messaging only, no proxy", "hiding in game traffic"},
+	{"facet", Unlisted, true, false, false, false, "requires unsupported Skype", "tunneling over video"},
+	{"mailet", Unlisted, true, true, false, false, "Twitter only, no proxy", "tunneling over email"},
+	{"minecruft-pt", Unlisted, true, false, false, false, "source-code issues", "hiding in game traffic"},
+	{"cloudtransport", Unlisted, false, false, false, false, "code not public", "tunneling over cloud storage"},
+	{"covertcast", Unlisted, false, false, false, false, "code not public", "tunneling over video streaming"},
+	{"freewave", Unlisted, false, false, false, false, "code not public", "tunneling over VoIP"},
+	{"balboa", Unlisted, false, false, false, false, "code not public", "traffic-model obfuscation"},
+	{"domain-shadowing", Unlisted, false, false, false, false, "code not public", "domain shadowing"},
+}
+
+// EvaluatedCount reports how many candidates the paper measured.
+func EvaluatedCount() int {
+	n := 0
+	for _, c := range Candidates {
+		if c.Evaluated {
+			n++
+		}
+	}
+	return n
+}

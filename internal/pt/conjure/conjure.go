@@ -1,0 +1,291 @@
+// Package conjure implements the refraction-networking transport: the
+// client first registers a session with the conjure registrar, then
+// connects to a phantom IP in the deploying ISP's unused address space.
+// The ISP's station recognizes the registered flow and proxies it to the
+// Tor bridge; a censor sees a TLS connection to an address that hosts
+// nothing.
+//
+// The simulation keeps the measurable structure: one registration round
+// trip, one phantom dial through the station (an extra forwarding point
+// inside the ISP), and an encrypted session bound to the registration.
+// conjure is an integration-set-1 transport (bridge = guard).
+package conjure
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+
+	"ptperf/internal/netem"
+	"ptperf/internal/pt"
+)
+
+const nonceLen = 32
+
+// Errors reported by the conjure control plane.
+var (
+	// ErrNotRegistered means a phantom flow arrived with no matching
+	// registration.
+	ErrNotRegistered = errors.New("conjure: flow not registered")
+	// ErrAuth reports a bad registration MAC.
+	ErrAuth = errors.New("conjure: registration authentication failed")
+)
+
+// Config carries the transport parameters.
+type Config struct {
+	// Secret is the shared secret between clients and the station
+	// (standing in for the station's public key).
+	Secret []byte
+	// Seed drives nonce generation.
+	Seed int64
+}
+
+// Infra is the ISP-side deployment: registrar plus station.
+type Infra struct {
+	cfg        Config
+	bridgeAddr string
+	stationHst *netem.Host
+
+	regLn     *netem.Listener
+	phantomLn *netem.Listener
+
+	mu         sync.Mutex
+	registered map[[nonceLen]byte]bool
+}
+
+// StartInfra deploys the registrar on registrarHost:regPort and the
+// station's phantom subnet on stationHost:phantomPort. Valid flows are
+// proxied to bridgeAddr.
+func StartInfra(registrarHost, stationHost *netem.Host, regPort, phantomPort int, cfg Config, bridgeAddr string) (*Infra, error) {
+	if len(cfg.Secret) == 0 {
+		return nil, errors.New("conjure: infra needs a secret")
+	}
+	regLn, err := registrarHost.Listen(regPort)
+	if err != nil {
+		return nil, err
+	}
+	phantomLn, err := stationHost.Listen(phantomPort)
+	if err != nil {
+		regLn.Close()
+		return nil, err
+	}
+	inf := &Infra{
+		cfg:        cfg,
+		bridgeAddr: bridgeAddr,
+		stationHst: stationHost,
+		regLn:      regLn,
+		phantomLn:  phantomLn,
+		registered: make(map[[nonceLen]byte]bool),
+	}
+	go inf.serveRegistrar()
+	go inf.serveStation()
+	return inf, nil
+}
+
+// RegistrarAddr returns the registrar's contact address.
+func (inf *Infra) RegistrarAddr() string { return inf.regLn.Addr().String() }
+
+// PhantomAddr returns the phantom address clients dial.
+func (inf *Infra) PhantomAddr() string { return inf.phantomLn.Addr().String() }
+
+// Close stops the infrastructure.
+func (inf *Infra) Close() error {
+	inf.regLn.Close()
+	return inf.phantomLn.Close()
+}
+
+func (inf *Infra) mac(nonce []byte) []byte {
+	m := hmac.New(sha256.New, inf.cfg.Secret)
+	m.Write(nonce)
+	return m.Sum(nil)[:16]
+}
+
+// serveRegistrar accepts registrations: nonce ‖ MAC → ack.
+func (inf *Infra) serveRegistrar() {
+	for {
+		c, err := inf.regLn.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			msg := make([]byte, nonceLen+16)
+			if _, err := io.ReadFull(c, msg); err != nil {
+				return
+			}
+			var nonce [nonceLen]byte
+			copy(nonce[:], msg[:nonceLen])
+			if !hmac.Equal(inf.mac(nonce[:]), msg[nonceLen:]) {
+				return // drop silently, like a real registrar
+			}
+			inf.mu.Lock()
+			inf.registered[nonce] = true
+			inf.mu.Unlock()
+			c.Write([]byte{0x01}) // ack
+		}(c)
+	}
+}
+
+// serveStation accepts phantom flows, validates their registration and
+// splices them to the bridge.
+func (inf *Infra) serveStation() {
+	for {
+		c, err := inf.phantomLn.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			hello := make([]byte, nonceLen)
+			if _, err := io.ReadFull(c, hello); err != nil {
+				c.Close()
+				return
+			}
+			var nonce [nonceLen]byte
+			copy(nonce[:], hello)
+			inf.mu.Lock()
+			ok := inf.registered[nonce]
+			delete(inf.registered, nonce)
+			inf.mu.Unlock()
+			if !ok {
+				// Unregistered flows to phantom IPs look like scans;
+				// the station lets them time out.
+				c.Close()
+				return
+			}
+			down, err := inf.stationHst.Dial(inf.bridgeAddr)
+			if err != nil {
+				c.Close()
+				return
+			}
+			// Forward the nonce so the bridge can derive the session key.
+			if _, err := down.Write(nonce[:]); err != nil {
+				c.Close()
+				down.Close()
+				return
+			}
+			pt.Splice(c, down)
+		}(c)
+	}
+}
+
+func sessionKey(secret, nonce []byte) []byte {
+	h := sha256.New()
+	h.Write(secret)
+	h.Write(nonce)
+	h.Write([]byte("conjure-session"))
+	return h.Sum(nil)
+}
+
+// StartBridge runs the conjure bridge (the PT server proper, co-located
+// with the guard) on host:port.
+func StartBridge(host *netem.Host, port int, cfg Config, handle pt.StreamHandler) (pt.Server, error) {
+	if len(cfg.Secret) == 0 {
+		return nil, errors.New("conjure: bridge needs a secret")
+	}
+	var mu sync.Mutex
+	seed := cfg.Seed
+	return pt.ListenAndServe(host, port, func(conn net.Conn) (net.Conn, error) {
+		nonce := make([]byte, nonceLen)
+		if _, err := io.ReadFull(conn, nonce); err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		seed++
+		s := seed
+		mu.Unlock()
+		return pt.NewRecordConn(conn, pt.RecordConfig{
+			Key:      sessionKey(cfg.Secret, nonce),
+			IsClient: false,
+			Header:   []byte{0x17, 0x03, 0x03},
+			Seed:     s,
+		})
+	}, handle)
+}
+
+// Dialer is the conjure client.
+type Dialer struct {
+	host          *netem.Host
+	registrarAddr string
+	phantomAddr   string
+	cfg           Config
+
+	mu   sync.Mutex
+	seed int64
+}
+
+// NewDialer returns a conjure client using the given infrastructure.
+func NewDialer(host *netem.Host, registrarAddr, phantomAddr string, cfg Config) *Dialer {
+	return &Dialer{
+		host:          host,
+		registrarAddr: registrarAddr,
+		phantomAddr:   phantomAddr,
+		cfg:           cfg,
+		seed:          cfg.Seed + 86028157,
+	}
+}
+
+// Dial implements pt.Dialer: register, dial the phantom, speak the
+// encrypted session.
+func (d *Dialer) Dial(target string) (net.Conn, error) {
+	if len(d.cfg.Secret) == 0 {
+		return nil, errors.New("conjure: dialer needs a secret")
+	}
+	d.mu.Lock()
+	d.seed++
+	s := d.seed
+	d.mu.Unlock()
+	rng := rand.New(rand.NewSource(s))
+	nonce := make([]byte, nonceLen)
+	for i := range nonce {
+		nonce[i] = byte(rng.Intn(256))
+	}
+	mac := hmac.New(sha256.New, d.cfg.Secret)
+	mac.Write(nonce)
+
+	// Registration round trip.
+	reg, err := d.host.Dial(d.registrarAddr)
+	if err != nil {
+		return nil, fmt.Errorf("conjure: registrar unreachable: %w", err)
+	}
+	msg := append(append([]byte{}, nonce...), mac.Sum(nil)[:16]...)
+	if _, err := reg.Write(msg); err != nil {
+		reg.Close()
+		return nil, err
+	}
+	ack := make([]byte, 1)
+	if _, err := io.ReadFull(reg, ack); err != nil {
+		reg.Close()
+		return nil, fmt.Errorf("conjure: registration rejected: %w", err)
+	}
+	reg.Close()
+
+	// Phantom dial through the station.
+	raw, err := d.host.Dial(d.phantomAddr)
+	if err != nil {
+		return nil, fmt.Errorf("conjure: phantom unreachable: %w", err)
+	}
+	if _, err := raw.Write(nonce); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	conn, err := pt.NewRecordConn(raw, pt.RecordConfig{
+		Key:      sessionKey(d.cfg.Secret, nonce),
+		IsClient: true,
+		Header:   []byte{0x17, 0x03, 0x03},
+		Seed:     s + 1,
+	})
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	if err := pt.WriteTarget(conn, target); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}

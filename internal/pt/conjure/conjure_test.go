@@ -1,0 +1,93 @@
+package conjure
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"ptperf/internal/geo"
+	"ptperf/internal/netem"
+)
+
+func testNet(t *testing.T) (*netem.Host, *netem.Host, *netem.Host, *netem.Host) {
+	t.Helper()
+	n := netem.New(netem.WithTimeScale(0.002), netem.WithSeed(33))
+	return n.MustAddHost(netem.HostConfig{Name: "client", Location: geo.Toronto}),
+		n.MustAddHost(netem.HostConfig{Name: "registrar", Location: geo.Frankfurt}),
+		n.MustAddHost(netem.HostConfig{Name: "station", Location: geo.Frankfurt}),
+		n.MustAddHost(netem.HostConfig{Name: "bridge", Location: geo.Frankfurt})
+}
+
+func TestRegistrationIsSingleUse(t *testing.T) {
+	client, reg, station, bridgeHost := testNet(t)
+	secret := []byte("s")
+	bridge, err := StartBridge(bridgeHost, 4443, Config{Secret: secret}, func(target string, conn net.Conn) {
+		defer conn.Close()
+		io.Copy(conn, conn)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+	inf, err := StartInfra(reg, station, 53000, 443, Config{Secret: secret}, bridge.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inf.Close()
+
+	d := NewDialer(client, inf.RegistrarAddr(), inf.PhantomAddr(), Config{Secret: secret, Seed: 5})
+	c1, err := d.Dial("t:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	// Replaying the same nonce against the phantom must be ignored:
+	// the station deleted the registration on first use. We simulate a
+	// replay by dialing the phantom with a fresh, unregistered nonce.
+	raw, err := client.Dial(inf.PhantomAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	raw.Write(make([]byte, nonceLen))
+	raw.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := raw.Read(make([]byte, 1)); err == nil {
+		t.Fatal("unregistered phantom flow must get nothing")
+	}
+}
+
+func TestBadRegistrationMACDropped(t *testing.T) {
+	client, reg, station, bridgeHost := testNet(t)
+	bridge, _ := StartBridge(bridgeHost, 4443, Config{Secret: []byte("s")}, func(string, net.Conn) {})
+	defer bridge.Close()
+	inf, err := StartInfra(reg, station, 53000, 443, Config{Secret: []byte("s")}, bridge.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inf.Close()
+
+	// A registrar client with the wrong secret never gets an ack.
+	d := NewDialer(client, inf.RegistrarAddr(), inf.PhantomAddr(), Config{Secret: []byte("wrong"), Seed: 6})
+	if _, err := d.Dial("t:1"); err == nil {
+		t.Fatal("registration with wrong secret must fail")
+	}
+}
+
+func TestSessionKeyDistinctPerNonce(t *testing.T) {
+	s := []byte("secret")
+	a := sessionKey(s, bytes.Repeat([]byte{1}, nonceLen))
+	b := sessionKey(s, bytes.Repeat([]byte{2}, nonceLen))
+	if bytes.Equal(a, b) {
+		t.Fatal("session keys must differ per nonce")
+	}
+}
+
+func TestInfraRequiresSecret(t *testing.T) {
+	_, reg, station, _ := testNet(t)
+	if _, err := StartInfra(reg, station, 53000, 443, Config{}, "x:1"); err == nil {
+		t.Fatal("infra without secret must fail")
+	}
+}

@@ -1,0 +1,746 @@
+// Package dnstt implements the DNS-over-HTTPS tunneling transport. To a
+// censor the client talks TLS to a public DoH resolver; in reality each
+// DNS query's label bytes carry upstream tunnel data and each response
+// carries downstream data. The constraints that the paper identifies as
+// dnstt's bottleneck are implemented literally:
+//
+//   - upstream capacity is one query's worth of encoded labels (~110 B),
+//   - downstream capacity is one DNS response, at most 512 B by default,
+//   - the client keeps a bounded number of in-flight polls, so the
+//     downstream rate is capped at inflight × respCap / RTT,
+//   - the resolver rate-limits heavy sessions, which is what makes bulk
+//     downloads unreliable (§4.6).
+//
+// dnstt is integration set 1 with an extra hop: client → recursive
+// resolver → dnstt server (authoritative) → Tor, i.e. four hops total.
+package dnstt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"ptperf/internal/netem"
+	"ptperf/internal/pt"
+)
+
+// Defaults mirroring the real system.
+const (
+	// DefaultQueryCap is the upstream payload per query (encoded
+	// labels of one DNS name).
+	DefaultQueryCap = 110
+	// DefaultRespCap is the downstream payload per response (the
+	// paper's 512-byte DoH response limit).
+	DefaultRespCap = 512
+	// DefaultInflight is the client's maximum outstanding polls
+	// (dnstt's turbotunnel layer keeps a deep window of queries).
+	DefaultInflight = 16
+	// DefaultBudgetMedian is the median of the lognormal per-session
+	// downstream byte budget after which the resolver cuts the session
+	// off. Web browsing rarely reaches it within one circuit's
+	// lifetime (a cut just forces a fresh circuit), but bulk downloads
+	// exhaust it mid-file — the paper's §4.6 failure mode.
+	DefaultBudgetMedian = 6 << 20
+)
+
+// Config parameterizes the tunnel.
+type Config struct {
+	// QueryCap overrides DefaultQueryCap.
+	QueryCap int
+	// RespCap overrides DefaultRespCap.
+	RespCap int
+	// Inflight overrides DefaultInflight.
+	Inflight int
+	// BudgetMedian overrides DefaultBudgetMedian; 0 keeps the default,
+	// negative disables throttling.
+	BudgetMedian int64
+	// ResolverDelay is the recursive resolver's per-query processing
+	// time.
+	ResolverDelay time.Duration
+	// Seed drives identifiers and budget draws.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueryCap <= 0 {
+		c.QueryCap = DefaultQueryCap
+	}
+	if c.RespCap <= 0 {
+		c.RespCap = DefaultRespCap
+	}
+	if c.Inflight <= 0 {
+		c.Inflight = DefaultInflight
+	}
+	if c.BudgetMedian == 0 {
+		c.BudgetMedian = DefaultBudgetMedian
+	}
+	if c.ResolverDelay <= 0 {
+		c.ResolverDelay = 4 * time.Millisecond
+	}
+	return c
+}
+
+// Frame layout (shared by the resolver hop and the authoritative hop):
+//
+//	query:    [2B total len][8B session][4B qseq][data]
+//	response: [2B total len][4B rseq][data]        (rseq 0xffffffff = empty poll answer)
+const (
+	sessionLen = 8
+	emptyRseq  = 0xffffffff
+	// emptyQseq marks data-less polls, which must not consume upstream
+	// sequence numbers.
+	emptyQseq = 0xffffffff
+)
+
+func writeFrame(w io.Writer, head []byte, data []byte) error {
+	buf := make([]byte, 2+len(head)+len(data))
+	binary.BigEndian.PutUint16(buf, uint16(len(head)+len(data)))
+	copy(buf[2:], head)
+	copy(buf[2+len(head):], data)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint16(lenBuf[:]))
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Resolver is the recursive DoH resolver hop.
+type Resolver struct {
+	cfg        Config
+	host       *netem.Host
+	serverAddr string
+	ln         *netem.Listener
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	sessions map[string]*sessionMeter
+}
+
+// sessionMeter tracks a tunnel session's downstream volume against its
+// drawn byte budget.
+type sessionMeter struct {
+	mu     sync.Mutex
+	bytes  int64
+	budget int64
+}
+
+// StartResolver runs a DoH resolver on host:port forwarding tunnel
+// queries to the authoritative dnstt server at serverAddr.
+func StartResolver(host *netem.Host, port int, cfg Config, serverAddr string) (*Resolver, error) {
+	ln, err := host.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	r := &Resolver{
+		cfg:        cfg.withDefaults(),
+		host:       host,
+		serverAddr: serverAddr,
+		ln:         ln,
+		rng:        rand.New(rand.NewSource(cfg.Seed + 29)),
+		sessions:   make(map[string]*sessionMeter),
+	}
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the resolver's contact address.
+func (r *Resolver) Addr() string { return r.ln.Addr().String() }
+
+// Close stops the resolver.
+func (r *Resolver) Close() error { return r.ln.Close() }
+
+func (r *Resolver) acceptLoop() {
+	for {
+		c, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		go r.serveConn(c)
+	}
+}
+
+// meter returns the byte meter for a session, drawing its budget on
+// first use.
+func (r *Resolver) meter(id string) *sessionMeter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.sessions[id]
+	if m == nil {
+		m = &sessionMeter{budget: 1 << 62}
+		if r.cfg.BudgetMedian > 0 {
+			b := int64(float64(r.cfg.BudgetMedian) * math.Exp(r.rng.NormFloat64()))
+			if b < r.cfg.BudgetMedian/8 {
+				b = r.cfg.BudgetMedian / 8
+			}
+			m.budget = b
+		}
+		r.sessions[id] = m
+	}
+	return m
+}
+
+// serveConn handles one client poll pipeline: query in, response out.
+// Each pipeline holds its own upstream connection so the client's
+// in-flight polls proceed in parallel, as independent DNS queries would.
+func (r *Resolver) serveConn(c net.Conn) {
+	defer c.Close()
+	clock := r.host.Network().Clock()
+	var up net.Conn
+	defer func() {
+		if up != nil {
+			up.Close()
+		}
+	}()
+	for {
+		q, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		if len(q) < sessionLen+4 {
+			return
+		}
+		m := r.meter(string(q[:sessionLen]))
+		// Recursive resolution work per query.
+		clock.Sleep(r.cfg.ResolverDelay)
+
+		m.mu.Lock()
+		over := m.bytes > m.budget
+		m.mu.Unlock()
+		if over {
+			// The resolver cuts the heavy session off: every pipeline
+			// of the session dies, the tunnel collapses, and the
+			// client has to build a fresh circuit (new session).
+			return
+		}
+		if up == nil {
+			up, err = r.host.Dial(r.serverAddr)
+			if err != nil {
+				return
+			}
+		}
+		if err := writeFrame(up, nil, q); err != nil {
+			return
+		}
+		resp, err := readFrame(up)
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		m.bytes += int64(len(resp))
+		m.mu.Unlock()
+		if _, err := c.Write(appendLen(resp)); err != nil {
+			return
+		}
+	}
+}
+
+func appendLen(frame []byte) []byte {
+	out := make([]byte, 2+len(frame))
+	binary.BigEndian.PutUint16(out, uint16(len(frame)))
+	copy(out[2:], frame)
+	return out
+}
+
+// Server is the authoritative dnstt endpoint, co-located with the guard.
+type Server struct {
+	cfg    Config
+	ln     *netem.Listener
+	handle pt.StreamHandler
+
+	mu       sync.Mutex
+	sessions map[string]*serverSession
+}
+
+// StartServer runs the dnstt server on host:port.
+func StartServer(host *netem.Host, port int, cfg Config, handle pt.StreamHandler) (*Server, error) {
+	ln, err := host.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg.withDefaults(), ln: ln, handle: handle, sessions: make(map[string]*serverSession)}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's contact address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.ln.Close() }
+
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveResolverConn(c)
+	}
+}
+
+// serverSession reassembles one client's tunnel.
+type serverSession struct {
+	srv *Server
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	upNext  uint32
+	upHeld  map[uint32][]byte
+	upBuf   []byte
+	downBuf []byte
+	rseq    uint32
+	closed  bool
+}
+
+func (s *Server) session(id string) *serverSession {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ss := s.sessions[id]; ss != nil {
+		return ss
+	}
+	ss := &serverSession{srv: s, upHeld: make(map[uint32][]byte)}
+	ss.cond = sync.NewCond(&ss.mu)
+	s.sessions[id] = ss
+	// The handler sees an ordinary stream; dnstt framing hides behind it.
+	go func() {
+		conn := &sessionConn{ss: ss}
+		target, err := pt.ReadTarget(conn)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		s.handle(target, conn)
+	}()
+	return ss
+}
+
+// serveResolverConn processes the per-session query pipe from the
+// resolver.
+func (s *Server) serveResolverConn(c net.Conn) {
+	defer c.Close()
+	for {
+		q, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		if len(q) < sessionLen+4 {
+			return
+		}
+		sid := string(q[:sessionLen])
+		qseq := binary.BigEndian.Uint32(q[sessionLen : sessionLen+4])
+		data := q[sessionLen+4:]
+		ss := s.session(sid)
+		ss.acceptUpstream(qseq, data)
+
+		// Answer with up to RespCap downstream bytes.
+		chunk, rseq := ss.takeDownstream(s.cfg.RespCap)
+		head := make([]byte, 4)
+		binary.BigEndian.PutUint32(head, rseq)
+		if err := writeFrame(c, head, chunk); err != nil {
+			return
+		}
+	}
+}
+
+// acceptUpstream reorders query payloads into the upstream byte stream.
+func (ss *serverSession) acceptUpstream(qseq uint32, data []byte) {
+	if qseq == emptyQseq {
+		return
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if len(data) > 0 {
+		if qseq == ss.upNext {
+			ss.upBuf = append(ss.upBuf, data...)
+			ss.upNext++
+			for {
+				held, ok := ss.upHeld[ss.upNext]
+				if !ok {
+					break
+				}
+				delete(ss.upHeld, ss.upNext)
+				ss.upBuf = append(ss.upBuf, held...)
+				ss.upNext++
+			}
+			ss.cond.Broadcast()
+		} else if qseq > ss.upNext {
+			ss.upHeld[qseq] = append([]byte(nil), data...)
+		}
+	}
+}
+
+// takeDownstream pops at most capBytes from the downstream queue.
+func (ss *serverSession) takeDownstream(capBytes int) ([]byte, uint32) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if len(ss.downBuf) == 0 {
+		return nil, emptyRseq
+	}
+	n := len(ss.downBuf)
+	if n > capBytes {
+		n = capBytes
+	}
+	chunk := append([]byte(nil), ss.downBuf[:n]...)
+	ss.downBuf = ss.downBuf[n:]
+	rseq := ss.rseq
+	ss.rseq++
+	ss.cond.Broadcast()
+	return chunk, rseq
+}
+
+// sessionConn is the handler-facing stream of one server session.
+type sessionConn struct{ ss *serverSession }
+
+// Read pulls reassembled upstream bytes.
+func (c *sessionConn) Read(p []byte) (int, error) {
+	ss := c.ss
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	for len(ss.upBuf) == 0 && !ss.closed {
+		ss.cond.Wait()
+	}
+	if ss.closed {
+		return 0, io.EOF
+	}
+	n := copy(p, ss.upBuf)
+	ss.upBuf = ss.upBuf[n:]
+	return n, nil
+}
+
+// Write queues downstream bytes, bounded so the tunnel applies
+// backpressure at roughly one window of responses.
+func (c *sessionConn) Write(p []byte) (int, error) {
+	ss := c.ss
+	maxQueue := 64 << 10
+	written := 0
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	for len(p) > 0 {
+		if ss.closed {
+			return written, errors.New("dnstt: session closed")
+		}
+		for len(ss.downBuf) >= maxQueue && !ss.closed {
+			ss.cond.Wait()
+		}
+		if ss.closed {
+			return written, errors.New("dnstt: session closed")
+		}
+		room := maxQueue - len(ss.downBuf)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		ss.downBuf = append(ss.downBuf, p[:n]...)
+		written += n
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// Close marks the session dead.
+func (c *sessionConn) Close() error {
+	c.ss.mu.Lock()
+	c.ss.closed = true
+	c.ss.cond.Broadcast()
+	c.ss.mu.Unlock()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *sessionConn) LocalAddr() net.Addr { return dnsAddr("dnstt-server") }
+
+// RemoteAddr implements net.Conn.
+func (c *sessionConn) RemoteAddr() net.Addr { return dnsAddr("dnstt-client") }
+
+// SetDeadline implements net.Conn (unsupported; polls pace the tunnel).
+func (c *sessionConn) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn.
+func (c *sessionConn) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn.
+func (c *sessionConn) SetWriteDeadline(time.Time) error { return nil }
+
+type dnsAddr string
+
+func (dnsAddr) Network() string  { return "dns" }
+func (a dnsAddr) String() string { return string(a) }
+
+// Dialer is the dnstt client.
+type Dialer struct {
+	cfg          Config
+	host         *netem.Host
+	resolverAddr string
+
+	mu   sync.Mutex
+	next int64
+}
+
+// NewDialer returns a dnstt client that tunnels through the resolver.
+func NewDialer(host *netem.Host, resolverAddr string, cfg Config) *Dialer {
+	return &Dialer{cfg: cfg.withDefaults(), host: host, resolverAddr: resolverAddr, next: cfg.Seed}
+}
+
+// Dial implements pt.Dialer.
+func (d *Dialer) Dial(target string) (net.Conn, error) {
+	d.mu.Lock()
+	d.next++
+	sid := make([]byte, sessionLen)
+	binary.BigEndian.PutUint64(sid, uint64(d.next)*2654435761)
+	d.mu.Unlock()
+
+	// Open the poll pipelines up front; each is one "DoH connection".
+	conns := make([]net.Conn, 0, d.cfg.Inflight)
+	for i := 0; i < d.cfg.Inflight; i++ {
+		c, err := d.host.Dial(d.resolverAddr)
+		if err != nil {
+			for _, cc := range conns {
+				cc.Close()
+			}
+			return nil, fmt.Errorf("dnstt: resolver unreachable: %w", err)
+		}
+		conns = append(conns, c)
+	}
+	t := &tunnelConn{
+		cfg:   d.cfg,
+		clock: d.host.Network().Clock(),
+		sid:   sid,
+		conns: conns,
+		held:  make(map[uint32][]byte),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	for _, c := range conns {
+		go t.pollLoop(c)
+	}
+	if err := pt.WriteTarget(t, target); err != nil {
+		t.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// tunnelConn is the client-side stream over the poll pipelines.
+type tunnelConn struct {
+	cfg   Config
+	clock *netem.Clock
+	sid   []byte
+	conns []net.Conn
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	upBuf   []byte
+	qseq    uint32
+	downBuf []byte
+	rnext   uint32
+	held    map[uint32][]byte
+	closed  bool
+	rdl     time.Time
+}
+
+// pollLoop drives one pipeline: send a query (data or empty poll), read
+// the response, deliver, pace.
+func (t *tunnelConn) pollLoop(c net.Conn) {
+	defer c.Close()
+	idlePoll := 50 * time.Millisecond
+	for {
+		data, qseq, hasData := t.takeUpstream()
+		if t.isClosed() {
+			return
+		}
+		head := make([]byte, sessionLen+4)
+		copy(head, t.sid)
+		binary.BigEndian.PutUint32(head[sessionLen:], qseq)
+		if err := writeFrame(c, head, data); err != nil {
+			t.fail()
+			return
+		}
+		resp, err := readFrame(c)
+		if err != nil {
+			t.fail()
+			return
+		}
+		if len(resp) < 4 {
+			t.fail()
+			return
+		}
+		rseq := binary.BigEndian.Uint32(resp[:4])
+		gotData := rseq != emptyRseq && len(resp) > 4
+		if gotData {
+			t.acceptDownstream(rseq, resp[4:])
+		}
+		if !hasData && !gotData {
+			// Idle: back off, like dnstt's poll pacing.
+			t.clock.Sleep(idlePoll)
+			if idlePoll < time.Second {
+				idlePoll += idlePoll / 2
+			}
+		} else {
+			idlePoll = 50 * time.Millisecond
+		}
+	}
+}
+
+// takeUpstream pops up to QueryCap pending upstream bytes.
+func (t *tunnelConn) takeUpstream() ([]byte, uint32, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, 0, false
+	}
+	if len(t.upBuf) == 0 {
+		return nil, emptyQseq, false
+	}
+	n := len(t.upBuf)
+	if n > t.cfg.QueryCap {
+		n = t.cfg.QueryCap
+	}
+	data := append([]byte(nil), t.upBuf[:n]...)
+	t.upBuf = t.upBuf[n:]
+	q := t.qseq
+	t.qseq++
+	t.cond.Broadcast()
+	return data, q, true
+}
+
+// acceptDownstream reorders response payloads into the read buffer.
+func (t *tunnelConn) acceptDownstream(rseq uint32, data []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rseq == t.rnext {
+		t.downBuf = append(t.downBuf, data...)
+		t.rnext++
+		for {
+			held, ok := t.held[t.rnext]
+			if !ok {
+				break
+			}
+			delete(t.held, t.rnext)
+			t.downBuf = append(t.downBuf, held...)
+			t.rnext++
+		}
+		t.cond.Broadcast()
+	} else if rseq > t.rnext {
+		t.held[rseq] = append([]byte(nil), data...)
+	}
+}
+
+func (t *tunnelConn) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+func (t *tunnelConn) fail() {
+	t.mu.Lock()
+	t.closed = true
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// Read implements net.Conn.
+func (t *tunnelConn) Read(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.downBuf) == 0 {
+		if t.closed {
+			return 0, io.EOF
+		}
+		if !t.rdl.IsZero() && !time.Now().Before(t.rdl) {
+			return 0, errTunnelTimeout
+		}
+		if t.rdl.IsZero() {
+			t.cond.Wait()
+		} else {
+			timer := time.AfterFunc(time.Until(t.rdl), func() {
+				t.mu.Lock()
+				t.cond.Broadcast()
+				t.mu.Unlock()
+			})
+			t.cond.Wait()
+			timer.Stop()
+		}
+	}
+	n := copy(p, t.downBuf)
+	t.downBuf = t.downBuf[n:]
+	return n, nil
+}
+
+// Write implements net.Conn: bytes queue for the poll loops, with a
+// bounded buffer supplying backpressure.
+func (t *tunnelConn) Write(p []byte) (int, error) {
+	const maxQueue = 32 << 10
+	written := 0
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(p) > 0 {
+		if t.closed {
+			return written, errors.New("dnstt: tunnel closed")
+		}
+		for len(t.upBuf) >= maxQueue && !t.closed {
+			t.cond.Wait()
+		}
+		if t.closed {
+			return written, errors.New("dnstt: tunnel closed")
+		}
+		room := maxQueue - len(t.upBuf)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		t.upBuf = append(t.upBuf, p[:n]...)
+		written += n
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// Close implements net.Conn.
+func (t *tunnelConn) Close() error {
+	t.fail()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (t *tunnelConn) LocalAddr() net.Addr { return dnsAddr("dnstt-client") }
+
+// RemoteAddr implements net.Conn.
+func (t *tunnelConn) RemoteAddr() net.Addr { return dnsAddr("dnstt-tunnel") }
+
+// SetDeadline implements net.Conn.
+func (t *tunnelConn) SetDeadline(dl time.Time) error { return t.SetReadDeadline(dl) }
+
+// SetReadDeadline implements net.Conn.
+func (t *tunnelConn) SetReadDeadline(dl time.Time) error {
+	t.mu.Lock()
+	t.rdl = dl
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn as a no-op.
+func (t *tunnelConn) SetWriteDeadline(time.Time) error { return nil }
+
+type tunnelTimeout struct{}
+
+func (tunnelTimeout) Error() string   { return "dnstt: i/o timeout" }
+func (tunnelTimeout) Timeout() bool   { return true }
+func (tunnelTimeout) Temporary() bool { return true }
+
+var errTunnelTimeout = tunnelTimeout{}

@@ -1,0 +1,127 @@
+package marionette
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := func(cover string, payload []byte) bool {
+		if len(cover) > 60000 || len(payload) > 60000 {
+			return true
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, cover, payload); err != nil {
+			return false
+		}
+		gotCover, gotPayload, fin, err := readFrame(&buf)
+		if err != nil || fin {
+			return false
+		}
+		return gotCover == cover && bytes.Equal(gotPayload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFin(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cover, payload, fin, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fin || payload != nil {
+		t.Fatalf("fin=%v payload=%v", fin, payload)
+	}
+	if cover != "QUIT\r\n" {
+		t.Fatalf("fin cover = %q", cover)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	cases := map[string]*Model{
+		"no start": {Data: "d", States: map[string][]Transition{"d": {{To: "d", Weight: 1}}}},
+		"missing start state": {Start: "s", Data: "d", States: map[string][]Transition{
+			"d": {{To: "d", Weight: 1}},
+		}},
+		"bad weight": {Start: "s", Data: "s", States: map[string][]Transition{
+			"s": {{To: "s", Weight: 0}},
+		}},
+		"dangling target": {Start: "s", Data: "s", States: map[string][]Transition{
+			"s": {{To: "nowhere", Weight: 1}},
+		}},
+	}
+	for name, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: expected validation failure", name)
+		}
+	}
+	if err := FTP().Validate(); err != nil {
+		t.Fatalf("FTP model invalid: %v", err)
+	}
+}
+
+func TestFTPWithCapacity(t *testing.T) {
+	m := FTPWithCapacity(64)
+	found := false
+	for _, tr := range m.States[m.Data] {
+		if tr.Act.Capacity == 64 {
+			found = true
+		}
+		if tr.Act.Capacity > 64 {
+			t.Fatalf("capacity leak: %d", tr.Act.Capacity)
+		}
+	}
+	if !found {
+		t.Fatal("no data transition with the requested capacity")
+	}
+	if m2 := FTPWithCapacity(0); m2.States[m2.Data][0].Act.Capacity != DefaultCapacity {
+		t.Fatal("zero capacity must fall back to the default")
+	}
+}
+
+func TestPickRespectsWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ts := []Transition{
+		{To: "a", Weight: 0.9},
+		{To: "b", Weight: 0.1},
+	}
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		counts[pick(rng, ts).To]++
+	}
+	if counts["a"] < 5*counts["b"] {
+		t.Fatalf("weighting off: %v", counts)
+	}
+}
+
+func TestModelStationaryThroughputBound(t *testing.T) {
+	// The FTP model's data loop can carry at most capacity bytes per
+	// min-delay transition: verify the advertised pacing is what makes
+	// marionette slow.
+	m := FTP()
+	var bestRate float64
+	for _, tr := range m.States[m.Data] {
+		if tr.Act.Capacity == 0 {
+			continue
+		}
+		rate := float64(tr.Act.Capacity) / tr.MinDelay.Seconds()
+		if rate > bestRate {
+			bestRate = rate
+		}
+	}
+	if bestRate > 64<<10 {
+		t.Fatalf("data loop too fast (%.0f B/s) to reproduce the paper's marionette", bestRate)
+	}
+	if bestRate < 1<<10 {
+		t.Fatalf("data loop too slow (%.0f B/s) to ever finish a page", bestRate)
+	}
+	_ = time.Second
+}

@@ -1,0 +1,657 @@
+// Package meek implements the domain-fronted HTTP polling transport.
+// The client sends HTTPS POSTs whose outer SNI names the CDN front
+// domain while the request inside is routed to the meek bridge; tunnel
+// bytes ride in POST bodies and responses. The cost structure the paper
+// measures is kept:
+//
+//   - every byte pays a store-and-forward hop through the CDN front,
+//   - the tunnel advances only at poll cadence — an idle client backs
+//     off its polling, so TTFB and interactive latency are high,
+//   - the public bridge is rate-limited by its maintainer, and
+//   - long sessions exhaust a bridge byte budget and are cut, which is
+//     why the paper could almost never pull a complete bulk file
+//     through meek (§4.6).
+//
+// meek is an integration-set-1 transport (bridge = guard).
+package meek
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"ptperf/internal/netem"
+	"ptperf/internal/pt"
+)
+
+// Defaults for the polling and policy model.
+const (
+	// DefaultChunk is the maximum body per POST or response.
+	DefaultChunk = 64 << 10
+	// DefaultMinPoll is the immediate re-poll interval when the tunnel
+	// is active.
+	DefaultMinPoll = 20 * time.Millisecond
+	// DefaultMaxPoll is the idle back-off ceiling.
+	DefaultMaxPoll = 5 * time.Second
+	// DefaultFrontDelay is the CDN's per-request processing time.
+	DefaultFrontDelay = 15 * time.Millisecond
+	// DefaultBridgeRate is the bridge maintainer's rate limit in bytes
+	// per virtual second.
+	DefaultBridgeRate = 1 << 20
+	// DefaultSessionBudgetMedian is the median of the lognormal bridge
+	// byte budget after which a session is cut.
+	DefaultSessionBudgetMedian = 3 << 20
+)
+
+// Config parameterizes meek.
+type Config struct {
+	// Chunk overrides DefaultChunk.
+	Chunk int
+	// MinPoll / MaxPoll override the polling cadence.
+	MinPoll, MaxPoll time.Duration
+	// FrontDelay overrides DefaultFrontDelay.
+	FrontDelay time.Duration
+	// BridgeRate overrides DefaultBridgeRate (bytes per virtual second).
+	BridgeRate float64
+	// SessionBudgetMedian overrides DefaultSessionBudgetMedian;
+	// negative disables the budget.
+	SessionBudgetMedian int64
+	// Seed drives randomized budgets.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Chunk <= 0 {
+		c.Chunk = DefaultChunk
+	}
+	if c.MinPoll <= 0 {
+		c.MinPoll = DefaultMinPoll
+	}
+	if c.MaxPoll <= 0 {
+		c.MaxPoll = DefaultMaxPoll
+	}
+	if c.FrontDelay <= 0 {
+		c.FrontDelay = DefaultFrontDelay
+	}
+	if c.BridgeRate <= 0 {
+		c.BridgeRate = DefaultBridgeRate
+	}
+	if c.SessionBudgetMedian == 0 {
+		c.SessionBudgetMedian = DefaultSessionBudgetMedian
+	}
+	return c
+}
+
+// Poll frame between client and front, and front and bridge:
+//
+//	request:  [8B session][4B len][body]
+//	response: [1B status][4B len][body]      status 0 = OK, 1 = session gone
+const (
+	statusOK   = 0
+	statusGone = 1
+)
+
+func writePoll(w io.Writer, sid uint64, body []byte) error {
+	buf := make([]byte, 12+len(body))
+	binary.BigEndian.PutUint64(buf, sid)
+	binary.BigEndian.PutUint32(buf[8:], uint32(len(body)))
+	copy(buf[12:], body)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readPoll(r io.Reader) (uint64, []byte, error) {
+	var head [12]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, nil, err
+	}
+	sid := binary.BigEndian.Uint64(head[:8])
+	n := binary.BigEndian.Uint32(head[8:])
+	if n > 1<<24 {
+		return 0, nil, errors.New("meek: oversized poll")
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return sid, body, nil
+}
+
+func writeReply(w io.Writer, status byte, body []byte) error {
+	buf := make([]byte, 5+len(body))
+	buf[0] = status
+	binary.BigEndian.PutUint32(buf[1:], uint32(len(body)))
+	copy(buf[5:], body)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readReply(r io.Reader) (byte, []byte, error) {
+	var head [5]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(head[1:])
+	if n > 1<<24 {
+		return 0, nil, errors.New("meek: oversized reply")
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return head[0], body, nil
+}
+
+// Front is the CDN edge: it terminates client TLS and forwards each
+// request to the bridge, adding its processing delay.
+type Front struct {
+	cfg        Config
+	host       *netem.Host
+	bridgeAddr string
+	ln         *netem.Listener
+}
+
+// StartFront runs the CDN front on host:port, forwarding to bridgeAddr.
+func StartFront(host *netem.Host, port int, cfg Config, bridgeAddr string) (*Front, error) {
+	ln, err := host.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	f := &Front{cfg: cfg.withDefaults(), host: host, bridgeAddr: bridgeAddr, ln: ln}
+	go f.acceptLoop()
+	return f, nil
+}
+
+// Addr returns the front's contact address (what the censor sees).
+func (f *Front) Addr() string { return f.ln.Addr().String() }
+
+// Close stops the front.
+func (f *Front) Close() error { return f.ln.Close() }
+
+func (f *Front) acceptLoop() {
+	for {
+		c, err := f.ln.Accept()
+		if err != nil {
+			return
+		}
+		go f.serveConn(c)
+	}
+}
+
+// serveConn relays one client's polling connection; the front keeps a
+// matching upstream connection to the bridge.
+func (f *Front) serveConn(c net.Conn) {
+	defer c.Close()
+	clock := f.host.Network().Clock()
+	up, err := f.host.Dial(f.bridgeAddr)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	for {
+		sid, body, err := readPoll(c)
+		if err != nil {
+			return
+		}
+		clock.Sleep(f.cfg.FrontDelay)
+		if err := writePoll(up, sid, body); err != nil {
+			return
+		}
+		status, reply, err := readReply(up)
+		if err != nil {
+			return
+		}
+		if err := writeReply(c, status, reply); err != nil {
+			return
+		}
+	}
+}
+
+// Bridge is the meek server co-located with the guard.
+type Bridge struct {
+	cfg    Config
+	host   *netem.Host
+	ln     *netem.Listener
+	handle pt.StreamHandler
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	sessions map[uint64]*bridgeSession
+	// rateFree is the virtual time the shared rate limiter frees up.
+	rateFree time.Duration
+}
+
+type bridgeSession struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	upBuf   []byte
+	downBuf []byte
+	budget  int64
+	served  int64
+	closed  bool
+	gone    bool
+}
+
+// StartBridge runs the meek bridge on host:port.
+func StartBridge(host *netem.Host, port int, cfg Config, handle pt.StreamHandler) (*Bridge, error) {
+	ln, err := host.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bridge{
+		cfg:      cfg.withDefaults(),
+		host:     host,
+		ln:       ln,
+		handle:   handle,
+		rng:      rand.New(rand.NewSource(cfg.Seed + 3)),
+		sessions: make(map[uint64]*bridgeSession),
+	}
+	go b.acceptLoop()
+	return b, nil
+}
+
+// Addr returns the bridge's contact address.
+func (b *Bridge) Addr() string { return b.ln.Addr().String() }
+
+// Close stops the bridge.
+func (b *Bridge) Close() error { return b.ln.Close() }
+
+func (b *Bridge) acceptLoop() {
+	for {
+		c, err := b.ln.Accept()
+		if err != nil {
+			return
+		}
+		go b.serveFrontConn(c)
+	}
+}
+
+// session fetches or creates the session state.
+func (b *Bridge) session(sid uint64) *bridgeSession {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s := b.sessions[sid]; s != nil {
+		return s
+	}
+	s := &bridgeSession{budget: b.drawBudget()}
+	s.cond = sync.NewCond(&s.mu)
+	b.sessions[sid] = s
+	go func() {
+		conn := &bridgeConn{s: s}
+		target, err := pt.ReadTarget(conn)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		b.handle(target, conn)
+	}()
+	return s
+}
+
+// drawBudget samples the lognormal session byte budget.
+func (b *Bridge) drawBudget() int64 {
+	if b.cfg.SessionBudgetMedian < 0 {
+		return 1 << 62
+	}
+	v := float64(b.cfg.SessionBudgetMedian) * math.Exp(b.rng.NormFloat64()*1.2)
+	if v < 64<<10 {
+		v = 64 << 10
+	}
+	return int64(v)
+}
+
+// reserveRate charges n bytes against the bridge-wide rate limit and
+// returns how long the caller must wait.
+func (b *Bridge) reserveRate(now time.Duration, n int) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rateFree < now {
+		b.rateFree = now
+	}
+	wait := b.rateFree - now
+	b.rateFree += time.Duration(float64(n) / b.cfg.BridgeRate * float64(time.Second))
+	return wait
+}
+
+// serveFrontConn processes polls arriving from the front.
+func (b *Bridge) serveFrontConn(c net.Conn) {
+	defer c.Close()
+	clock := b.host.Network().Clock()
+	for {
+		sid, body, err := readPoll(c)
+		if err != nil {
+			return
+		}
+		s := b.session(sid)
+
+		s.mu.Lock()
+		gone := s.gone
+		if !gone {
+			if len(body) > 0 {
+				s.upBuf = append(s.upBuf, body...)
+				s.cond.Broadcast()
+			}
+			s.served += int64(len(body))
+		}
+		s.mu.Unlock()
+		if gone {
+			if err := writeReply(c, statusGone, nil); err != nil {
+				return
+			}
+			continue
+		}
+
+		// Assemble the downstream chunk.
+		s.mu.Lock()
+		n := len(s.downBuf)
+		if n > b.cfg.Chunk {
+			n = b.cfg.Chunk
+		}
+		chunk := append([]byte(nil), s.downBuf[:n]...)
+		s.downBuf = s.downBuf[n:]
+		s.served += int64(n)
+		overBudget := s.served > s.budget
+		if overBudget {
+			s.gone = true
+			s.closed = true
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+
+		// Maintainer's rate limit applies to tunnelled bytes.
+		if wait := b.reserveRate(clock.Now(), len(chunk)); wait > 0 {
+			clock.Sleep(wait)
+		}
+		// The chunk that crossed the budget still ships; the session is
+		// gone from the next poll on.
+		if err := writeReply(c, statusOK, chunk); err != nil {
+			return
+		}
+	}
+}
+
+// bridgeConn is the handler-facing stream of one bridge session.
+type bridgeConn struct{ s *bridgeSession }
+
+// Read pulls upstream bytes.
+func (c *bridgeConn) Read(p []byte) (int, error) {
+	s := c.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.upBuf) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.upBuf) == 0 && s.closed {
+		return 0, io.EOF
+	}
+	n := copy(p, s.upBuf)
+	s.upBuf = s.upBuf[n:]
+	return n, nil
+}
+
+// Write queues downstream bytes with bounded buffering.
+func (c *bridgeConn) Write(p []byte) (int, error) {
+	s := c.s
+	const maxQueue = 256 << 10
+	written := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(p) > 0 {
+		for len(s.downBuf) >= maxQueue && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			return written, errors.New("meek: session closed by bridge")
+		}
+		room := maxQueue - len(s.downBuf)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		s.downBuf = append(s.downBuf, p[:n]...)
+		written += n
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// Close marks the session finished.
+func (c *bridgeConn) Close() error {
+	c.s.mu.Lock()
+	c.s.closed = true
+	c.s.cond.Broadcast()
+	c.s.mu.Unlock()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *bridgeConn) LocalAddr() net.Addr { return meekAddr("meek-bridge") }
+
+// RemoteAddr implements net.Conn.
+func (c *bridgeConn) RemoteAddr() net.Addr { return meekAddr("meek-client") }
+
+// SetDeadline implements net.Conn as a no-op (polling paces the tunnel).
+func (c *bridgeConn) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn.
+func (c *bridgeConn) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn.
+func (c *bridgeConn) SetWriteDeadline(time.Time) error { return nil }
+
+type meekAddr string
+
+func (meekAddr) Network() string  { return "meek" }
+func (a meekAddr) String() string { return string(a) }
+
+// Dialer is the meek client.
+type Dialer struct {
+	cfg       Config
+	host      *netem.Host
+	frontAddr string
+
+	mu   sync.Mutex
+	next uint64
+}
+
+// NewDialer returns a meek client that polls through the front.
+func NewDialer(host *netem.Host, frontAddr string, cfg Config) *Dialer {
+	return &Dialer{cfg: cfg.withDefaults(), host: host, frontAddr: frontAddr, next: uint64(cfg.Seed)*2654435761 + 1}
+}
+
+// Dial implements pt.Dialer.
+func (d *Dialer) Dial(target string) (net.Conn, error) {
+	d.mu.Lock()
+	d.next++
+	sid := d.next
+	d.mu.Unlock()
+
+	conn, err := d.host.Dial(d.frontAddr)
+	if err != nil {
+		return nil, fmt.Errorf("meek: front unreachable: %w", err)
+	}
+	t := &pollConn{
+		cfg:   d.cfg,
+		clock: d.host.Network().Clock(),
+		sid:   sid,
+		conn:  conn,
+	}
+	t.cond = sync.NewCond(&t.mu)
+	go t.pollLoop()
+	if err := pt.WriteTarget(t, target); err != nil {
+		t.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// pollConn is the client-side tunnel endpoint.
+type pollConn struct {
+	cfg   Config
+	clock *netem.Clock
+	sid   uint64
+	conn  net.Conn
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	upBuf   []byte
+	downBuf []byte
+	closed  bool
+	gone    bool
+	rdl     time.Time
+}
+
+// pollLoop runs the HTTP polling cycle.
+func (t *pollConn) pollLoop() {
+	defer t.conn.Close()
+	interval := t.cfg.MinPoll
+	for {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		n := len(t.upBuf)
+		if n > t.cfg.Chunk {
+			n = t.cfg.Chunk
+		}
+		body := append([]byte(nil), t.upBuf[:n]...)
+		t.upBuf = t.upBuf[n:]
+		t.cond.Broadcast()
+		t.mu.Unlock()
+
+		if err := writePoll(t.conn, t.sid, body); err != nil {
+			t.fail(false)
+			return
+		}
+		status, reply, err := readReply(t.conn)
+		if err != nil {
+			t.fail(false)
+			return
+		}
+		if status == statusGone {
+			t.fail(true)
+			return
+		}
+		if len(reply) > 0 {
+			t.mu.Lock()
+			t.downBuf = append(t.downBuf, reply...)
+			t.cond.Broadcast()
+			t.mu.Unlock()
+		}
+		if len(body) == 0 && len(reply) == 0 {
+			t.clock.Sleep(interval)
+			interval = interval * 3 / 2
+			if interval > t.cfg.MaxPoll {
+				interval = t.cfg.MaxPoll
+			}
+		} else {
+			interval = t.cfg.MinPoll
+		}
+	}
+}
+
+func (t *pollConn) fail(gone bool) {
+	t.mu.Lock()
+	t.closed = true
+	t.gone = gone
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// Read implements net.Conn.
+func (t *pollConn) Read(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.downBuf) == 0 {
+		if t.closed {
+			return 0, io.EOF
+		}
+		if !t.rdl.IsZero() && !time.Now().Before(t.rdl) {
+			return 0, errMeekTimeout
+		}
+		if t.rdl.IsZero() {
+			t.cond.Wait()
+		} else {
+			timer := time.AfterFunc(time.Until(t.rdl), func() {
+				t.mu.Lock()
+				t.cond.Broadcast()
+				t.mu.Unlock()
+			})
+			t.cond.Wait()
+			timer.Stop()
+		}
+	}
+	n := copy(p, t.downBuf)
+	t.downBuf = t.downBuf[n:]
+	return n, nil
+}
+
+// Write implements net.Conn with a bounded upstream queue.
+func (t *pollConn) Write(p []byte) (int, error) {
+	const maxQueue = 256 << 10
+	written := 0
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(p) > 0 {
+		if t.closed {
+			return written, errors.New("meek: tunnel closed")
+		}
+		for len(t.upBuf) >= maxQueue && !t.closed {
+			t.cond.Wait()
+		}
+		if t.closed {
+			return written, errors.New("meek: tunnel closed")
+		}
+		room := maxQueue - len(t.upBuf)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		t.upBuf = append(t.upBuf, p[:n]...)
+		written += n
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// Close implements net.Conn.
+func (t *pollConn) Close() error {
+	t.fail(false)
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (t *pollConn) LocalAddr() net.Addr { return meekAddr("meek-client") }
+
+// RemoteAddr implements net.Conn.
+func (t *pollConn) RemoteAddr() net.Addr { return meekAddr("meek-tunnel") }
+
+// SetDeadline implements net.Conn.
+func (t *pollConn) SetDeadline(dl time.Time) error { return t.SetReadDeadline(dl) }
+
+// SetReadDeadline implements net.Conn.
+func (t *pollConn) SetReadDeadline(dl time.Time) error {
+	t.mu.Lock()
+	t.rdl = dl
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn as a no-op.
+func (t *pollConn) SetWriteDeadline(time.Time) error { return nil }
+
+type meekTimeout struct{}
+
+func (meekTimeout) Error() string   { return "meek: i/o timeout" }
+func (meekTimeout) Timeout() bool   { return true }
+func (meekTimeout) Temporary() bool { return true }
+
+var errMeekTimeout = meekTimeout{}

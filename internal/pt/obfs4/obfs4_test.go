@@ -1,0 +1,135 @@
+package obfs4
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"testing"
+)
+
+func TestHandshakeMessageRoundTrip(t *testing.T) {
+	secret := []byte("bridge-secret")
+	rng := rand.New(rand.NewSource(1))
+	var buf bytes.Buffer
+	sent, err := writeHandshake(&buf, secret, 'c', rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := readHandshake(&buf, secret, 'c')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sent, got) {
+		t.Fatal("nonce mismatch")
+	}
+}
+
+func TestHandshakeRoleConfusionRejected(t *testing.T) {
+	secret := []byte("s")
+	rng := rand.New(rand.NewSource(2))
+	var buf bytes.Buffer
+	if _, err := writeHandshake(&buf, secret, 'c', rng); err != nil {
+		t.Fatal(err)
+	}
+	// Reading a client message as a server message must fail: the MAC
+	// binds the role, preventing reflection attacks.
+	if _, err := readHandshake(&buf, secret, 's'); err != ErrAuth {
+		t.Fatalf("want ErrAuth, got %v", err)
+	}
+}
+
+func TestHandshakeWrongSecretRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var buf bytes.Buffer
+	if _, err := writeHandshake(&buf, []byte("right"), 'c', rng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readHandshake(&buf, []byte("wrong"), 'c'); err != ErrAuth {
+		t.Fatalf("want ErrAuth, got %v", err)
+	}
+}
+
+func TestHandshakePaddingVaries(t *testing.T) {
+	secret := []byte("s")
+	rng := rand.New(rand.NewSource(4))
+	sizes := map[int]bool{}
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		if _, err := writeHandshake(&buf, secret, 'c', rng); err != nil {
+			t.Fatal(err)
+		}
+		sizes[buf.Len()] = true
+	}
+	if len(sizes) < 5 {
+		t.Fatalf("handshake length should be randomized, got %d distinct sizes", len(sizes))
+	}
+}
+
+func TestSessionKeyBindsBothNonces(t *testing.T) {
+	s := []byte("secret")
+	a := sessionKey(s, []byte("n1"), []byte("n2"))
+	b := sessionKey(s, []byte("n1"), []byte("n3"))
+	c := sessionKey(s, []byte("n0"), []byte("n2"))
+	if bytes.Equal(a, b) || bytes.Equal(a, c) {
+		t.Fatal("session key must depend on both nonces")
+	}
+}
+
+func TestWireIsNotPlaintext(t *testing.T) {
+	// A fully-encrypted transport must not leak payload bytes.
+	a, b := net.Pipe()
+	captured := &bytes.Buffer{}
+	tap, peer := net.Pipe()
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := tap.Read(buf)
+			if n > 0 {
+				captured.Write(buf[:n])
+				b.Write(buf[:n])
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	go pump(tap, b)
+
+	secret := []byte("k")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sc, err := serverWrap(a, Config{Secret: secret}, 9)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 32)
+		sc.Read(buf)
+	}()
+	cc, err := clientWrap(peer, Config{Secret: secret}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker := []byte("THE-FORBIDDEN-PLAINTEXT-MARKER")
+	cc.Write(marker)
+	<-done
+	if bytes.Contains(captured.Bytes(), marker) {
+		t.Fatal("payload visible on the wire")
+	}
+}
+
+// pump splices one direction between two conns.
+func pump(dst, src net.Conn) {
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

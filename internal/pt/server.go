@@ -1,0 +1,113 @@
+package pt
+
+import (
+	"fmt"
+	"net"
+
+	"ptperf/internal/netem"
+)
+
+// ServerWrapper upgrades an accepted raw connection into the transport's
+// obfuscated stream (server side of the handshake).
+type ServerWrapper func(conn net.Conn) (net.Conn, error)
+
+// ClientWrapper upgrades a dialed raw connection (client side).
+type ClientWrapper func(conn net.Conn) (net.Conn, error)
+
+// listenServer is the standard single-listener PT server.
+type listenServer struct {
+	ln   *netem.Listener
+	addr string
+}
+
+// Addr implements Server.
+func (s *listenServer) Addr() string { return s.addr }
+
+// Close implements Server.
+func (s *listenServer) Close() error { return s.ln.Close() }
+
+// ListenAndServe runs the common PT server skeleton: accept, wrap,
+// read the target prologue, hand off to the stream handler.
+func ListenAndServe(host *netem.Host, port int, wrap ServerWrapper, handle StreamHandler) (Server, error) {
+	ln, err := host.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	srv := &listenServer{ln: ln, addr: fmt.Sprintf("%s:%d", host.Name(), port)}
+	go func() {
+		for {
+			raw, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(raw net.Conn) {
+				conn := raw
+				if wrap != nil {
+					var err error
+					conn, err = wrap(raw)
+					if err != nil {
+						raw.Close()
+						return
+					}
+				}
+				target, err := ReadTarget(conn)
+				if err != nil {
+					conn.Close()
+					return
+				}
+				handle(target, conn)
+			}(raw)
+		}
+	}()
+	return srv, nil
+}
+
+// DialWrapped runs the common PT client skeleton: dial, wrap, send the
+// target prologue.
+func DialWrapped(host *netem.Host, addr string, wrap ClientWrapper, target string) (net.Conn, error) {
+	raw, err := host.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	conn := raw
+	if wrap != nil {
+		conn, err = wrap(raw)
+		if err != nil {
+			raw.Close()
+			return nil, err
+		}
+	}
+	if err := WriteTarget(conn, target); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// ForwardTo returns a StreamHandler that dials the stream's target from
+// fromHost and splices — the integration-set-2 server behaviour (the
+// target names the guard the client's Tor selected).
+func ForwardTo(fromHost *netem.Host) StreamHandler {
+	return func(target string, conn net.Conn) {
+		down, err := fromHost.Dial(target)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		Splice(conn, down)
+	}
+}
+
+// HandleWithDialer returns a StreamHandler that opens the target through
+// an arbitrary dialer and splices — the integration-set-3 server
+// behaviour (the dialer is the co-located Tor client).
+func HandleWithDialer(dial func(target string) (net.Conn, error)) StreamHandler {
+	return func(target string, conn net.Conn) {
+		up, err := dial(target)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		Splice(conn, up)
+	}
+}

@@ -1,0 +1,377 @@
+// Package snowflake implements the WebRTC-volunteer-proxy transport. A
+// client rendezvouses once through a domain-fronted broker, which hands
+// it one of the currently alive volunteer proxies; tunnel traffic then
+// flows client → volunteer proxy → bridge. The properties the paper
+// measures are kept:
+//
+//   - rendezvous costs broker round trips plus matching delay,
+//   - volunteer proxies are ephemeral: each has a random lifetime, and
+//     when it disappears mid-transfer the tunnel breaks — the dominant
+//     cause of snowflake's partial bulk downloads (§4.6),
+//   - the proxy pool has finite capacity; the Iran-unrest load scenario
+//     (§5.3) shrinks per-client capacity and proxy lifetimes, degrading
+//     performance exactly as Figures 10 and 12 show.
+//
+// snowflake is an integration-set-2 transport.
+package snowflake
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"ptperf/internal/geo"
+	"ptperf/internal/netem"
+	"ptperf/internal/pt"
+)
+
+// Defaults for the pool model.
+const (
+	// DefaultProxies is the pool size.
+	DefaultProxies = 6
+	// DefaultProxyLifetime is the mean exponential proxy lifetime.
+	DefaultProxyLifetime = 90 * time.Second
+	// DefaultMatchDelay is the broker's matching time.
+	DefaultMatchDelay = 600 * time.Millisecond
+	// DefaultProxyUplink is a volunteer's home-connection uplink in
+	// bytes per virtual second.
+	DefaultProxyUplink = 3 << 20
+)
+
+// Config parameterizes the deployment.
+type Config struct {
+	// Proxies overrides DefaultProxies.
+	Proxies int
+	// ProxyLifetime overrides DefaultProxyLifetime (mean; exponential).
+	// Negative disables churn.
+	ProxyLifetime time.Duration
+	// MatchDelay overrides DefaultMatchDelay.
+	MatchDelay time.Duration
+	// ProxyUplink overrides DefaultProxyUplink.
+	ProxyUplink float64
+	// ProxyUtilization is background load on volunteers ([0,1)); the
+	// post-September scenario raises it.
+	ProxyUtilization float64
+	// Seed drives lifetimes and assignment.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Proxies <= 0 {
+		c.Proxies = DefaultProxies
+	}
+	if c.ProxyLifetime == 0 {
+		c.ProxyLifetime = DefaultProxyLifetime
+	}
+	if c.MatchDelay <= 0 {
+		c.MatchDelay = DefaultMatchDelay
+	}
+	if c.ProxyUplink <= 0 {
+		c.ProxyUplink = DefaultProxyUplink
+	}
+	return c
+}
+
+// Deployment is the running snowflake infrastructure.
+type Deployment struct {
+	cfg        Config
+	net        *netem.Network
+	brokerLn   *netem.Listener
+	bridgeAddr string
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	proxies []*proxy
+	nextID  int
+	closed  bool
+}
+
+// proxy is one volunteer.
+type proxy struct {
+	dep   *Deployment
+	host  *netem.Host
+	ln    *netem.Listener
+	addr  string
+	mu    sync.Mutex
+	conns []interface{ Abort() }
+	dead  bool
+}
+
+// Deploy launches the broker on brokerHost:brokerPort and the initial
+// proxy pool; tunnelled flows are spliced to bridgeAddr... the target
+// carried by each stream prologue (the guard the client Tor picked).
+func Deploy(brokerHost *netem.Host, brokerPort int, cfg Config) (*Deployment, error) {
+	cfg = cfg.withDefaults()
+	ln, err := brokerHost.Listen(brokerPort)
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{
+		cfg:      cfg,
+		net:      brokerHost.Network(),
+		brokerLn: ln,
+		rng:      rand.New(rand.NewSource(cfg.Seed + 5)),
+	}
+	for i := 0; i < cfg.Proxies; i++ {
+		if err := d.spawnProxy(); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	go d.serveBroker()
+	return d, nil
+}
+
+// BrokerAddr is the rendezvous address clients contact (domain-fronted
+// in reality).
+func (d *Deployment) BrokerAddr() string { return d.brokerLn.Addr().String() }
+
+// Close stops the deployment.
+func (d *Deployment) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	proxies := append([]*proxy(nil), d.proxies...)
+	d.mu.Unlock()
+	for _, p := range proxies {
+		p.kill()
+	}
+	return d.brokerLn.Close()
+}
+
+// SetLoad adjusts the pool to a new load scenario at runtime: higher
+// utilization and shorter lifetimes for every current and future proxy.
+func (d *Deployment) SetLoad(utilization float64, lifetime time.Duration) {
+	d.mu.Lock()
+	d.cfg.ProxyUtilization = utilization
+	d.cfg.ProxyLifetime = lifetime
+	proxies := append([]*proxy(nil), d.proxies...)
+	d.mu.Unlock()
+	for _, p := range proxies {
+		p.host.Egress().Reload(d.cfg.ProxyUplink, utilization)
+		p.host.Ingress().Reload(d.cfg.ProxyUplink, utilization)
+	}
+}
+
+// spawnProxy brings one volunteer online and schedules its death.
+func (d *Deployment) spawnProxy() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return errors.New("snowflake: deployment closed")
+	}
+	d.nextID++
+	id := d.nextID
+	cfg := d.cfg
+	lifetime := time.Duration(-1)
+	if cfg.ProxyLifetime > 0 {
+		lifetime = time.Duration(d.rng.ExpFloat64() * float64(cfg.ProxyLifetime))
+		if lifetime < 2*time.Second {
+			lifetime = 2 * time.Second
+		}
+	}
+	d.mu.Unlock()
+
+	host, err := d.net.AddHost(netem.HostConfig{
+		Name:        fmt.Sprintf("snowflake-proxy-%d", id),
+		Location:    proxyLocation(id),
+		UplinkBps:   cfg.ProxyUplink,
+		DownlinkBps: cfg.ProxyUplink,
+		Utilization: cfg.ProxyUtilization,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := host.Listen(7000)
+	if err != nil {
+		return err
+	}
+	p := &proxy{dep: d, host: host, ln: ln, addr: ln.Addr().String()}
+	d.mu.Lock()
+	d.proxies = append(d.proxies, p)
+	d.mu.Unlock()
+	go p.serve()
+	if lifetime > 0 {
+		go func() {
+			d.net.Clock().Sleep(lifetime)
+			p.kill()
+			// A replacement volunteer appears after a gap.
+			d.net.Clock().Sleep(time.Duration(2+id%3) * time.Second)
+			d.spawnProxy()
+		}()
+	}
+	return nil
+}
+
+// proxyLocation scatters volunteers over the model's cities.
+func proxyLocation(id int) geo.Location {
+	return geo.All[id%len(geo.All)]
+}
+
+// serve splices each accepted flow to the bridge address it announces.
+func (p *proxy) serve() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			bridgeAddr, err := readHello(c)
+			if err != nil {
+				c.Close()
+				return
+			}
+			down, err := p.host.Dial(bridgeAddr)
+			if err != nil {
+				c.Close()
+				return
+			}
+			p.track(c, down)
+			pt.Splice(c, down)
+		}(c)
+	}
+}
+
+func (p *proxy) track(conns ...net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range conns {
+		if a, ok := c.(interface{ Abort() }); ok {
+			p.conns = append(p.conns, a)
+		}
+	}
+}
+
+// kill takes the volunteer offline, aborting all flows mid-transfer.
+func (p *proxy) kill() {
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return
+	}
+	p.dead = true
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+
+	d := p.dep
+	d.mu.Lock()
+	for i, q := range d.proxies {
+		if q == p {
+			d.proxies = append(d.proxies[:i], d.proxies[i+1:]...)
+			break
+		}
+	}
+	d.mu.Unlock()
+
+	p.ln.Close()
+	for _, c := range conns {
+		c.Abort()
+	}
+}
+
+// serveBroker answers rendezvous requests with a proxy address.
+func (d *Deployment) serveBroker() {
+	for {
+		c, err := d.brokerLn.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			var req [1]byte
+			if _, err := io.ReadFull(c, req[:]); err != nil {
+				return
+			}
+			// Matching takes time; under load the queue is longer.
+			d.net.Clock().Sleep(d.cfg.MatchDelay)
+			d.mu.Lock()
+			var addr string
+			if len(d.proxies) > 0 {
+				addr = d.proxies[d.rng.Intn(len(d.proxies))].addr
+			}
+			d.mu.Unlock()
+			writeString(c, addr)
+		}(c)
+	}
+}
+
+func writeString(w io.Writer, s string) error {
+	buf := make([]byte, 2+len(s))
+	binary.BigEndian.PutUint16(buf, uint16(len(s)))
+	copy(buf[2:], s)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var head [2]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return "", err
+	}
+	buf := make([]byte, binary.BigEndian.Uint16(head[:]))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// hello carries the bridge address from client to proxy.
+func writeHello(w io.Writer, bridgeAddr string) error { return writeString(w, bridgeAddr) }
+func readHello(r io.Reader) (string, error)           { return readString(r) }
+
+// Dialer is the snowflake client.
+type Dialer struct {
+	host       *netem.Host
+	brokerAddr string
+	bridgeAddr string
+}
+
+// NewDialer returns a snowflake client. bridgeAddr names the snowflake
+// bridge (the PT server that splices to the guard in the prologue).
+func NewDialer(host *netem.Host, brokerAddr, bridgeAddr string) *Dialer {
+	return &Dialer{host: host, brokerAddr: brokerAddr, bridgeAddr: bridgeAddr}
+}
+
+// Dial implements pt.Dialer: rendezvous, connect to the volunteer, and
+// announce the bridge.
+func (d *Dialer) Dial(target string) (net.Conn, error) {
+	b, err := d.host.Dial(d.brokerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("snowflake: broker unreachable: %w", err)
+	}
+	if _, err := b.Write([]byte{0x01}); err != nil {
+		b.Close()
+		return nil, err
+	}
+	proxyAddr, err := readString(b)
+	b.Close()
+	if err != nil {
+		return nil, fmt.Errorf("snowflake: rendezvous failed: %w", err)
+	}
+	if proxyAddr == "" {
+		return nil, errors.New("snowflake: no volunteer proxies available")
+	}
+	conn, err := d.host.Dial(proxyAddr)
+	if err != nil {
+		return nil, fmt.Errorf("snowflake: volunteer gone: %w", err)
+	}
+	if err := writeHello(conn, d.bridgeAddr); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := pt.WriteTarget(conn, target); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// StartBridge runs the snowflake bridge (PT server) on host:port.
+func StartBridge(host *netem.Host, port int, handle pt.StreamHandler) (pt.Server, error) {
+	return pt.ListenAndServe(host, port, nil, handle)
+}

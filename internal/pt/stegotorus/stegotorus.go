@@ -1,0 +1,552 @@
+// Package stegotorus implements the camouflage-proxy transport: a
+// "chopper" splits the Tor stream into variable-sized blocks, sends them
+// (re-orderable) over several parallel TCP connections, and hides each
+// block inside innocuous HTTP cover traffic. The receiving side
+// reassembles blocks by sequence number.
+//
+// Performance-relevant properties kept from the real system: the
+// fan-out over k connections, per-block HTTP-steg encoding overhead
+// (base64 plus headers), and the chopper's variable block sizes.
+//
+// stegotorus is an integration-set-2 transport.
+package stegotorus
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"ptperf/internal/netem"
+	"ptperf/internal/pt"
+)
+
+// chopConn provides TCP-style half close via CloseWrite, which pt.Splice
+// prefers over a hard Close; this is what lets a bulk response drain
+// across all fan-out conns after the origin finishes.
+var _ pt.HalfCloser = (*chopConn)(nil)
+
+// Defaults for the chopper.
+const (
+	// DefaultConns is the chopper's connection fan-out.
+	DefaultConns = 4
+	// DefaultMinBlock / DefaultMaxBlock bound chopper block sizes.
+	DefaultMinBlock = 128
+	DefaultMaxBlock = 2048
+)
+
+// Config parameterizes the transport.
+type Config struct {
+	// Conns overrides DefaultConns.
+	Conns int
+	// MinBlock / MaxBlock override the chopper block bounds.
+	MinBlock, MaxBlock int
+	// Seed drives block-size draws.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Conns <= 0 {
+		c.Conns = DefaultConns
+	}
+	if c.MinBlock <= 0 {
+		c.MinBlock = DefaultMinBlock
+	}
+	if c.MaxBlock < c.MinBlock {
+		c.MaxBlock = DefaultMaxBlock
+	}
+	return c
+}
+
+// Block header inside the cover payload: [8B session][8B seq][4B len].
+const blockHeader = 20
+
+// finLen marks an end-of-stream block: its seq field carries the total
+// number of data blocks sent, so the receiver can declare EOF only once
+// every block (possibly arriving out of order on other conns) is in.
+const finLen = 0xffffffff
+
+// encodeCover wraps an encoded block in an HTTP request-shaped cover.
+func encodeCover(w *bufio.Writer, block []byte) error {
+	payload := base64.StdEncoding.EncodeToString(block)
+	if _, err := fmt.Fprintf(w, "POST /images/upload HTTP/1.1\r\nHost: pics.example\r\nContent-Type: image/jpeg\r\nContent-Length: %d\r\n\r\n%s", len(payload), payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// decodeCover strips the HTTP cover and recovers the block.
+func decodeCover(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.HasPrefix([]byte(line), []byte("POST /images/upload")) {
+		return nil, errors.New("stegotorus: unexpected cover request")
+	}
+	var contentLen int
+	for {
+		h, err := r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		h = string(bytes.TrimSpace([]byte(h)))
+		if h == "" {
+			break
+		}
+		if rest, ok := cutPrefixFold(h, "content-length:"); ok {
+			contentLen, err = strconv.Atoi(string(bytes.TrimSpace([]byte(rest))))
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	payload := make([]byte, contentLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return base64.StdEncoding.DecodeString(string(payload))
+}
+
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) < len(prefix) {
+		return "", false
+	}
+	for i := 0; i < len(prefix); i++ {
+		a, b := s[i], prefix[i]
+		if 'A' <= a && a <= 'Z' {
+			a += 'a' - 'A'
+		}
+		if 'A' <= b && b <= 'Z' {
+			b += 'a' - 'A'
+		}
+		if a != b {
+			return "", false
+		}
+	}
+	return s[len(prefix):], true
+}
+
+// session reassembles one direction of a chopped stream.
+type session struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	next uint64
+	held map[uint64][]byte
+	buf  []byte
+	// closed is the hard teardown (error or local close).
+	closed bool
+	// finSeq+1 is stored in fin when the peer's FIN announced the total
+	// block count; 0 means no FIN yet.
+	fin uint64
+	rdl time.Time
+}
+
+func newSession() *session {
+	s := &session{held: make(map[uint64][]byte)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// accept delivers one block.
+func (s *session) accept(seq uint64, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq == s.next {
+		s.buf = append(s.buf, data...)
+		s.next++
+		for {
+			held, ok := s.held[s.next]
+			if !ok {
+				break
+			}
+			delete(s.held, s.next)
+			s.buf = append(s.buf, held...)
+			s.next++
+		}
+		s.cond.Broadcast()
+	} else if seq > s.next {
+		s.held[seq] = append([]byte(nil), data...)
+	}
+}
+
+func (s *session) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// setFin records the peer's announced total block count.
+func (s *session) setFin(total uint64) {
+	s.mu.Lock()
+	s.fin = total + 1
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// finished reports whether every announced block has been delivered.
+func (s *session) finishedLocked() bool {
+	return s.fin > 0 && s.next >= s.fin-1
+}
+
+// read pulls reassembled bytes.
+func (s *session) read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.buf) == 0 {
+		if s.closed || s.finishedLocked() {
+			return 0, io.EOF
+		}
+		if !s.rdl.IsZero() && !time.Now().Before(s.rdl) {
+			return 0, errStegTimeout
+		}
+		if s.rdl.IsZero() {
+			s.cond.Wait()
+		} else {
+			timer := time.AfterFunc(time.Until(s.rdl), func() {
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			})
+			s.cond.Wait()
+			timer.Stop()
+		}
+	}
+	n := copy(p, s.buf)
+	s.buf = s.buf[n:]
+	return n, nil
+}
+
+// chopConn is one endpoint of the chopped stream: it writes blocks
+// round-robin over the fan-out conns and reads from the session.
+type chopConn struct {
+	cfg   Config
+	sid   uint64
+	conns []net.Conn
+	wbufs []*bufio.Writer
+	recv  *session
+
+	wmu     sync.Mutex
+	sendSeq uint64
+	rrIndex int
+	rng     *rand.Rand
+	closed  bool
+	wdone   bool
+
+	readersMu sync.Mutex
+	readers   int
+}
+
+func newChopConn(cfg Config, sid uint64, conns []net.Conn, seed int64) *chopConn {
+	c := &chopConn{
+		cfg:     cfg,
+		sid:     sid,
+		conns:   conns,
+		recv:    newSession(),
+		rng:     rand.New(rand.NewSource(seed)),
+		readers: len(conns),
+	}
+	for _, conn := range conns {
+		c.wbufs = append(c.wbufs, bufio.NewWriterSize(conn, 8<<10))
+		go c.readLoop(conn)
+	}
+	return c
+}
+
+// readLoop decodes covers from one fan-out conn. A clean EOF on one conn
+// does not kill the session — blocks may still be in flight on the
+// others; the session ends when the FIN accounting completes or every
+// reader is gone.
+func (c *chopConn) readLoop(conn net.Conn) {
+	defer func() {
+		c.readersMu.Lock()
+		c.readers--
+		last := c.readers == 0
+		c.readersMu.Unlock()
+		if last {
+			c.recv.close()
+		}
+	}()
+	br := bufio.NewReaderSize(conn, 8<<10)
+	for {
+		block, err := decodeCover(br)
+		if err != nil {
+			return
+		}
+		if len(block) < blockHeader {
+			return
+		}
+		seq := binary.BigEndian.Uint64(block[8:16])
+		n := binary.BigEndian.Uint32(block[16:20])
+		if n == finLen {
+			c.recv.setFin(seq)
+			continue
+		}
+		if int(n)+blockHeader > len(block) {
+			return
+		}
+		c.recv.accept(seq, block[blockHeader:blockHeader+int(n)])
+	}
+}
+
+// CloseWrite flushes a FIN block announcing the total block count, so
+// the peer can drain every fan-out conn before reporting EOF.
+func (c *chopConn) CloseWrite() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed || c.wdone {
+		return nil
+	}
+	c.wdone = true
+	fin := make([]byte, blockHeader)
+	binary.BigEndian.PutUint64(fin[0:8], c.sid)
+	binary.BigEndian.PutUint64(fin[8:16], c.sendSeq)
+	binary.BigEndian.PutUint32(fin[16:20], finLen)
+	// Every conn carries the FIN: whichever the receiver reads first
+	// sets the accounting, and per-conn half-close lets readers drain.
+	var firstErr error
+	for i := range c.conns {
+		if err := encodeCover(c.wbufs[i], fin); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if hc, ok := c.conns[i].(pt.HalfCloser); ok {
+			hc.CloseWrite()
+		}
+	}
+	return firstErr
+}
+
+// Write chops p into blocks and spreads them over the conns.
+func (c *chopConn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed || c.wdone {
+		return 0, errors.New("stegotorus: closed")
+	}
+	written := 0
+	for len(p) > 0 {
+		size := c.cfg.MinBlock
+		if c.cfg.MaxBlock > c.cfg.MinBlock {
+			size += c.rng.Intn(c.cfg.MaxBlock - c.cfg.MinBlock)
+		}
+		if size > len(p) {
+			size = len(p)
+		}
+		block := make([]byte, blockHeader+size)
+		binary.BigEndian.PutUint64(block[0:8], c.sid)
+		binary.BigEndian.PutUint64(block[8:16], c.sendSeq)
+		binary.BigEndian.PutUint32(block[16:20], uint32(size))
+		copy(block[blockHeader:], p[:size])
+		c.sendSeq++
+
+		idx := c.rrIndex % len(c.conns)
+		c.rrIndex++
+		if err := encodeCover(c.wbufs[idx], block); err != nil {
+			return written, err
+		}
+		written += size
+		p = p[size:]
+	}
+	return written, nil
+}
+
+// Read implements net.Conn.
+func (c *chopConn) Read(p []byte) (int, error) { return c.recv.read(p) }
+
+// Close implements net.Conn.
+func (c *chopConn) Close() error {
+	c.wmu.Lock()
+	c.closed = true
+	c.wmu.Unlock()
+	c.recv.close()
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *chopConn) LocalAddr() net.Addr { return stegAddr("stegotorus") }
+
+// RemoteAddr implements net.Conn.
+func (c *chopConn) RemoteAddr() net.Addr { return stegAddr("stegotorus-peer") }
+
+// SetDeadline implements net.Conn.
+func (c *chopConn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *chopConn) SetReadDeadline(t time.Time) error {
+	c.recv.mu.Lock()
+	c.recv.rdl = t
+	c.recv.cond.Broadcast()
+	c.recv.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn as a no-op.
+func (c *chopConn) SetWriteDeadline(time.Time) error { return nil }
+
+type stegAddr string
+
+func (stegAddr) Network() string  { return "steg" }
+func (a stegAddr) String() string { return string(a) }
+
+type stegTimeout struct{}
+
+func (stegTimeout) Error() string   { return "stegotorus: i/o timeout" }
+func (stegTimeout) Timeout() bool   { return true }
+func (stegTimeout) Temporary() bool { return true }
+
+var errStegTimeout = stegTimeout{}
+
+// Server is the stegotorus server.
+type Server struct {
+	cfg    Config
+	ln     *netem.Listener
+	handle pt.StreamHandler
+
+	mu       sync.Mutex
+	pending  map[uint64]*pendingSession
+	nextSeed int64
+}
+
+// pendingSession gathers a session's fan-out conns until all arrive.
+type pendingSession struct {
+	conns []net.Conn
+	want  int
+}
+
+// StartServer runs a stegotorus server on host:port.
+func StartServer(host *netem.Host, port int, cfg Config, handle pt.StreamHandler) (*Server, error) {
+	ln, err := host.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg.withDefaults(),
+		ln:       ln,
+		handle:   handle,
+		pending:  make(map[uint64]*pendingSession),
+		nextSeed: cfg.Seed + 11,
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's contact address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.ln.Close() }
+
+// Connection preamble: [8B session][1B index][1B total].
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			var pre [10]byte
+			if _, err := io.ReadFull(c, pre[:]); err != nil {
+				c.Close()
+				return
+			}
+			sid := binary.BigEndian.Uint64(pre[:8])
+			total := int(pre[9])
+			if total <= 0 || total > 16 {
+				c.Close()
+				return
+			}
+			s.mu.Lock()
+			ps := s.pending[sid]
+			if ps == nil {
+				ps = &pendingSession{want: total}
+				s.pending[sid] = ps
+			}
+			ps.conns = append(ps.conns, c)
+			ready := len(ps.conns) == ps.want
+			var conns []net.Conn
+			if ready {
+				conns = ps.conns
+				delete(s.pending, sid)
+				s.nextSeed++
+			}
+			seed := s.nextSeed
+			s.mu.Unlock()
+			if !ready {
+				return
+			}
+			cc := newChopConn(s.cfg, sid, conns, seed)
+			target, err := pt.ReadTarget(cc)
+			if err != nil {
+				cc.Close()
+				return
+			}
+			s.handle(target, cc)
+		}(c)
+	}
+}
+
+// Dialer is the stegotorus client.
+type Dialer struct {
+	cfg  Config
+	host *netem.Host
+	addr string
+
+	mu   sync.Mutex
+	next uint64
+}
+
+// NewDialer returns a stegotorus client for a server at addr.
+func NewDialer(host *netem.Host, addr string, cfg Config) *Dialer {
+	return &Dialer{cfg: cfg.withDefaults(), host: host, addr: addr, next: uint64(cfg.Seed)*0x9e3779b9 + 7}
+}
+
+// Dial implements pt.Dialer: open the fan-out, announce the session on
+// every conn, then chop.
+func (d *Dialer) Dial(target string) (net.Conn, error) {
+	d.mu.Lock()
+	d.next++
+	sid := d.next
+	seed := int64(d.next) + d.cfg.Seed
+	d.mu.Unlock()
+
+	conns := make([]net.Conn, 0, d.cfg.Conns)
+	for i := 0; i < d.cfg.Conns; i++ {
+		c, err := d.host.Dial(d.addr)
+		if err != nil {
+			for _, cc := range conns {
+				cc.Close()
+			}
+			return nil, fmt.Errorf("stegotorus: %w", err)
+		}
+		var pre [10]byte
+		binary.BigEndian.PutUint64(pre[:8], sid)
+		pre[8] = byte(i)
+		pre[9] = byte(d.cfg.Conns)
+		if _, err := c.Write(pre[:]); err != nil {
+			c.Close()
+			for _, cc := range conns {
+				cc.Close()
+			}
+			return nil, err
+		}
+		conns = append(conns, c)
+	}
+	cc := newChopConn(d.cfg, sid, conns, seed)
+	if err := pt.WriteTarget(cc, target); err != nil {
+		cc.Close()
+		return nil, err
+	}
+	return cc, nil
+}

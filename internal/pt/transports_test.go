@@ -1,0 +1,676 @@
+package pt_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"ptperf/internal/geo"
+	"ptperf/internal/netem"
+	"ptperf/internal/pt"
+	"ptperf/internal/pt/camoufler"
+	"ptperf/internal/pt/cloak"
+	"ptperf/internal/pt/conjure"
+	"ptperf/internal/pt/dnstt"
+	"ptperf/internal/pt/marionette"
+	"ptperf/internal/pt/meek"
+	"ptperf/internal/pt/obfs4"
+	"ptperf/internal/pt/psiphon"
+	"ptperf/internal/pt/shadowsocks"
+	"ptperf/internal/pt/snowflake"
+	"ptperf/internal/pt/stegotorus"
+	"ptperf/internal/pt/webtunnel"
+)
+
+// world is a tiny topology: client, pt-server and an echo destination.
+type world struct {
+	net    *netem.Network
+	client *netem.Host
+	server *netem.Host
+	extra  *netem.Host
+	extra2 *netem.Host
+}
+
+func newWorld(t *testing.T) *world { return newWorldScale(t, 0.002) }
+
+// newTimingWorld uses a coarser time scale so that scheduler overhead
+// (inflated further under -race) stays negligible against virtual time;
+// tests that compare durations should use it.
+func newTimingWorld(t *testing.T) *world { return newWorldScale(t, 0.03) }
+
+func newWorldScale(t *testing.T, scale float64) *world {
+	t.Helper()
+	n := netem.New(netem.WithTimeScale(scale), netem.WithSeed(21))
+	return &world{
+		net:    n,
+		client: n.MustAddHost(netem.HostConfig{Name: "client", Location: geo.London}),
+		server: n.MustAddHost(netem.HostConfig{Name: "pt-server", Location: geo.Frankfurt}),
+		extra:  n.MustAddHost(netem.HostConfig{Name: "extra", Location: geo.Frankfurt}),
+		extra2: n.MustAddHost(netem.HostConfig{Name: "extra2", Location: geo.NewYork}),
+	}
+}
+
+// echoHandler records the target and echoes bytes until EOF.
+func echoHandler(t *testing.T, wantTarget string) pt.StreamHandler {
+	return func(target string, conn net.Conn) {
+		if target != wantTarget {
+			t.Errorf("handler target = %q want %q", target, wantTarget)
+		}
+		defer conn.Close()
+		io.Copy(conn, conn)
+	}
+}
+
+// exerciseEcho drives a full bidirectional transfer through a dialer.
+func exerciseEcho(t *testing.T, d pt.Dialer, payloadLen int) {
+	t.Helper()
+	conn, err := d.Dial("guard-0:9001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := bytes.Repeat([]byte("pluggable-transport-payload/"), payloadLen/28+1)[:payloadLen]
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Write(msg)
+		done <- err
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("payload corrupted through transport")
+	}
+}
+
+func TestObfs4EndToEnd(t *testing.T) {
+	w := newWorld(t)
+	secret := []byte("bridge-line-secret")
+	srv, err := obfs4.StartServer(w.server, 443, obfs4.Config{Secret: secret, Seed: 1}, echoHandler(t, "guard-0:9001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	d := obfs4.NewDialer(w.client, srv.Addr(), obfs4.Config{Secret: secret, Seed: 2})
+	exerciseEcho(t, d, 60_000)
+}
+
+func TestObfs4RejectsWrongSecret(t *testing.T) {
+	w := newWorld(t)
+	srv, err := obfs4.StartServer(w.server, 443, obfs4.Config{Secret: []byte("right"), Seed: 1}, func(string, net.Conn) {
+		t.Error("unauthorized client reached the handler")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	d := obfs4.NewDialer(w.client, srv.Addr(), obfs4.Config{Secret: []byte("wrong"), Seed: 2})
+	conn, err := d.Dial("guard-0:9001")
+	if err == nil {
+		// The server drops us during the handshake; the failure may
+		// surface on first read instead of dial.
+		conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		buf := make([]byte, 1)
+		if _, rerr := conn.Read(buf); rerr == nil {
+			t.Fatal("probe with wrong secret should not produce data")
+		}
+		conn.Close()
+	}
+}
+
+func TestShadowsocksEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	psk := []byte("shadowsocks-psk")
+	srv, err := shadowsocks.StartServer(w.server, 8388, shadowsocks.Config{PSK: psk, Seed: 1}, echoHandler(t, "guard-0:9001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	d := shadowsocks.NewDialer(w.client, srv.Addr(), shadowsocks.Config{PSK: psk, Seed: 2})
+	exerciseEcho(t, d, 100_000)
+}
+
+func TestShadowsocksZeroRTTFasterThanObfs4(t *testing.T) {
+	w := newTimingWorld(t)
+	psk := []byte("k")
+	ssrv, _ := shadowsocks.StartServer(w.server, 8388, shadowsocks.Config{PSK: psk}, echoHandler(t, "g:1"))
+	defer ssrv.Close()
+	osrv, _ := obfs4.StartServer(w.server, 443, obfs4.Config{Secret: psk}, echoHandler(t, "g:1"))
+	defer osrv.Close()
+
+	measure := func(d pt.Dialer) time.Duration {
+		start := w.net.Now()
+		conn, err := d.Dial("g:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write([]byte{1})
+		io.ReadFull(conn, make([]byte, 1))
+		el := w.net.Since(start)
+		conn.Close()
+		return el
+	}
+	ss := measure(shadowsocks.NewDialer(w.client, ssrv.Addr(), shadowsocks.Config{PSK: psk}))
+	ob := measure(obfs4.NewDialer(w.client, osrv.Addr(), obfs4.Config{Secret: psk}))
+	if ss >= ob {
+		t.Fatalf("zero-RTT shadowsocks (%v) should beat 1-RTT obfs4 (%v)", ss, ob)
+	}
+}
+
+func TestWebtunnelEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	key := []byte("webtunnel-session")
+	srv, err := webtunnel.StartServer(w.server, 443, webtunnel.Config{SessionKey: key, SNI: "cdn.example", Seed: 1}, echoHandler(t, "guard-0:9001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	d := webtunnel.NewDialer(w.client, srv.Addr(), webtunnel.Config{SessionKey: key, SNI: "cdn.example", Seed: 2})
+	exerciseEcho(t, d, 50_000)
+}
+
+func TestPsiphonEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	hostKey := []byte("psiphon-host-key")
+	srv, err := psiphon.StartServer(w.server, 22, psiphon.Config{HostKey: hostKey, Seed: 1}, echoHandler(t, "guard-0:9001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	d := psiphon.NewDialer(w.client, srv.Addr(), psiphon.Config{HostKey: hostKey, Seed: 2})
+	exerciseEcho(t, d, 50_000)
+}
+
+func TestPsiphonRejectsWrongHostKey(t *testing.T) {
+	w := newWorld(t)
+	srv, err := psiphon.StartServer(w.server, 22, psiphon.Config{HostKey: []byte("right"), Seed: 1}, echoHandler(t, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	d := psiphon.NewDialer(w.client, srv.Addr(), psiphon.Config{HostKey: []byte("evil"), Seed: 2})
+	if _, err := d.Dial("x"); err == nil {
+		t.Fatal("MITM host key must be rejected")
+	}
+}
+
+func TestCloakEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	uid := []byte("cloak-uid")
+	srv, err := cloak.StartServer(w.server, 443, cloak.Config{UID: uid, RedirAddr: "bing.com", Seed: 1}, echoHandler(t, "origin:80"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	d := cloak.NewDialer(w.client, srv.Addr(), cloak.Config{UID: uid, RedirAddr: "bing.com", Seed: 2})
+	conn, err := d.Dial("origin:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := bytes.Repeat([]byte("zero-rtt"), 2000)
+	go conn.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("cloak corrupted payload")
+	}
+}
+
+func TestConjureEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	secret := []byte("conjure-secret")
+	bridge, err := conjure.StartBridge(w.server, 4443, conjure.Config{Secret: secret, Seed: 1}, echoHandler(t, "guard-0:9001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+	inf, err := conjure.StartInfra(w.extra, w.extra2, 53000, 443, conjure.Config{Secret: secret, Seed: 2}, bridge.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inf.Close()
+	d := conjure.NewDialer(w.client, inf.RegistrarAddr(), inf.PhantomAddr(), conjure.Config{Secret: secret, Seed: 3})
+	exerciseEcho(t, d, 40_000)
+}
+
+func TestConjureUnregisteredFlowDropped(t *testing.T) {
+	w := newWorld(t)
+	secret := []byte("s")
+	bridge, _ := conjure.StartBridge(w.server, 4443, conjure.Config{Secret: secret}, func(string, net.Conn) {
+		t.Error("unregistered flow reached bridge")
+	})
+	defer bridge.Close()
+	inf, err := conjure.StartInfra(w.extra, w.extra2, 53000, 443, conjure.Config{Secret: secret}, bridge.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inf.Close()
+	// Dial the phantom directly without registering.
+	conn, err := w.client.Dial(inf.PhantomAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write(make([]byte, 32))
+	conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("station must not answer unregistered flows")
+	}
+}
+
+func TestDnsttEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	srv, err := dnstt.StartServer(w.server, 5300, dnstt.Config{Seed: 1}, echoHandler(t, "guard-0:9001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := dnstt.StartResolver(w.extra, 443, dnstt.Config{Seed: 2}, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	d := dnstt.NewDialer(w.client, res.Addr(), dnstt.Config{Seed: 3})
+	exerciseEcho(t, d, 20_000)
+}
+
+func TestDnsttRespCapLimitsThroughput(t *testing.T) {
+	w := newTimingWorld(t)
+	sink := func(target string, conn net.Conn) {
+		defer conn.Close()
+		conn.Write(make([]byte, 8<<10)) // 8 KiB downstream
+		io.Copy(io.Discard, conn)
+	}
+	srv, _ := dnstt.StartServer(w.server, 5300, dnstt.Config{Seed: 1}, sink)
+	defer srv.Close()
+	res, _ := dnstt.StartResolver(w.extra, 443, dnstt.Config{Seed: 2}, srv.Addr())
+	defer res.Close()
+
+	d := dnstt.NewDialer(w.client, res.Addr(), dnstt.Config{Seed: 3})
+	conn, err := d.Dial("g:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := w.net.Now()
+	if _, err := io.ReadFull(conn, make([]byte, 8<<10)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := w.net.Since(start)
+	// 8 KiB needs ≥16 responses of ≤512 B; with 4 in-flight polls each
+	// costing at least one client↔resolver↔server round trip, that is
+	// ≥4 full RTT generations — far slower than one bulk response.
+	rtt := geo.RTT(geo.London, geo.Frankfurt)
+	if elapsed < rtt {
+		t.Fatalf("dnstt moved 8 KiB in %v — response cap is not limiting", elapsed)
+	}
+}
+
+func TestDnsttResolverBudgetThrottles(t *testing.T) {
+	w := newWorld(t)
+	blob := make([]byte, 64<<10)
+	sink := func(target string, conn net.Conn) {
+		defer conn.Close()
+		conn.Write(blob)
+		io.Copy(io.Discard, conn)
+	}
+	cfg := dnstt.Config{Seed: 1, BudgetMedian: 4 << 10}
+	srv, _ := dnstt.StartServer(w.server, 5300, cfg, sink)
+	defer srv.Close()
+	res, _ := dnstt.StartResolver(w.extra, 443, cfg, srv.Addr())
+	defer res.Close()
+
+	d := dnstt.NewDialer(w.client, res.Addr(), cfg)
+	conn, err := d.Dial("g:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	got := 0
+	buf := make([]byte, 4<<10)
+	for {
+		n, err := conn.Read(buf)
+		got += n
+		if err != nil {
+			break
+		}
+	}
+	if got >= len(blob) {
+		t.Fatalf("throttled session still moved %d of %d bytes", got, len(blob))
+	}
+}
+
+func TestMeekEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	bridge, err := meek.StartBridge(w.server, 7002, meek.Config{Seed: 1, SessionBudgetMedian: -1}, echoHandler(t, "guard-0:9001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+	front, err := meek.StartFront(w.extra, 443, meek.Config{Seed: 2}, bridge.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+	d := meek.NewDialer(w.client, front.Addr(), meek.Config{Seed: 3})
+	exerciseEcho(t, d, 30_000)
+}
+
+func TestMeekSessionBudgetCutsBulk(t *testing.T) {
+	w := newWorld(t)
+	blob := make([]byte, 1<<20)
+	sink := func(target string, conn net.Conn) {
+		defer conn.Close()
+		conn.Write(blob)
+	}
+	// A tiny budget guarantees the cut.
+	bridge, _ := meek.StartBridge(w.server, 7002, meek.Config{Seed: 9, SessionBudgetMedian: 64 << 10}, sink)
+	defer bridge.Close()
+	front, _ := meek.StartFront(w.extra, 443, meek.Config{Seed: 2}, bridge.Addr())
+	defer front.Close()
+
+	d := meek.NewDialer(w.client, front.Addr(), meek.Config{Seed: 3})
+	conn, err := d.Dial("g:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got := 0
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := conn.Read(buf)
+		got += n
+		if err != nil {
+			break
+		}
+	}
+	if got >= len(blob) {
+		t.Fatalf("budgeted session still delivered %d of %d", got, len(blob))
+	}
+	if got == 0 {
+		t.Fatal("some bytes should arrive before the cut")
+	}
+}
+
+func TestSnowflakeEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	bridge, err := snowflake.StartBridge(w.server, 7001, echoHandler(t, "guard-0:9001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+	dep, err := snowflake.Deploy(w.extra, 443, snowflake.Config{Seed: 4, ProxyLifetime: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	d := snowflake.NewDialer(w.client, dep.BrokerAddr(), bridge.Addr())
+	exerciseEcho(t, d, 40_000)
+}
+
+func TestSnowflakeProxyChurnBreaksTransfer(t *testing.T) {
+	w := newWorld(t)
+	blob := make([]byte, 4<<20)
+	sink := func(target string, conn net.Conn) {
+		defer conn.Close()
+		conn.Write(blob)
+	}
+	bridge, _ := snowflake.StartBridge(w.server, 7001, sink)
+	defer bridge.Close()
+	// Very short proxy lifetimes: transfers should break mid-flight.
+	dep, err := snowflake.Deploy(w.extra, 443, snowflake.Config{
+		Seed:          4,
+		Proxies:       2,
+		ProxyLifetime: 3 * time.Second,
+		ProxyUplink:   256 << 10, // slow volunteers: the 4 MiB needs ~16 s
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	d := snowflake.NewDialer(w.client, dep.BrokerAddr(), bridge.Addr())
+	conn, err := d.Dial("g:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got := 0
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := conn.Read(buf)
+		got += n
+		if err != nil {
+			break
+		}
+	}
+	if got >= len(blob) {
+		t.Fatalf("churn should break the transfer; got all %d bytes", got)
+	}
+}
+
+func TestCamouflerEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	im, err := camoufler.StartIMServer(w.extra, 5222, camoufler.Config{Seed: 5, LossProb: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer im.Close()
+	proxy, err := camoufler.StartProxy(w.server, im.Addr(), "acct", camoufler.Config{Seed: 6, LossProb: -1}, echoHandler(t, "guard-0:9001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	d := camoufler.NewDialer(w.client, im.Addr(), "acct", camoufler.Config{Seed: 7, LossProb: -1}, proxy)
+	exerciseEcho(t, d, 20_000)
+}
+
+func TestCamouflerSingleStreamOnly(t *testing.T) {
+	w := newWorld(t)
+	im, _ := camoufler.StartIMServer(w.extra, 5222, camoufler.Config{Seed: 5, LossProb: -1})
+	defer im.Close()
+	hold := make(chan struct{})
+	proxy, _ := camoufler.StartProxy(w.server, im.Addr(), "acct", camoufler.Config{Seed: 6, LossProb: -1}, func(target string, conn net.Conn) {
+		<-hold
+		conn.Close()
+	})
+	defer proxy.Close()
+	d := camoufler.NewDialer(w.client, im.Addr(), "acct", camoufler.Config{Seed: 7, LossProb: -1}, proxy)
+	c1, err := d.Dial("g:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Dial("g:1"); err != camoufler.ErrBusy {
+		t.Fatalf("second concurrent stream: want ErrBusy, got %v", err)
+	}
+	close(hold)
+	c1.Close()
+	// After releasing, a new stream is possible.
+	c2, err := d.Dial("g:1")
+	if err != nil {
+		t.Fatalf("sequential re-dial should work: %v", err)
+	}
+	c2.Close()
+}
+
+func TestCamouflerRateLimitPacesBulk(t *testing.T) {
+	w := newTimingWorld(t)
+	cfgFast := camoufler.Config{Seed: 5, LossProb: -1, RatePerSec: 1000}
+	cfgSlow := camoufler.Config{Seed: 5, LossProb: -1, RatePerSec: 20}
+
+	run := func(cfg camoufler.Config, port int) time.Duration {
+		im, _ := camoufler.StartIMServer(w.extra, port, cfg)
+		defer im.Close()
+		blob := make([]byte, 256<<10)
+		proxy, _ := camoufler.StartProxy(w.server, im.Addr(), fmt.Sprintf("a%d", port), cfg, func(target string, conn net.Conn) {
+			defer conn.Close()
+			conn.Write(blob)
+		})
+		defer proxy.Close()
+		d := camoufler.NewDialer(w.client, im.Addr(), fmt.Sprintf("a%d", port), cfg, proxy)
+		conn, err := d.Dial("g:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		start := w.net.Now()
+		if _, err := io.ReadFull(conn, make([]byte, len(blob))); err != nil {
+			t.Fatal(err)
+		}
+		return w.net.Since(start)
+	}
+	fast := run(cfgFast, 5223)
+	slow := run(cfgSlow, 5224)
+	if slow < 2*fast {
+		t.Fatalf("IM rate limit should dominate: slow=%v fast=%v", slow, fast)
+	}
+}
+
+func TestStegotorusEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	srv, err := stegotorus.StartServer(w.server, 8080, stegotorus.Config{Seed: 8}, echoHandler(t, "guard-0:9001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	d := stegotorus.NewDialer(w.client, srv.Addr(), stegotorus.Config{Seed: 9})
+	exerciseEcho(t, d, 80_000)
+}
+
+func TestMarionetteEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	srv, err := marionette.StartServer(w.server, 2121, marionette.FTP(), 10, echoHandler(t, "guard-0:9001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	d, err := marionette.NewDialer(w.client, srv.Addr(), marionette.FTP(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exerciseEcho(t, d, 4_000)
+}
+
+func TestMarionetteModelValidate(t *testing.T) {
+	bad := &marionette.Model{Start: "a", Data: "b", States: map[string][]marionette.Transition{
+		"a": {{To: "missing", Weight: 1}},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("undefined states must fail validation")
+	}
+	if err := marionette.FTP().Validate(); err != nil {
+		t.Fatalf("bundled model invalid: %v", err)
+	}
+}
+
+func TestMarionetteSlowerThanObfs4(t *testing.T) {
+	w := newTimingWorld(t)
+	secret := []byte("k")
+	osrv, _ := obfs4.StartServer(w.server, 443, obfs4.Config{Secret: secret}, echoHandler(t, "g:1"))
+	defer osrv.Close()
+	msrv, _ := marionette.StartServer(w.server, 2121, marionette.FTP(), 12, echoHandler(t, "g:1"))
+	defer msrv.Close()
+
+	const payload = 16 << 10
+	measure := func(d pt.Dialer) time.Duration {
+		start := w.net.Now()
+		conn, err := d.Dial("g:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		msg := make([]byte, payload)
+		go conn.Write(msg)
+		if _, err := io.ReadFull(conn, make([]byte, payload)); err != nil {
+			t.Fatal(err)
+		}
+		return w.net.Since(start)
+	}
+	od := obfs4.NewDialer(w.client, osrv.Addr(), obfs4.Config{Secret: secret})
+	md, _ := marionette.NewDialer(w.client, msrv.Addr(), marionette.FTP(), 13)
+	ot := measure(od)
+	mt := measure(md)
+	if mt < 4*ot {
+		t.Fatalf("marionette (%v) should be ≫ slower than obfs4 (%v)", mt, ot)
+	}
+}
+
+func TestInfosComplete(t *testing.T) {
+	if len(pt.Infos) != 12 {
+		t.Fatalf("the paper evaluates 12 PTs, Infos has %d", len(pt.Infos))
+	}
+	cats := pt.ByCategory()
+	if len(cats[pt.ProxyLayer]) != 4 || len(cats[pt.Tunneling]) != 3 ||
+		len(cats[pt.Mimicry]) != 3 || len(cats[pt.FullyEncrypted]) != 2 {
+		t.Fatalf("category split wrong: %v", cats)
+	}
+	for _, name := range pt.Names() {
+		info, ok := pt.InfoFor(name)
+		if !ok || info.Name != name {
+			t.Fatalf("InfoFor(%q) broken", name)
+		}
+	}
+	if info, _ := pt.InfoFor("camoufler"); info.ParallelStreams {
+		t.Fatal("camoufler must not claim parallel streams")
+	}
+	if _, ok := pt.InfoFor("nonesuch"); ok {
+		t.Fatal("unknown transport should not resolve")
+	}
+}
+
+func TestRecordConnRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ra, err := pt.NewRecordConn(a, pt.RecordConfig{Key: []byte("k"), IsClient: true, MaxPadding: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := pt.NewRecordConn(b, pt.RecordConfig{Key: []byte("k"), IsClient: false, MaxPadding: 32, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte("record"), 10000)
+	go ra.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(rb, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("record layer corrupted data")
+	}
+	// Wrong key must garble and fail structurally sooner or later.
+	c, d := net.Pipe()
+	rc, _ := pt.NewRecordConn(c, pt.RecordConfig{Key: []byte("k1"), IsClient: true})
+	rd, _ := pt.NewRecordConn(d, pt.RecordConfig{Key: []byte("k2"), IsClient: false})
+	go rc.Write(bytes.Repeat([]byte{0xAA}, 4096))
+	buf := make([]byte, 4096)
+	n, _ := io.ReadFull(rd, buf)
+	if n > 0 && bytes.Equal(buf[:n], bytes.Repeat([]byte{0xAA}, n)) {
+		t.Fatal("mismatched keys must not decrypt to plaintext")
+	}
+}
+
+func TestTargetPrologue(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pt.WriteTarget(&buf, "relay-3:9001"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pt.ReadTarget(&buf)
+	if err != nil || got != "relay-3:9001" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+	long := make([]byte, 300)
+	if err := pt.WriteTarget(io.Discard, string(long)); err == nil {
+		t.Fatal("overlong target must fail")
+	}
+}

@@ -1,0 +1,100 @@
+package webtunnel
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"ptperf/internal/geo"
+	"ptperf/internal/netem"
+)
+
+func bufferedPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	n := netem.New(netem.WithTimeScale(0.001), netem.WithSeed(11))
+	a := n.MustAddHost(netem.HostConfig{Name: "a", Location: geo.London})
+	b := n.MustAddHost(netem.HostConfig{Name: "b", Location: geo.London})
+	ln, err := b.Listen(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := a.Dial("b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, <-accepted
+}
+
+func TestHandshakeAndRecords(t *testing.T) {
+	cfg := Config{SessionKey: []byte("k"), SNI: "static.example", Seed: 1}
+	a, b := bufferedPair(t)
+	type res struct {
+		conn net.Conn
+		err  error
+	}
+	sc := make(chan res, 1)
+	go func() {
+		c, err := serverWrap(b, cfg, 2)
+		sc <- res{c, err}
+	}()
+	cc, err := clientWrap(a, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-sc
+	if srv.err != nil {
+		t.Fatal(srv.err)
+	}
+	msg := bytes.Repeat([]byte("https-tunnel"), 2000)
+	go cc.Write(msg)
+	got := make([]byte, len(msg))
+	readFull(t, srv.conn, got)
+	if !bytes.Equal(got, msg) {
+		t.Fatal("tunnel corrupted payload")
+	}
+}
+
+func TestServerRejectsNonTunnelRequest(t *testing.T) {
+	cfg := Config{SessionKey: []byte("k"), SNI: "x", Seed: 4}
+	a, b := bufferedPair(t)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := serverWrap(b, cfg, 5)
+		errc <- err
+	}()
+	// Speak the TLS-ish prologue but then request the wrong path, like
+	// an ordinary HTTPS client hitting the innocuous site.
+	a.Write(append([]byte{0x16, 0x03, 0x01}, make([]byte, 32+1)...))
+	// Consume the ServerHello so the server can progress.
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := a.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	a.Write([]byte("GET /index.html HTTP/1.1\r\n\r\n"))
+	if err := <-errc; err != ErrHandshake {
+		t.Fatalf("want ErrHandshake, got %v", err)
+	}
+}
+
+func readFull(t *testing.T, c net.Conn, buf []byte) {
+	t.Helper()
+	total := 0
+	for total < len(buf) {
+		n, err := c.Read(buf[total:])
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		total += n
+	}
+}

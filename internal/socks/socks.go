@@ -1,0 +1,226 @@
+// Package socks implements the subset of SOCKS5 (RFC 1928) that Tor
+// clients expose and PTPerf's fetchers consume: no authentication,
+// CONNECT-only, domain-name addressing. It runs over any net.Conn, which
+// in this repository means netem virtual connections.
+package socks
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// Protocol constants from RFC 1928.
+const (
+	version5     = 0x05
+	authNone     = 0x00
+	cmdConnect   = 0x01
+	atypDomain   = 0x03
+	replyOK      = 0x00
+	replyFailure = 0x01
+	replyRefused = 0x05
+)
+
+// Errors returned by the client handshake.
+var (
+	// ErrVersion indicates the peer spoke something other than SOCKS5.
+	ErrVersion = errors.New("socks: unsupported version")
+	// ErrRefused indicates the proxy rejected the CONNECT.
+	ErrRefused = errors.New("socks: connection refused by proxy")
+)
+
+// ClientHandshake performs the SOCKS5 negotiation for target ("host:port")
+// over an established conn to the proxy. On success the conn carries the
+// proxied stream.
+func ClientHandshake(conn net.Conn, target string) error {
+	host, portStr, ok := strings.Cut(target, ":")
+	if !ok || host == "" {
+		return fmt.Errorf("socks: bad target %q", target)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port < 0 || port > 0xffff {
+		return fmt.Errorf("socks: bad port in %q", target)
+	}
+	if len(host) > 255 {
+		return fmt.Errorf("socks: hostname too long")
+	}
+
+	// Greeting: version 5, one method (no auth).
+	if _, err := conn.Write([]byte{version5, 1, authNone}); err != nil {
+		return err
+	}
+	var resp [2]byte
+	if _, err := io.ReadFull(conn, resp[:]); err != nil {
+		return err
+	}
+	if resp[0] != version5 {
+		return ErrVersion
+	}
+	if resp[1] != authNone {
+		return errors.New("socks: no acceptable auth method")
+	}
+
+	// CONNECT request with a domain-name address.
+	req := make([]byte, 0, 7+len(host))
+	req = append(req, version5, cmdConnect, 0x00, atypDomain, byte(len(host)))
+	req = append(req, host...)
+	req = append(req, byte(port>>8), byte(port))
+	if _, err := conn.Write(req); err != nil {
+		return err
+	}
+
+	var head [4]byte
+	if _, err := io.ReadFull(conn, head[:]); err != nil {
+		return err
+	}
+	if head[0] != version5 {
+		return ErrVersion
+	}
+	if head[1] != replyOK {
+		return fmt.Errorf("%w (code %d)", ErrRefused, head[1])
+	}
+	// Consume the bound address.
+	switch head[3] {
+	case atypDomain:
+		var n [1]byte
+		if _, err := io.ReadFull(conn, n[:]); err != nil {
+			return err
+		}
+		if _, err := io.CopyN(io.Discard, conn, int64(n[0])+2); err != nil {
+			return err
+		}
+	case 0x01: // IPv4
+		if _, err := io.CopyN(io.Discard, conn, 6); err != nil {
+			return err
+		}
+	case 0x04: // IPv6
+		if _, err := io.CopyN(io.Discard, conn, 18); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("socks: bad bound address type %d", head[3])
+	}
+	return nil
+}
+
+// Request is a parsed inbound CONNECT.
+type Request struct {
+	// Target is the requested destination as "host:port".
+	Target string
+	conn   net.Conn
+}
+
+// Grant accepts the CONNECT; the caller then proxies Request.Conn().
+func (r *Request) Grant() error {
+	return writeReply(r.conn, replyOK)
+}
+
+// Deny rejects the CONNECT and closes the conn.
+func (r *Request) Deny() error {
+	defer r.conn.Close()
+	return writeReply(r.conn, replyRefused)
+}
+
+// Conn returns the underlying connection carrying the proxied stream.
+func (r *Request) Conn() net.Conn { return r.conn }
+
+func writeReply(w io.Writer, code byte) error {
+	// Bound address: domain "", port 0.
+	_, err := w.Write([]byte{version5, code, 0x00, atypDomain, 0, 0, 0})
+	return err
+}
+
+// ServerHandshake reads the SOCKS5 negotiation from an inbound conn and
+// returns the CONNECT request. The caller must Grant or Deny it.
+func ServerHandshake(conn net.Conn) (*Request, error) {
+	var head [2]byte
+	if _, err := io.ReadFull(conn, head[:]); err != nil {
+		return nil, err
+	}
+	if head[0] != version5 {
+		return nil, ErrVersion
+	}
+	methods := make([]byte, head[1])
+	if _, err := io.ReadFull(conn, methods); err != nil {
+		return nil, err
+	}
+	hasNone := false
+	for _, m := range methods {
+		if m == authNone {
+			hasNone = true
+		}
+	}
+	if !hasNone {
+		conn.Write([]byte{version5, 0xff})
+		return nil, errors.New("socks: client offers no acceptable method")
+	}
+	if _, err := conn.Write([]byte{version5, authNone}); err != nil {
+		return nil, err
+	}
+
+	var req [4]byte
+	if _, err := io.ReadFull(conn, req[:]); err != nil {
+		return nil, err
+	}
+	if req[0] != version5 {
+		return nil, ErrVersion
+	}
+	if req[1] != cmdConnect {
+		// Command not supported; the caller closes the conn.
+		return nil, fmt.Errorf("socks: unsupported command %d", req[1])
+	}
+	var host string
+	switch req[3] {
+	case atypDomain:
+		var n [1]byte
+		if _, err := io.ReadFull(conn, n[:]); err != nil {
+			return nil, err
+		}
+		b := make([]byte, n[0])
+		if _, err := io.ReadFull(conn, b); err != nil {
+			return nil, err
+		}
+		host = string(b)
+	case 0x01:
+		var b [4]byte
+		if _, err := io.ReadFull(conn, b[:]); err != nil {
+			return nil, err
+		}
+		host = net.IP(b[:]).String()
+	default:
+		return nil, fmt.Errorf("socks: unsupported address type %d", req[3])
+	}
+	var pb [2]byte
+	if _, err := io.ReadFull(conn, pb[:]); err != nil {
+		return nil, err
+	}
+	port := int(pb[0])<<8 | int(pb[1])
+	return &Request{Target: fmt.Sprintf("%s:%d", host, port), conn: conn}, nil
+}
+
+// Serve runs a SOCKS5 accept loop on l, invoking handle for each granted
+// CONNECT in its own goroutine. handle receives the target and the
+// client conn and owns the conn's lifetime. Serve returns when l closes.
+func Serve(l net.Listener, handle func(target string, conn net.Conn)) error {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func(c net.Conn) {
+			req, err := ServerHandshake(c)
+			if err != nil {
+				c.Close()
+				return
+			}
+			if err := req.Grant(); err != nil {
+				c.Close()
+				return
+			}
+			handle(req.Target, c)
+		}(c)
+	}
+}

@@ -1,0 +1,152 @@
+package socks
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func pair() (net.Conn, net.Conn) { return net.Pipe() }
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	c, s := pair()
+	done := make(chan error, 1)
+	go func() {
+		req, err := ServerHandshake(s)
+		if err != nil {
+			done <- err
+			return
+		}
+		if req.Target != "example.org:80" {
+			t.Errorf("target = %q", req.Target)
+		}
+		done <- req.Grant()
+	}()
+	if err := ClientHandshake(c, "example.org:80"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The conn now carries the stream transparently.
+	go s.Write([]byte("hello"))
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("payload = %q", buf)
+	}
+}
+
+func TestDeny(t *testing.T) {
+	c, s := pair()
+	go func() {
+		req, err := ServerHandshake(s)
+		if err != nil {
+			return
+		}
+		req.Deny()
+	}()
+	err := ClientHandshake(c, "blocked.example:443")
+	if err == nil || !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("want refusal, got %v", err)
+	}
+}
+
+func TestBadTargets(t *testing.T) {
+	for _, target := range []string{"", "nohost", "host:notaport", "host:70000", strings.Repeat("x", 300) + ":80"} {
+		c, _ := pair()
+		if err := ClientHandshake(c, target); err == nil {
+			t.Errorf("target %q should fail", target)
+		}
+		c.Close()
+	}
+}
+
+func TestServerRejectsWrongVersion(t *testing.T) {
+	c, s := pair()
+	go c.Write([]byte{0x04, 0x01})
+	if _, err := ServerHandshake(s); err != ErrVersion {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+}
+
+func TestServerRejectsBind(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	defer s.Close()
+	go func() {
+		c.Write([]byte{0x05, 0x01, 0x00})
+		var resp [2]byte
+		io.ReadFull(c, resp[:])
+		// BIND command header; body may never be consumed.
+		c.Write([]byte{0x05, 0x02, 0x00, 0x03})
+	}()
+	if _, err := ServerHandshake(s); err == nil {
+		t.Fatal("BIND should be rejected")
+	}
+}
+
+func TestHandshakePropertyAnyHostPort(t *testing.T) {
+	f := func(hostRaw []byte, port uint16) bool {
+		host := sanitizeHost(hostRaw)
+		if host == "" {
+			return true
+		}
+		c, s := pair()
+		defer c.Close()
+		defer s.Close()
+		want := host + ":" + itoa(int(port))
+		errc := make(chan error, 1)
+		gotc := make(chan string, 1)
+		go func() {
+			req, err := ServerHandshake(s)
+			if err != nil {
+				errc <- err
+				return
+			}
+			gotc <- req.Target
+			errc <- req.Grant()
+		}()
+		if err := ClientHandshake(c, want); err != nil {
+			return false
+		}
+		if got := <-gotc; got != want {
+			return false
+		}
+		return <-errc == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeHost(raw []byte) string {
+	var b bytes.Buffer
+	for _, c := range raw {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '.':
+			b.WriteByte(c)
+		}
+		if b.Len() >= 200 {
+			break
+		}
+	}
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}

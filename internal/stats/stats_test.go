@@ -1,0 +1,321 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !approx(m, 5, 1e-12) {
+		t.Fatalf("mean = %v", m)
+	}
+	if v := Variance(xs); !approx(v, 32.0/7, 1e-12) {
+		t.Fatalf("variance = %v", v)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate cases")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 0.25: 2, 0.5: 3, 0.75: 4, 1: 5}
+	for q, want := range cases {
+		if got := Quantile(xs, q); !approx(got, want, 1e-12) {
+			t.Fatalf("q=%v got %v want %v", q, got, want)
+		}
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); !approx(got, 1.5, 1e-12) {
+		t.Fatalf("interpolation: %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestSummarizeOrdering(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		b := Summarize(xs)
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max &&
+			b.Mean >= b.Min && b.Mean <= b.Max && b.N == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDFMonotoneAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10
+	}
+	e := NewECDF(xs)
+	prev := 0.0
+	for x := -40.0; x <= 40; x += 0.5 {
+		p := e.At(x)
+		if p < prev || p < 0 || p > 1 {
+			t.Fatalf("ECDF not monotone at %v: %v < %v", x, p, prev)
+		}
+		prev = p
+	}
+	if e.At(math.Inf(1)) != 1 || e.At(math.Inf(-1)) != 0 {
+		t.Fatal("ECDF bounds")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if e.At(sorted[len(sorted)-1]) != 1 {
+		t.Fatal("ECDF at max must be 1")
+	}
+}
+
+func TestECDFInverse(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4})
+	if got := e.InverseAt(0.5); got != 2 {
+		t.Fatalf("inverse(0.5) = %v", got)
+	}
+	if got := e.InverseAt(1); got != 4 {
+		t.Fatalf("inverse(1) = %v", got)
+	}
+	xs, ps := e.Points()
+	if len(xs) != 4 || ps[3] != 1 {
+		t.Fatal("points broken")
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x.
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := RegIncBeta(1, 1, x); !approx(got, x, 1e-10) {
+			t.Fatalf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(2,2) = x²(3−2x).
+	for _, x := range []float64{0.1, 0.3, 0.7, 0.9} {
+		want := x * x * (3 - 2*x)
+		if got := RegIncBeta(2, 2, x); !approx(got, want, 1e-10) {
+			t.Fatalf("I_%v(2,2) = %v want %v", x, got, want)
+		}
+	}
+}
+
+func TestTCDFKnownValues(t *testing.T) {
+	// With ν=1 (Cauchy): CDF(1) = 0.75, CDF(0) = 0.5.
+	if got := TCDF(0, 5); !approx(got, 0.5, 1e-12) {
+		t.Fatalf("TCDF(0) = %v", got)
+	}
+	if got := TCDF(1, 1); !approx(got, 0.75, 1e-8) {
+		t.Fatalf("TCDF(1;1) = %v", got)
+	}
+	// Large ν approaches the normal: CDF(1.96; 1e6) ≈ 0.975.
+	if got := TCDF(1.96, 1e6); !approx(got, 0.975, 1e-3) {
+		t.Fatalf("TCDF(1.96;1e6) = %v", got)
+	}
+	// Symmetry.
+	for _, tv := range []float64{0.3, 1.1, 2.7} {
+		if got := TCDF(tv, 7) + TCDF(-tv, 7); !approx(got, 1, 1e-10) {
+			t.Fatalf("symmetry broken at %v: %v", tv, got)
+		}
+	}
+}
+
+func TestTQuantileInvertsTCDF(t *testing.T) {
+	for _, nu := range []float64{2, 5, 30, 200} {
+		for _, p := range []float64{0.05, 0.5, 0.9, 0.975} {
+			q := TQuantile(p, nu)
+			if got := TCDF(q, nu); !approx(got, p, 1e-6) {
+				t.Fatalf("ν=%v p=%v: TCDF(TQuantile)=%v", nu, p, got)
+			}
+		}
+	}
+	// Classic table value: t_{0.975, 10} ≈ 2.228.
+	if q := TQuantile(0.975, 10); !approx(q, 2.228, 0.002) {
+		t.Fatalf("t_{0.975,10} = %v", q)
+	}
+}
+
+func TestPairedTIdenticalSamples(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	res, err := PairedT(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanDiff != 0 || res.P != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestPairedTDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 100
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		base := rng.NormFloat64()
+		x[i] = base + 1.0 // constant shift of +1
+		y[i] = base + rng.NormFloat64()*0.1
+	}
+	res, err := PairedT(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant() {
+		t.Fatalf("shift not detected: %+v", res)
+	}
+	if res.MeanDiff < 0.8 || res.MeanDiff > 1.2 {
+		t.Fatalf("mean diff %v", res.MeanDiff)
+	}
+	if res.CILower > 1 || res.CIUpper < 1 {
+		t.Fatalf("CI [%v,%v] should cover 1", res.CILower, res.CIUpper)
+	}
+	if res.T < 0 {
+		t.Fatal("t should be positive for x>y")
+	}
+}
+
+func TestPairedTNoEffect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rejections := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		n := 30
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		res, err := PairedT(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Significant() {
+			rejections++
+		}
+	}
+	// Under H0 the rejection rate should be about 5%.
+	if rejections > trials/5 {
+		t.Fatalf("false-positive rate too high: %d/%d", rejections, trials)
+	}
+}
+
+func TestPairedTAntisymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.Float64() * 10
+			y[i] = rng.Float64() * 10
+		}
+		a, err1 := PairedT(x, y)
+		b, err2 := PairedT(y, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return approx(a.MeanDiff, -b.MeanDiff, 1e-9) &&
+			approx(a.T, -b.T, 1e-9) &&
+			approx(a.P, b.P, 1e-9) &&
+			approx(a.CILower, -b.CIUpper, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairedTErrors(t *testing.T) {
+	if _, err := PairedT([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := PairedT([]float64{1}, []float64{2}); err != ErrTooFewPairs {
+		t.Fatalf("want ErrTooFewPairs, got %v", err)
+	}
+}
+
+func TestAbsDiffs(t *testing.T) {
+	got := AbsDiffs([]float64{1, 5, 2}, []float64{4, 3, 2})
+	want := []float64{3, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestCIAlwaysContainsMeanDiff(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()*5 + 2
+			y[i] = rng.NormFloat64() * 3
+		}
+		res, err := PairedT(x, y)
+		if err != nil {
+			return false
+		}
+		return res.CILower <= res.MeanDiff && res.MeanDiff <= res.CIUpper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCDFMonotone(t *testing.T) {
+	for _, nu := range []float64{1, 3, 10, 100} {
+		prev := -1.0
+		for tv := -8.0; tv <= 8.0; tv += 0.25 {
+			p := TCDF(tv, nu)
+			if p < prev || p < 0 || p > 1 {
+				t.Fatalf("TCDF not monotone at t=%v ν=%v: %v < %v", tv, nu, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestPairedTPValueInUnitInterval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64() * 100
+			y[i] = rng.Float64() * 100
+		}
+		res, err := PairedT(x, y)
+		if err != nil {
+			return false
+		}
+		return res.P >= 0 && res.P <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	b := Summarize([]float64{7})
+	if b.Min != 7 || b.Max != 7 || b.Median != 7 || b.Mean != 7 || b.N != 1 || b.SD != 0 {
+		t.Fatalf("singleton summary: %+v", b)
+	}
+}

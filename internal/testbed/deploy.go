@@ -1,0 +1,388 @@
+package testbed
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"ptperf/internal/geo"
+	"ptperf/internal/netem"
+	"ptperf/internal/pt"
+	"ptperf/internal/pt/camoufler"
+	"ptperf/internal/pt/cloak"
+	"ptperf/internal/pt/conjure"
+	"ptperf/internal/pt/dnstt"
+	"ptperf/internal/pt/marionette"
+	"ptperf/internal/pt/meek"
+	"ptperf/internal/pt/obfs4"
+	"ptperf/internal/pt/psiphon"
+	"ptperf/internal/pt/shadowsocks"
+	"ptperf/internal/pt/snowflake"
+	"ptperf/internal/pt/stegotorus"
+	"ptperf/internal/pt/webtunnel"
+	"ptperf/internal/tor"
+)
+
+// Deployment is one ready-to-measure access method: vanilla Tor or one
+// of the twelve transports, wired per its integration set.
+type Deployment struct {
+	// Name is "tor" or the transport name.
+	Name string
+	// Info is the transport metadata (zero Info for vanilla Tor).
+	Info pt.Info
+
+	world *World
+	// torClient is the client-side Tor (vanilla, sets 1 and 2).
+	torClient *tor.Client
+	// serverTor is the PT-server-side Tor client (set 3).
+	serverTor *tor.Client
+	// dialer is the PT client (nil for vanilla Tor).
+	dialer pt.Dialer
+	// bridgeGuard is the set-1 effective first hop descriptor.
+	bridgeGuard *tor.Descriptor
+	// snowflakeDep allows load-scenario control.
+	snowflakeDep *snowflake.Deployment
+}
+
+// Dial opens an application stream to target through the deployment.
+func (d *Deployment) Dial(target string) (net.Conn, error) {
+	if d.Info.Set == pt.Set3 {
+		return d.dialer.Dial(target)
+	}
+	return d.torClient.Dial(target)
+}
+
+// FreshCircuit discards circuit state so the next Dial measures a cold
+// path (§5.2 accesses each website over a new circuit).
+func (d *Deployment) FreshCircuit() {
+	if d.torClient != nil {
+		d.torClient.NewCircuit()
+	}
+	if d.serverTor != nil {
+		d.serverTor.NewCircuit()
+	}
+}
+
+// Preheat builds circuits ahead of measurement.
+func (d *Deployment) Preheat() error {
+	if d.torClient != nil {
+		return d.torClient.Preheat()
+	}
+	if d.serverTor != nil {
+		return d.serverTor.Preheat()
+	}
+	return nil
+}
+
+// Path exposes the current client circuit (vanilla, sets 1–2).
+func (d *Deployment) Path() tor.Path {
+	if d.torClient != nil {
+		return d.torClient.Path()
+	}
+	if d.serverTor != nil {
+		return d.serverTor.Path()
+	}
+	return tor.Path{}
+}
+
+// Snowflake returns the snowflake pool controller, if this deployment
+// is snowflake.
+func (d *Deployment) Snowflake() *snowflake.Deployment { return d.snowflakeDep }
+
+// Deployment returns (building on first use) the deployment for "tor"
+// or a transport name.
+func (w *World) Deployment(name string) (*Deployment, error) {
+	if d, ok := w.deps[name]; ok {
+		return d, nil
+	}
+	d, err := w.build(name)
+	if err != nil {
+		return nil, err
+	}
+	w.deps[name] = d
+	return d, nil
+}
+
+// MustDeployment panics on error; topology setup errors are bugs.
+func (w *World) MustDeployment(name string) *Deployment {
+	d, err := w.Deployment(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func (w *World) build(name string) (*Deployment, error) {
+	if name == "tor" {
+		c, err := w.NewTorClient(nil, nil, nil, nil, 500)
+		if err != nil {
+			return nil, err
+		}
+		return &Deployment{Name: "tor", world: w, torClient: c}, nil
+	}
+	info, ok := pt.InfoFor(name)
+	if !ok {
+		return nil, fmt.Errorf("testbed: unknown transport %q", name)
+	}
+	d := &Deployment{Name: name, Info: info, world: w}
+	var err error
+	switch name {
+	case "obfs4":
+		err = w.buildSet1(d, func(host *HostPort, handle pt.StreamHandler) (pt.Dialer, error) {
+			secret := []byte("obfs4-bridge-" + name)
+			if _, err := obfs4.StartServer(host.Host, host.Port, obfs4.Config{Secret: secret, Seed: w.Opts.Seed + 11}, handle); err != nil {
+				return nil, err
+			}
+			return obfs4.NewDialer(w.Client, host.Addr(), obfs4.Config{Secret: secret, Seed: w.Opts.Seed + 12}), nil
+		})
+	case "webtunnel":
+		err = w.buildSet1(d, func(host *HostPort, handle pt.StreamHandler) (pt.Dialer, error) {
+			key := []byte("webtunnel-session-key")
+			cfg := webtunnel.Config{SessionKey: key, SNI: "static.example", Seed: w.Opts.Seed + 13}
+			if _, err := webtunnel.StartServer(host.Host, host.Port, cfg, handle); err != nil {
+				return nil, err
+			}
+			return webtunnel.NewDialer(w.Client, host.Addr(), cfg), nil
+		})
+	case "meek":
+		err = w.buildSet1(d, func(host *HostPort, handle pt.StreamHandler) (pt.Dialer, error) {
+			cfg := meek.Config{Seed: w.Opts.Seed + 14}
+			cfg.SessionBudgetMedian = int64(w.Bytes(int(meek.DefaultSessionBudgetMedian)))
+			cfg.BridgeRate = meek.DefaultBridgeRate * w.Opts.ByteScale
+			bridge, err := meek.StartBridge(host.Host, host.Port, cfg, handle)
+			if err != nil {
+				return nil, err
+			}
+			// The CDN front: a large, busy edge in the infra city.
+			frontHost, err := w.newServerHost("cdn-front", w.Opts.InfraLocation, 0.2)
+			if err != nil {
+				return nil, err
+			}
+			front, err := meek.StartFront(frontHost, 443, cfg, bridge.Addr())
+			if err != nil {
+				return nil, err
+			}
+			return meek.NewDialer(w.Client, front.Addr(), cfg), nil
+		})
+	case "conjure":
+		err = w.buildSet1(d, func(host *HostPort, handle pt.StreamHandler) (pt.Dialer, error) {
+			secret := []byte("conjure-station-secret")
+			cfg := conjure.Config{Secret: secret, Seed: w.Opts.Seed + 15}
+			bridge, err := conjure.StartBridge(host.Host, host.Port, cfg, handle)
+			if err != nil {
+				return nil, err
+			}
+			regHost, err := w.newServerHost("conjure-registrar", w.Opts.InfraLocation, 0.1)
+			if err != nil {
+				return nil, err
+			}
+			stationHost, err := w.newServerHost("conjure-station", w.Opts.InfraLocation, 0.1)
+			if err != nil {
+				return nil, err
+			}
+			inf, err := conjure.StartInfra(regHost, stationHost, 53001, 443, cfg, bridge.Addr())
+			if err != nil {
+				return nil, err
+			}
+			return conjure.NewDialer(w.Client, inf.RegistrarAddr(), inf.PhantomAddr(), cfg), nil
+		})
+	case "dnstt":
+		err = w.buildSet1(d, func(host *HostPort, handle pt.StreamHandler) (pt.Dialer, error) {
+			cfg := dnstt.Config{Seed: w.Opts.Seed + 16}
+			cfg.RespCap = w.Bytes(dnstt.DefaultRespCap)
+			cfg.QueryCap = w.Bytes(dnstt.DefaultQueryCap)
+			cfg.BudgetMedian = int64(w.Bytes(dnstt.DefaultBudgetMedian))
+			srv, err := dnstt.StartServer(host.Host, host.Port, cfg, handle)
+			if err != nil {
+				return nil, err
+			}
+			// The public DoH resolver (e.g. OpenDNS) sits near the
+			// client's region, moderately busy.
+			resHost, err := w.newServerHost("doh-resolver", geo.London, 0.3)
+			if err != nil {
+				return nil, err
+			}
+			res, err := dnstt.StartResolver(resHost, 443, cfg, srv.Addr())
+			if err != nil {
+				return nil, err
+			}
+			return dnstt.NewDialer(w.Client, res.Addr(), cfg), nil
+		})
+	case "shadowsocks":
+		err = w.buildSet2(d, func(host *HostPort) (pt.Dialer, error) {
+			psk := []byte("shadowsocks-psk")
+			cfg := shadowsocks.Config{PSK: psk, Seed: w.Opts.Seed + 17}
+			if _, err := shadowsocks.StartServer(host.Host, host.Port, cfg, pt.ForwardTo(host.Host)); err != nil {
+				return nil, err
+			}
+			return shadowsocks.NewDialer(w.Client, host.Addr(), cfg), nil
+		})
+	case "psiphon":
+		err = w.buildSet2(d, func(host *HostPort) (pt.Dialer, error) {
+			hk := []byte("psiphon-host-key")
+			cfg := psiphon.Config{HostKey: hk, Seed: w.Opts.Seed + 18}
+			if _, err := psiphon.StartServer(host.Host, host.Port, cfg, pt.ForwardTo(host.Host)); err != nil {
+				return nil, err
+			}
+			return psiphon.NewDialer(w.Client, host.Addr(), cfg), nil
+		})
+	case "stegotorus":
+		err = w.buildSet2(d, func(host *HostPort) (pt.Dialer, error) {
+			cfg := stegotorus.Config{Seed: w.Opts.Seed + 19}
+			if _, err := stegotorus.StartServer(host.Host, host.Port, cfg, pt.ForwardTo(host.Host)); err != nil {
+				return nil, err
+			}
+			return stegotorus.NewDialer(w.Client, host.Addr(), cfg), nil
+		})
+	case "camoufler":
+		err = w.buildSet2(d, func(host *HostPort) (pt.Dialer, error) {
+			cfg := camoufler.Config{Seed: w.Opts.Seed + 20}
+			cfg.MessageCap = w.Bytes(camoufler.DefaultMessageCap)
+			imHost, err := w.newServerHost("im-provider", geo.Frankfurt, 0.25)
+			if err != nil {
+				return nil, err
+			}
+			im, err := camoufler.StartIMServer(imHost, 5222, cfg)
+			if err != nil {
+				return nil, err
+			}
+			proxy, err := camoufler.StartProxy(host.Host, im.Addr(), "camoufler", cfg, pt.ForwardTo(host.Host))
+			if err != nil {
+				return nil, err
+			}
+			return camoufler.NewDialer(w.Client, im.Addr(), "camoufler", cfg, proxy), nil
+		})
+	case "snowflake":
+		err = w.buildSet2(d, func(host *HostPort) (pt.Dialer, error) {
+			bridge, err := snowflake.StartBridge(host.Host, host.Port, pt.ForwardTo(host.Host))
+			if err != nil {
+				return nil, err
+			}
+			brokerHost, err := w.newServerHost("snowflake-broker", w.Opts.InfraLocation, 0.2)
+			if err != nil {
+				return nil, err
+			}
+			cfg := snowflake.Config{Seed: w.Opts.Seed + 21}
+			cfg.ProxyUplink = snowflake.DefaultProxyUplink * w.Opts.ByteScale
+			dep, err := snowflake.Deploy(brokerHost, 443, cfg)
+			if err != nil {
+				return nil, err
+			}
+			d.snowflakeDep = dep
+			return snowflake.NewDialer(w.Client, dep.BrokerAddr(), bridge.Addr()), nil
+		})
+	case "cloak":
+		err = w.buildSet3(d, func(host *HostPort, handle pt.StreamHandler) (pt.Dialer, error) {
+			uid := []byte("cloak-uid")
+			cfg := cloak.Config{UID: uid, RedirAddr: "bing.com", Seed: w.Opts.Seed + 22}
+			if _, err := cloak.StartServer(host.Host, host.Port, cfg, handle); err != nil {
+				return nil, err
+			}
+			return cloak.NewDialer(w.Client, host.Addr(), cfg), nil
+		})
+	case "marionette":
+		err = w.buildSet3(d, func(host *HostPort, handle pt.StreamHandler) (pt.Dialer, error) {
+			model := marionette.FTPWithCapacity(w.Bytes(marionette.DefaultCapacity))
+			if _, err := marionette.StartServer(host.Host, host.Port, model, w.Opts.Seed+23, handle); err != nil {
+				return nil, err
+			}
+			return marionette.NewDialer(w.Client, host.Addr(), model, w.Opts.Seed+24)
+		})
+	default:
+		return nil, fmt.Errorf("testbed: transport %q has no deployment recipe", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// HostPort names a PT server endpoint during deployment.
+type HostPort struct {
+	// Host is the machine the PT server listens on.
+	Host *netem.Host
+	// Port is the listening port.
+	Port int
+}
+
+// Addr renders "host:port".
+func (hp *HostPort) Addr() string { return fmt.Sprintf("%s:%d", hp.Host.Name(), hp.Port) }
+
+// ptServerPort is the conventional PT server port.
+const ptServerPort = 443
+
+// buildSet1 wires a set-1 transport: the PT server host also runs an
+// unpublished guard relay; unwrapped PT streams feed the relay's OR
+// protocol directly, and the client's Tor pins that bridge as guard.
+func (w *World) buildSet1(d *Deployment, start func(*HostPort, pt.StreamHandler) (pt.Dialer, error)) error {
+	bridgeHost, err := w.newServerHost(d.Name+"-bridge", w.Opts.InfraLocation, w.Opts.BridgeUtilization)
+	if err != nil {
+		return err
+	}
+	relay, err := tor.StartRelay(tor.RelayConfig{
+		Name:        d.Name + "-bridge-guard",
+		Host:        bridgeHost,
+		Flags:       tor.FlagGuard | tor.FlagFast,
+		Bandwidth:   bridgeHost.Egress().Rate(),
+		Seed:        w.Opts.Seed + 700,
+		Unpublished: true,
+		Port:        9011,
+	})
+	if err != nil {
+		return err
+	}
+	handle := func(_ string, conn net.Conn) { relay.ServeConn(conn) }
+	dialer, err := start(&HostPort{Host: bridgeHost, Port: ptServerPort}, handle)
+	if err != nil {
+		return err
+	}
+	d.dialer = dialer
+	d.bridgeGuard = relay.Descriptor()
+	d.torClient, err = w.NewTorClient(relay.Descriptor(), nil, nil, func(*tor.Descriptor) (net.Conn, error) {
+		return dialer.Dial("")
+	}, 600+int64(len(d.Name)))
+	return err
+}
+
+// buildSet2 wires a set-2 transport: the PT server splices to whichever
+// guard the client's Tor names in the stream prologue.
+func (w *World) buildSet2(d *Deployment, start func(*HostPort) (pt.Dialer, error)) error {
+	srvHost, err := w.newServerHost(d.Name+"-server", w.Opts.InfraLocation, w.Opts.BridgeUtilization)
+	if err != nil {
+		return err
+	}
+	dialer, err := start(&HostPort{Host: srvHost, Port: ptServerPort})
+	if err != nil {
+		return err
+	}
+	d.dialer = dialer
+	d.torClient, err = w.NewTorClient(nil, nil, nil, func(g *tor.Descriptor) (net.Conn, error) {
+		return dialer.Dial(g.Addr)
+	}, 610+int64(len(d.Name)))
+	return err
+}
+
+// buildSet3 wires a set-3 transport: the PT server host runs a full Tor
+// client; application streams arrive with their final destination.
+func (w *World) buildSet3(d *Deployment, start func(*HostPort, pt.StreamHandler) (pt.Dialer, error)) error {
+	srvHost, err := w.newServerHost(d.Name+"-server", w.Opts.InfraLocation, w.Opts.BridgeUtilization)
+	if err != nil {
+		return err
+	}
+	serverTor, err := tor.NewClient(tor.ClientConfig{
+		Host:         srvHost,
+		Directory:    w.Dir,
+		Seed:         w.Opts.Seed*77 + int64(len(d.Name)),
+		BuildTimeout: 120 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	d.serverTor = serverTor
+	dialer, err := start(&HostPort{Host: srvHost, Port: ptServerPort}, pt.HandleWithDialer(serverTor.Dial))
+	if err != nil {
+		return err
+	}
+	d.dialer = dialer
+	return nil
+}

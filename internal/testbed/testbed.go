@@ -1,0 +1,286 @@
+// Package testbed assembles complete measurement worlds: the virtual
+// internet, a volunteer relay fleet, the web origin, and per-transport
+// deployments wired according to the paper's three integration sets
+// (§4.1). The harness package runs the paper's experiments on top of it.
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"ptperf/internal/geo"
+	"ptperf/internal/netem"
+	"ptperf/internal/tor"
+	"ptperf/internal/web"
+)
+
+// Options configures a World.
+type Options struct {
+	// Seed makes the world deterministic.
+	Seed int64
+	// TimeScale is real seconds per virtual second (netem default if 0).
+	TimeScale float64
+	// ByteScale scales every byte quantity — page and file sizes, link
+	// rates, and transport byte caps — preserving durations while
+	// letting the campaign move fewer real bytes. 1 is full fidelity.
+	ByteScale float64
+	// ClientLocation places the measurement client (default Toronto,
+	// one of the paper's client cities).
+	ClientLocation geo.Location
+	// Medium is the client's access medium (§4.7).
+	Medium geo.Medium
+	// InfraLocation places PT servers and bridges (default Frankfurt).
+	InfraLocation geo.Location
+	// Guards, Middles, Exits size the volunteer relay fleet.
+	Guards, Middles, Exits int
+	// GuardUtilization is the [min,max] background load on volunteer
+	// relays. The gap between this and BridgeUtilization reproduces the
+	// paper's "PT bridges beat volunteer guards" finding (§4.2.1).
+	GuardUtilization [2]float64
+	// BridgeUtilization is the background load on PT bridges.
+	BridgeUtilization float64
+	// RelayBandwidth is the [min,max] volunteer link rate in bytes per
+	// virtual second (before ByteScale).
+	RelayBandwidth [2]float64
+	// TrancoN and CBLN size the website catalogs.
+	TrancoN, CBLN int
+}
+
+// withDefaults fills the zero Options with the standard campaign world.
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.ByteScale <= 0 {
+		o.ByteScale = 0.25
+	}
+	if o.ClientLocation == 0 && o.Medium == 0 {
+		o.ClientLocation = geo.Toronto
+	}
+	if o.InfraLocation == 0 {
+		o.InfraLocation = geo.Frankfurt
+	}
+	if o.Guards <= 0 {
+		o.Guards = 4
+	}
+	if o.Middles <= 0 {
+		o.Middles = 5
+	}
+	if o.Exits <= 0 {
+		o.Exits = 5
+	}
+	if o.GuardUtilization == [2]float64{} {
+		o.GuardUtilization = [2]float64{0.55, 0.8}
+	}
+	if o.BridgeUtilization == 0 {
+		o.BridgeUtilization = 0.08
+	}
+	if o.RelayBandwidth == [2]float64{} {
+		o.RelayBandwidth = [2]float64{6 << 20, 14 << 20}
+	}
+	if o.TrancoN <= 0 {
+		o.TrancoN = 100
+	}
+	if o.CBLN <= 0 {
+		o.CBLN = 100
+	}
+	return o
+}
+
+// relayLocations follows the real Tor network's EU/NA-heavy placement.
+var relayLocations = []geo.Location{
+	geo.Frankfurt, geo.Frankfurt, geo.London, geo.NewYork, geo.London,
+	geo.Frankfurt, geo.NewYork, geo.Toronto, geo.London, geo.Frankfurt,
+}
+
+// World is one fully constructed measurement environment.
+type World struct {
+	Opts Options
+	// Net is the virtual internet.
+	Net *netem.Network
+	// Dir is the Tor consensus.
+	Dir *tor.Directory
+	// Origin serves both catalogs and bulk files.
+	Origin *web.Origin
+	// Tranco and CBL are the two site populations.
+	Tranco, CBL *web.Catalog
+	// Client is the measurement client machine.
+	Client *netem.Host
+
+	rng     *rand.Rand
+	relays  []*tor.Relay
+	deps    map[string]*Deployment
+	nextSrv int
+}
+
+// New builds a world.
+func New(opts Options) (*World, error) {
+	o := opts.withDefaults()
+	n := netem.New(netem.WithTimeScale(o.TimeScale), netem.WithSeed(o.Seed))
+	w := &World{
+		Opts: o,
+		Net:  n,
+		Dir:  tor.NewDirectory(),
+		rng:  rand.New(rand.NewSource(o.Seed * 31)),
+		deps: make(map[string]*Deployment),
+	}
+
+	var err error
+	w.Client, err = n.AddHost(netem.HostConfig{
+		Name:     "client",
+		Location: o.ClientLocation,
+		Medium:   o.Medium,
+		// A fast residential/VPS link.
+		UplinkBps:   100 << 20 * o.ByteScale,
+		DownlinkBps: 100 << 20 * o.ByteScale,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Volunteer relay fleet.
+	mkRelay := func(kind string, i int, flags tor.Flag) error {
+		bw := w.uniform(o.RelayBandwidth[0], o.RelayBandwidth[1]) * o.ByteScale
+		util := w.uniform(o.GuardUtilization[0], o.GuardUtilization[1])
+		host, err := n.AddHost(netem.HostConfig{
+			Name:        fmt.Sprintf("%s-%d", kind, i),
+			Location:    relayLocations[(i*3+len(kind))%len(relayLocations)],
+			UplinkBps:   bw,
+			DownlinkBps: bw,
+			Utilization: util,
+		})
+		if err != nil {
+			return err
+		}
+		r, err := tor.StartRelay(tor.RelayConfig{
+			Name:      fmt.Sprintf("%s-%d", kind, i),
+			Host:      host,
+			Directory: w.Dir,
+			Flags:     flags,
+			Bandwidth: bw,
+			Seed:      o.Seed + int64(i) + int64(len(kind))*1000,
+		})
+		if err != nil {
+			return err
+		}
+		w.relays = append(w.relays, r)
+		return nil
+	}
+	for i := 0; i < o.Guards; i++ {
+		if err := mkRelay("guard", i, tor.FlagGuard|tor.FlagFast); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < o.Middles; i++ {
+		if err := mkRelay("middle", i, tor.FlagFast); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < o.Exits; i++ {
+		if err := mkRelay("exit", i, tor.FlagExit|tor.FlagFast); err != nil {
+			return nil, err
+		}
+	}
+
+	// The web origin ("uncensored Internet").
+	originHost, err := n.AddHost(netem.HostConfig{
+		Name:        "origin",
+		Location:    geo.NewYork,
+		UplinkBps:   200 << 20 * o.ByteScale,
+		DownlinkBps: 200 << 20 * o.ByteScale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.Tranco = web.GenerateCatalog(web.Tranco, o.TrancoN, o.Seed+100, o.ByteScale)
+	w.CBL = web.GenerateCatalog(web.CBL, o.CBLN, o.Seed+200, o.ByteScale)
+	w.Origin, err = web.StartOrigin(originHost, 80, w.Tranco, w.CBL)
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// uniform draws from [lo, hi).
+func (w *World) uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + w.rng.Float64()*(hi-lo)
+}
+
+// Bytes scales a full-fidelity byte quantity by the world's ByteScale.
+func (w *World) Bytes(n int) int {
+	v := int(float64(n) * w.Opts.ByteScale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// FileSizes returns Figure 5's file sizes after byte scaling.
+func (w *World) FileSizes() []int {
+	out := make([]int, len(web.FileSizesMB))
+	for i, mb := range web.FileSizesMB {
+		out[i] = w.Bytes(mb << 20)
+	}
+	return out
+}
+
+// newServerHost allocates an infra host at the infra location with
+// bridge-grade (low) utilization.
+func (w *World) newServerHost(name string, loc geo.Location, util float64) (*netem.Host, error) {
+	w.nextSrv++
+	bw := 12 << 20 * w.Opts.ByteScale
+	return w.Net.AddHost(netem.HostConfig{
+		Name:        fmt.Sprintf("%s-%d", name, w.nextSrv),
+		Location:    loc,
+		UplinkBps:   bw,
+		DownlinkBps: bw,
+		Utilization: util,
+	})
+}
+
+// NewTorClient builds a Tor client on the measurement host with an
+// optional pinned path; the fixed-circuit experiments use it directly.
+func (w *World) NewTorClient(guard, middle, exit *tor.Descriptor, dial tor.FirstHopDialer, seed int64) (*tor.Client, error) {
+	return tor.NewClient(tor.ClientConfig{
+		Host:         w.Client,
+		Directory:    w.Dir,
+		Guard:        guard,
+		Middle:       middle,
+		Exit:         exit,
+		DialFirstHop: dial,
+		Seed:         w.Opts.Seed*1000 + seed,
+		BuildTimeout: 120 * time.Second,
+	})
+}
+
+// GuardRelayHost starts an extra host carrying both a published guard
+// relay and (optionally) private PT bridges — the shared first hop of
+// the paper's fixed-circuit experiments (§4.2.1, §5.2). It returns the
+// host and the relay.
+func (w *World) GuardRelayHost(name string, util float64) (*netem.Host, *tor.Relay, error) {
+	host, err := w.newServerHost(name, w.Opts.InfraLocation, util)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := tor.StartRelay(tor.RelayConfig{
+		Name:      host.Name() + "-guard",
+		Host:      host,
+		Directory: w.Dir,
+		Flags:     tor.FlagGuard | tor.FlagFast,
+		Bandwidth: host.Egress().Rate(),
+		Seed:      w.Opts.Seed + 999,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	w.relays = append(w.relays, r)
+	return host, r, nil
+}
+
+// Dialer adapts a deployment to the fetch.Dialer signature.
+type Dialer = func(target string) (net.Conn, error)

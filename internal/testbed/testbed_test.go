@@ -1,0 +1,153 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"ptperf/internal/fetch"
+	"ptperf/internal/pt"
+)
+
+func smallWorld(t *testing.T, seed int64) *World {
+	t.Helper()
+	w, err := New(Options{
+		Seed:      seed,
+		TimeScale: 0.002,
+		ByteScale: 0.1,
+		Guards:    2, Middles: 2, Exits: 2,
+		TrancoN: 4, CBLN: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func fetchClient(w *World, d *Deployment, timeout time.Duration) *fetch.Client {
+	return &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: timeout}
+}
+
+func TestVanillaTorFetch(t *testing.T) {
+	w := smallWorld(t, 3)
+	d := w.MustDeployment("tor")
+	c := fetchClient(w, d, 120*time.Second)
+	res := c.Get(w.Origin.Addr(), w.Tranco.Sites[0].Path, false)
+	if !res.Complete() {
+		t.Fatalf("vanilla tor fetch failed: %+v", res)
+	}
+	if res.TTFB <= 0 || res.Total < res.TTFB {
+		t.Fatalf("bad timing: %+v", res)
+	}
+}
+
+// TestEveryTransportFetches is the full-stack integration: one page
+// through all 12 PTs and vanilla Tor.
+func TestEveryTransportFetches(t *testing.T) {
+	w := smallWorld(t, 4)
+	names := append([]string{"tor"}, pt.Names()...)
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			d, err := w.Deployment(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			timeout := 240 * time.Second
+			c := fetchClient(w, d, timeout)
+			res := c.Get(w.Origin.Addr(), w.CBL.Sites[1].Path, false)
+			if !res.Complete() {
+				t.Fatalf("%s fetch failed: err=%v status=%d got=%d want=%d",
+					name, res.Err, res.Status, res.BytesGot, res.BytesWanted)
+			}
+		})
+	}
+}
+
+func TestSet1UsesBridgeAsGuard(t *testing.T) {
+	w := smallWorld(t, 5)
+	d := w.MustDeployment("obfs4")
+	if err := d.Preheat(); err != nil {
+		t.Fatal(err)
+	}
+	p := d.Path()
+	if p.Guard == nil || p.Guard.Name != "obfs4-bridge-guard" {
+		t.Fatalf("set-1 first hop should be the bridge guard, got %+v", p.Guard)
+	}
+}
+
+func TestSet2UsesConsensusGuard(t *testing.T) {
+	w := smallWorld(t, 6)
+	d := w.MustDeployment("shadowsocks")
+	if err := d.Preheat(); err != nil {
+		t.Fatal(err)
+	}
+	p := d.Path()
+	if p.Guard == nil {
+		t.Fatal("no path")
+	}
+	if p.Guard.Name == "shadowsocks-server" {
+		t.Fatal("set-2 guard must come from the consensus")
+	}
+}
+
+func TestFreshCircuitChangesPath(t *testing.T) {
+	w := smallWorld(t, 7)
+	d := w.MustDeployment("tor")
+	seen := map[string]bool{}
+	for i := 0; i < 6; i++ {
+		d.FreshCircuit()
+		if err := d.Preheat(); err != nil {
+			t.Fatal(err)
+		}
+		p := d.Path()
+		seen[p.Middle.Name+"/"+p.Exit.Name] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("fresh circuits never changed the path")
+	}
+}
+
+func TestBrowserThroughPT(t *testing.T) {
+	w := smallWorld(t, 8)
+	d := w.MustDeployment("webtunnel")
+	c := fetchClient(w, d, 240*time.Second)
+	pr := c.Browse(w.Origin.Addr(), w.Tranco.Sites[2].Path, 6)
+	if !pr.OK {
+		t.Fatalf("browse through webtunnel failed: %+v", pr.Err)
+	}
+	if pr.SpeedIndex <= 0 || pr.SpeedIndex > pr.PageLoadTime {
+		t.Fatalf("speed index %v vs PLT %v", pr.SpeedIndex, pr.PageLoadTime)
+	}
+}
+
+func TestFileSizesScale(t *testing.T) {
+	w := smallWorld(t, 9)
+	sizes := w.FileSizes()
+	if len(sizes) != 5 {
+		t.Fatalf("want 5 sizes, got %d", len(sizes))
+	}
+	if sizes[0] != w.Bytes(5<<20) || sizes[4] != w.Bytes(100<<20) {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatal("sizes must increase")
+		}
+	}
+}
+
+func TestUnknownTransport(t *testing.T) {
+	w := smallWorld(t, 10)
+	if _, err := w.Deployment("nope"); err == nil {
+		t.Fatal("unknown transport must error")
+	}
+}
+
+func TestDeploymentCached(t *testing.T) {
+	w := smallWorld(t, 11)
+	a := w.MustDeployment("tor")
+	b := w.MustDeployment("tor")
+	if a != b {
+		t.Fatal("deployments must be cached per world")
+	}
+}

@@ -1,0 +1,213 @@
+// Package tor implements the Tor substrate of the PTPerf simulation: an
+// onion-routing overlay with fixed-size cells, X25519 circuit handshakes,
+// layered AES-CTR encryption with per-hop digests, guard/middle/exit
+// relays, bandwidth-weighted path selection, window-based flow control
+// and a SOCKS5-fronted client.
+//
+// The substrate intentionally mirrors the architecture of the real Tor
+// protocol (tor-spec.txt) at the level that matters for performance
+// measurement: per-hop round trips during circuit construction, per-cell
+// framing overhead, layered crypto and windowed delivery. Identity
+// authentication (certificates, consensus signatures) is out of scope and
+// documented as such in DESIGN.md.
+package tor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Cell geometry, following tor-spec: fixed 512-byte cells.
+const (
+	// CellSize is the wire size of every cell.
+	CellSize = 512
+	// headerSize is circID (4 bytes) + command (1 byte).
+	headerSize = 5
+	// PayloadSize is the usable payload of a cell.
+	PayloadSize = CellSize - headerSize
+
+	// relayHeaderSize is relayCmd(1) + recognized(2) + streamID(2) +
+	// digest(4) + length(2).
+	relayHeaderSize = 11
+	// MaxRelayData is the maximum data bytes carried by one RELAY_DATA.
+	MaxRelayData = PayloadSize - relayHeaderSize
+)
+
+// Command is a link-level cell command.
+type Command byte
+
+// Link-level commands.
+const (
+	// CmdPadding is ignored by receivers.
+	CmdPadding Command = 0
+	// CmdCreate carries the client half of a circuit handshake.
+	CmdCreate Command = 1
+	// CmdCreated carries the relay half of a circuit handshake.
+	CmdCreated Command = 2
+	// CmdRelay carries an onion-encrypted relay payload.
+	CmdRelay Command = 3
+	// CmdDestroy tears down a circuit.
+	CmdDestroy Command = 4
+)
+
+func (c Command) String() string {
+	switch c {
+	case CmdPadding:
+		return "PADDING"
+	case CmdCreate:
+		return "CREATE"
+	case CmdCreated:
+		return "CREATED"
+	case CmdRelay:
+		return "RELAY"
+	case CmdDestroy:
+		return "DESTROY"
+	default:
+		return fmt.Sprintf("CMD(%d)", byte(c))
+	}
+}
+
+// RelayCommand is the command of a relay cell after onion decryption.
+type RelayCommand byte
+
+// Relay commands.
+const (
+	// RelayBegin asks the exit to open a TCP connection.
+	RelayBegin RelayCommand = 1
+	// RelayData carries stream payload bytes.
+	RelayData RelayCommand = 2
+	// RelayEnd closes a stream.
+	RelayEnd RelayCommand = 3
+	// RelayConnected acknowledges RelayBegin.
+	RelayConnected RelayCommand = 4
+	// RelaySendme extends a flow-control window (streamID 0 ⇒ circuit).
+	RelaySendme RelayCommand = 5
+	// RelayExtend asks the current last hop to extend the circuit.
+	RelayExtend RelayCommand = 6
+	// RelayExtended reports a successful extension.
+	RelayExtended RelayCommand = 7
+	// RelayTruncated reports a failed extension or downstream teardown.
+	RelayTruncated RelayCommand = 8
+)
+
+func (c RelayCommand) String() string {
+	switch c {
+	case RelayBegin:
+		return "BEGIN"
+	case RelayData:
+		return "DATA"
+	case RelayEnd:
+		return "END"
+	case RelayConnected:
+		return "CONNECTED"
+	case RelaySendme:
+		return "SENDME"
+	case RelayExtend:
+		return "EXTEND"
+	case RelayExtended:
+		return "EXTENDED"
+	case RelayTruncated:
+		return "TRUNCATED"
+	default:
+		return fmt.Sprintf("RELAY(%d)", byte(c))
+	}
+}
+
+// Cell is one fixed-size link cell.
+type Cell struct {
+	// CircID identifies the circuit on this link.
+	CircID uint32
+	// Cmd is the link command.
+	Cmd Command
+	// Payload is exactly PayloadSize bytes.
+	Payload [PayloadSize]byte
+}
+
+// Encode writes the wire form of the cell.
+func (c *Cell) Encode(buf []byte) []byte {
+	if cap(buf) < CellSize {
+		buf = make([]byte, CellSize)
+	}
+	buf = buf[:CellSize]
+	binary.BigEndian.PutUint32(buf[0:4], c.CircID)
+	buf[4] = byte(c.Cmd)
+	copy(buf[headerSize:], c.Payload[:])
+	return buf
+}
+
+// Decode parses a wire cell.
+func (c *Cell) Decode(buf []byte) error {
+	if len(buf) != CellSize {
+		return fmt.Errorf("tor: cell must be %d bytes, got %d", CellSize, len(buf))
+	}
+	c.CircID = binary.BigEndian.Uint32(buf[0:4])
+	c.Cmd = Command(buf[4])
+	copy(c.Payload[:], buf[headerSize:])
+	return nil
+}
+
+// WriteCell writes one cell to w.
+func WriteCell(w io.Writer, c *Cell) error {
+	var buf [CellSize]byte
+	_, err := w.Write(c.Encode(buf[:0]))
+	return err
+}
+
+// ReadCell reads one cell from r.
+func ReadCell(r io.Reader, c *Cell) error {
+	var buf [CellSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return err
+	}
+	return c.Decode(buf[:])
+}
+
+// RelayCell is the decrypted interior of a CmdRelay cell.
+type RelayCell struct {
+	// Cmd is the relay command.
+	Cmd RelayCommand
+	// StreamID identifies the stream (0 for circuit-level commands).
+	StreamID uint16
+	// Data is the command payload (at most MaxRelayData bytes).
+	Data []byte
+}
+
+// ErrRelayTooLong reports an oversized relay payload.
+var ErrRelayTooLong = errors.New("tor: relay data exceeds cell capacity")
+
+// marshalRelay builds the plaintext relay payload with a zero digest; the
+// crypto layer fills the digest before encrypting.
+func marshalRelay(rc *RelayCell) ([PayloadSize]byte, error) {
+	var p [PayloadSize]byte
+	if len(rc.Data) > MaxRelayData {
+		return p, ErrRelayTooLong
+	}
+	p[0] = byte(rc.Cmd)
+	// p[1:3] is "recognized", zero in plaintext.
+	binary.BigEndian.PutUint16(p[3:5], rc.StreamID)
+	// p[5:9] is the digest, filled by the crypto layer.
+	binary.BigEndian.PutUint16(p[9:11], uint16(len(rc.Data)))
+	copy(p[relayHeaderSize:], rc.Data)
+	return p, nil
+}
+
+// parseRelay parses a decrypted relay payload; ok reports whether the
+// recognized field is zero and the length is sane (digest checking is the
+// crypto layer's job).
+func parseRelay(p *[PayloadSize]byte) (RelayCell, bool) {
+	if p[1] != 0 || p[2] != 0 {
+		return RelayCell{}, false
+	}
+	n := binary.BigEndian.Uint16(p[9:11])
+	if int(n) > MaxRelayData {
+		return RelayCell{}, false
+	}
+	rc := RelayCell{
+		Cmd:      RelayCommand(p[0]),
+		StreamID: binary.BigEndian.Uint16(p[3:5]),
+		Data:     append([]byte(nil), p[relayHeaderSize:relayHeaderSize+int(n)]...),
+	}
+	return rc, true
+}

@@ -1,0 +1,571 @@
+package tor
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// errStreamTimeout satisfies net.Error with Timeout() == true.
+type streamTimeoutError struct{}
+
+func (streamTimeoutError) Error() string   { return "tor: stream i/o timeout" }
+func (streamTimeoutError) Timeout() bool   { return true }
+func (streamTimeoutError) Temporary() bool { return true }
+
+var errStreamTimeout = streamTimeoutError{}
+
+// circuit is the client's view of one 3-hop circuit.
+type circuit struct {
+	client *Client
+	conn   net.Conn
+	path   Path
+	id     uint32
+
+	// sendMu makes "seal, onion-encrypt, write" atomic so hop digest
+	// counters and CTR streams observe cells in wire order.
+	sendMu sync.Mutex
+
+	mu         sync.Mutex
+	hops       []*hopCrypto
+	streams    map[uint16]*Stream
+	nextStream uint16
+	closed     bool
+	closeErr   error
+
+	control chan RelayCell // EXTENDED / TRUNCATED during build
+
+	fcMu       sync.Mutex
+	fcCond     *sync.Cond
+	circPkgWin int // forward-data budget toward the exit
+	circDlvWin int // backward-data accounting for SENDME generation
+}
+
+func newCircuit(client *Client, conn net.Conn, path Path) *circuit {
+	circ := &circuit{
+		client:     client,
+		conn:       conn,
+		path:       path,
+		streams:    make(map[uint16]*Stream),
+		control:    make(chan RelayCell, 4),
+		circPkgWin: circWindowInit,
+		circDlvWin: circWindowInit,
+	}
+	circ.fcCond = sync.NewCond(&circ.fcMu)
+	return circ
+}
+
+func (circ *circuit) isClosed() bool {
+	circ.mu.Lock()
+	defer circ.mu.Unlock()
+	return circ.closed
+}
+
+// build performs CREATE + 2×EXTEND.
+func (circ *circuit) build() error {
+	c := circ.client
+	c.rngMu.Lock()
+	circ.id = c.rng.Uint32() | 1
+	hs, err := newHandshake(c.rng)
+	c.rngMu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	create := &Cell{CircID: circ.id, Cmd: CmdCreate}
+	writeHandshake(&create.Payload, hs.public())
+	if err := WriteCell(circ.conn, create); err != nil {
+		return err
+	}
+	var created Cell
+	if err := ReadCell(circ.conn, &created); err != nil {
+		return fmt.Errorf("tor: waiting for CREATED: %w", err)
+	}
+	if created.Cmd != CmdCreated || created.CircID != circ.id {
+		return fmt.Errorf("tor: unexpected %v during create", created.Cmd)
+	}
+	hop, err := hs.complete(readHandshake(&created.Payload))
+	if err != nil {
+		return err
+	}
+	circ.mu.Lock()
+	circ.hops = append(circ.hops, hop)
+	circ.mu.Unlock()
+
+	go circ.readLoop()
+
+	for _, next := range []*Descriptor{circ.path.Middle, circ.path.Exit} {
+		if next == nil {
+			return fmt.Errorf("tor: incomplete path")
+		}
+		if err := circ.extend(next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// extend adds one hop via RELAY_EXTEND addressed to the current last hop.
+func (circ *circuit) extend(next *Descriptor) error {
+	c := circ.client
+	c.rngMu.Lock()
+	hs, err := newHandshake(c.rng)
+	c.rngMu.Unlock()
+	if err != nil {
+		return err
+	}
+	circ.mu.Lock()
+	last := len(circ.hops) - 1
+	circ.mu.Unlock()
+
+	rc := RelayCell{Cmd: RelayExtend, Data: encodeExtend(next.Addr, hs.public())}
+	if err := circ.sendRelay(last, rc); err != nil {
+		return err
+	}
+	select {
+	case reply, ok := <-circ.control:
+		if !ok {
+			return circ.closeReason()
+		}
+		if reply.Cmd != RelayExtended || len(reply.Data) != HandshakeLen {
+			return fmt.Errorf("tor: extension to %s failed (%v)", next.Name, reply.Cmd)
+		}
+		hop, err := hs.complete(reply.Data)
+		if err != nil {
+			return err
+		}
+		circ.mu.Lock()
+		circ.hops = append(circ.hops, hop)
+		circ.mu.Unlock()
+		return nil
+	case <-c.clock.Timer(c.cfg.BuildTimeout):
+		circ.close(ErrBuildTimeout)
+		return ErrBuildTimeout
+	}
+}
+
+// sendRelay seals a relay cell for hop index h and onion-encrypts it
+// outward before writing.
+func (circ *circuit) sendRelay(h int, rc RelayCell) error {
+	payload, err := marshalRelay(&rc)
+	if err != nil {
+		return err
+	}
+	circ.mu.Lock()
+	if circ.closed {
+		circ.mu.Unlock()
+		return ErrCircuitClosed
+	}
+	hops := circ.hops[:h+1]
+	circ.mu.Unlock()
+
+	circ.sendMu.Lock()
+	defer circ.sendMu.Unlock()
+	hops[h].sealForward(&payload)
+	for i := h; i >= 0; i-- {
+		hops[i].encryptForward(&payload)
+	}
+	cell := &Cell{CircID: circ.id, Cmd: CmdRelay, Payload: payload}
+	if err := WriteCell(circ.conn, cell); err != nil {
+		circ.close(err)
+		return ErrCircuitClosed
+	}
+	return nil
+}
+
+// readLoop demultiplexes backward cells.
+func (circ *circuit) readLoop() {
+	var cell Cell
+	for {
+		if err := ReadCell(circ.conn, &cell); err != nil {
+			circ.close(err)
+			return
+		}
+		switch cell.Cmd {
+		case CmdRelay:
+			if cell.CircID != circ.id {
+				continue
+			}
+			hop, rc, ok := circ.peel(&cell.Payload)
+			if !ok {
+				circ.close(fmt.Errorf("tor: unrecognized backward cell"))
+				return
+			}
+			circ.deliver(hop, rc)
+		case CmdDestroy:
+			circ.close(ErrCircuitClosed)
+			return
+		}
+	}
+}
+
+// peel removes onion layers until a hop recognizes the cell.
+func (circ *circuit) peel(p *[PayloadSize]byte) (int, RelayCell, bool) {
+	circ.mu.Lock()
+	hops := append([]*hopCrypto(nil), circ.hops...)
+	circ.mu.Unlock()
+	for i, hop := range hops {
+		hop.decryptBackward(p)
+		if rc, ok := parseRelay(p); ok && hop.checkBackward(p) {
+			return i, rc, true
+		}
+	}
+	return 0, RelayCell{}, false
+}
+
+// deliver routes one recognized backward cell.
+func (circ *circuit) deliver(hop int, rc RelayCell) {
+	switch rc.Cmd {
+	case RelayExtended, RelayTruncated:
+		select {
+		case circ.control <- rc:
+		default:
+		}
+	case RelayConnected:
+		if s := circ.stream(rc.StreamID); s != nil {
+			s.notifyConnected(nil)
+		}
+	case RelayData:
+		circ.deliverData(rc)
+	case RelayEnd:
+		if s := circ.stream(rc.StreamID); s != nil {
+			s.remoteClose()
+			circ.forgetStream(rc.StreamID)
+		} else {
+			// END for a pending stream refuses the BEGIN.
+			circ.mu.Lock()
+			pending := circ.streams[rc.StreamID]
+			circ.mu.Unlock()
+			if pending != nil {
+				pending.notifyConnected(ErrStreamRefused)
+			}
+		}
+	case RelaySendme:
+		circ.fcMu.Lock()
+		if rc.StreamID == 0 {
+			circ.circPkgWin += circWindowInc
+		} else if s := circ.stream(rc.StreamID); s != nil {
+			s.pkgWin += streamWindowInc
+		}
+		circ.fcCond.Broadcast()
+		circ.fcMu.Unlock()
+	}
+}
+
+// deliverData appends payload to the stream and generates SENDMEs.
+func (circ *circuit) deliverData(rc RelayCell) {
+	s := circ.stream(rc.StreamID)
+	if s != nil {
+		s.push(rc.Data)
+	}
+	exit := circ.lastHop()
+	circ.fcMu.Lock()
+	circ.circDlvWin--
+	sendCirc := false
+	if circ.circDlvWin <= circWindowInit-circWindowInc {
+		circ.circDlvWin += circWindowInc
+		sendCirc = true
+	}
+	sendStream := false
+	if s != nil {
+		s.dlvWin--
+		if s.dlvWin <= streamWindowInit-streamWindowInc {
+			s.dlvWin += streamWindowInc
+			sendStream = true
+		}
+	}
+	circ.fcMu.Unlock()
+	if sendCirc {
+		circ.sendRelay(exit, RelayCell{Cmd: RelaySendme})
+	}
+	if sendStream {
+		circ.sendRelay(exit, RelayCell{Cmd: RelaySendme, StreamID: rc.StreamID})
+	}
+}
+
+func (circ *circuit) lastHop() int {
+	circ.mu.Lock()
+	defer circ.mu.Unlock()
+	return len(circ.hops) - 1
+}
+
+func (circ *circuit) stream(id uint16) *Stream {
+	if id == 0 {
+		return nil
+	}
+	circ.mu.Lock()
+	defer circ.mu.Unlock()
+	return circ.streams[id]
+}
+
+func (circ *circuit) forgetStream(id uint16) {
+	circ.mu.Lock()
+	delete(circ.streams, id)
+	circ.mu.Unlock()
+}
+
+// openStream performs BEGIN/CONNECTED.
+func (circ *circuit) openStream(target string) (*Stream, error) {
+	circ.mu.Lock()
+	if circ.closed {
+		circ.mu.Unlock()
+		return nil, ErrCircuitClosed
+	}
+	circ.nextStream++
+	id := circ.nextStream
+	s := newStream(circ, id, target)
+	circ.streams[id] = s
+	exit := len(circ.hops) - 1
+	circ.mu.Unlock()
+
+	if err := circ.sendRelay(exit, RelayCell{Cmd: RelayBegin, StreamID: id, Data: []byte(target)}); err != nil {
+		circ.forgetStream(id)
+		return nil, err
+	}
+	select {
+	case err := <-s.connected:
+		if err != nil {
+			circ.forgetStream(id)
+			return nil, err
+		}
+		return s, nil
+	case <-circ.client.clock.Timer(circ.client.cfg.BuildTimeout):
+		circ.forgetStream(id)
+		return nil, ErrBuildTimeout
+	}
+}
+
+func (circ *circuit) closeReason() error {
+	circ.mu.Lock()
+	defer circ.mu.Unlock()
+	if circ.closeErr != nil {
+		return circ.closeErr
+	}
+	return ErrCircuitClosed
+}
+
+// close tears the circuit down locally and releases all waiters.
+func (circ *circuit) close(err error) {
+	circ.mu.Lock()
+	if circ.closed {
+		circ.mu.Unlock()
+		return
+	}
+	circ.closed = true
+	circ.closeErr = err
+	streams := make([]*Stream, 0, len(circ.streams))
+	for _, s := range circ.streams {
+		streams = append(streams, s)
+	}
+	circ.streams = map[uint16]*Stream{}
+	circ.mu.Unlock()
+
+	for _, s := range streams {
+		s.remoteClose()
+		s.notifyConnected(ErrCircuitClosed)
+	}
+	circ.fcMu.Lock()
+	circ.fcCond.Broadcast()
+	circ.fcMu.Unlock()
+	circ.conn.Close()
+}
+
+// waitPackage blocks until the circuit and stream package windows are
+// positive; false means the circuit or stream died.
+func (circ *circuit) waitPackage(s *Stream) bool {
+	circ.fcMu.Lock()
+	defer circ.fcMu.Unlock()
+	for {
+		if circ.isClosed() || s.isClosedLocal() {
+			return false
+		}
+		if circ.circPkgWin > 0 && s.pkgWin > 0 {
+			return true
+		}
+		circ.fcCond.Wait()
+	}
+}
+
+// consumePackage spends one forward cell of window budget.
+func (circ *circuit) consumePackage(s *Stream) {
+	circ.fcMu.Lock()
+	circ.circPkgWin--
+	s.pkgWin--
+	circ.fcMu.Unlock()
+}
+
+// Stream is an anonymized byte stream over a circuit. It implements
+// net.Conn.
+type Stream struct {
+	circ   *circuit
+	id     uint16
+	target string
+
+	connected chan error
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	buf          []byte
+	remoteClosed bool
+	localClosed  bool
+	rdl          time.Time
+
+	// guarded by circ.fcMu
+	pkgWin int
+	dlvWin int
+}
+
+func newStream(circ *circuit, id uint16, target string) *Stream {
+	s := &Stream{
+		circ:      circ,
+		id:        id,
+		target:    target,
+		connected: make(chan error, 1),
+		pkgWin:    streamWindowInit,
+		dlvWin:    streamWindowInit,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *Stream) notifyConnected(err error) {
+	select {
+	case s.connected <- err:
+	default:
+	}
+}
+
+// push appends inbound data (called from the circuit read loop).
+func (s *Stream) push(data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.localClosed {
+		return
+	}
+	s.buf = append(s.buf, data...)
+	s.cond.Broadcast()
+}
+
+// remoteClose marks end-of-stream from the exit.
+func (s *Stream) remoteClose() {
+	s.mu.Lock()
+	s.remoteClosed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *Stream) isClosedLocal() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.localClosed
+}
+
+// Read implements net.Conn.
+func (s *Stream) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.localClosed {
+			return 0, ErrCircuitClosed
+		}
+		if len(s.buf) > 0 {
+			n := copy(p, s.buf)
+			s.buf = s.buf[n:]
+			return n, nil
+		}
+		if s.remoteClosed {
+			return 0, io.EOF
+		}
+		if !s.rdl.IsZero() && !time.Now().Before(s.rdl) {
+			return 0, errStreamTimeout
+		}
+		s.waitLocked()
+	}
+}
+
+func (s *Stream) waitLocked() {
+	if s.rdl.IsZero() {
+		s.cond.Wait()
+		return
+	}
+	t := time.AfterFunc(time.Until(s.rdl), func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	s.cond.Wait()
+	t.Stop()
+}
+
+// Write implements net.Conn, packaging MaxRelayData-sized DATA cells
+// under flow control.
+func (s *Stream) Write(p []byte) (int, error) {
+	exit := s.circ.lastHop()
+	written := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > MaxRelayData {
+			n = MaxRelayData
+		}
+		if !s.circ.waitPackage(s) {
+			return written, ErrCircuitClosed
+		}
+		s.circ.consumePackage(s)
+		if err := s.circ.sendRelay(exit, RelayCell{Cmd: RelayData, StreamID: s.id, Data: p[:n]}); err != nil {
+			return written, err
+		}
+		written += n
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// Close implements net.Conn, sending RELAY_END.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	if s.localClosed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.localClosed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	s.circ.fcMu.Lock()
+	s.circ.fcCond.Broadcast()
+	s.circ.fcMu.Unlock()
+
+	exit := s.circ.lastHop()
+	s.circ.sendRelay(exit, RelayCell{Cmd: RelayEnd, StreamID: s.id})
+	s.circ.forgetStream(s.id)
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (s *Stream) LocalAddr() net.Addr { return streamAddr("tor-client") }
+
+// RemoteAddr implements net.Conn.
+func (s *Stream) RemoteAddr() net.Addr { return streamAddr(s.target) }
+
+// SetDeadline implements net.Conn (read side only; writes are paced by
+// flow control).
+func (s *Stream) SetDeadline(t time.Time) error { return s.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (s *Stream) SetReadDeadline(t time.Time) error {
+	s.mu.Lock()
+	s.rdl = t
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn as a no-op.
+func (s *Stream) SetWriteDeadline(time.Time) error { return nil }
+
+type streamAddr string
+
+func (streamAddr) Network() string  { return "tor" }
+func (a streamAddr) String() string { return string(a) }

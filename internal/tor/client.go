@@ -1,0 +1,272 @@
+package tor
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"ptperf/internal/netem"
+	"ptperf/internal/socks"
+)
+
+// Errors surfaced by the client.
+var (
+	// ErrCircuitClosed is returned for operations on a dead circuit.
+	ErrCircuitClosed = errors.New("tor: circuit closed")
+	// ErrBuildTimeout is returned when circuit construction stalls.
+	ErrBuildTimeout = errors.New("tor: circuit build timeout")
+	// ErrStreamRefused is returned when the exit cannot reach the target.
+	ErrStreamRefused = errors.New("tor: stream refused by exit")
+)
+
+// FirstHopDialer opens the client's connection to the first hop. Vanilla
+// Tor dials the guard's ORPort directly; pluggable transports substitute
+// their obfuscated channel here — this is the paper's PT client plug-in
+// point.
+type FirstHopDialer func(guard *Descriptor) (net.Conn, error)
+
+// ClientConfig configures a Tor client.
+type ClientConfig struct {
+	// Host is the machine the client runs on.
+	Host *netem.Host
+	// Directory provides the consensus for path selection.
+	Directory *Directory
+	// DialFirstHop overrides the vanilla direct dial to the guard.
+	DialFirstHop FirstHopDialer
+	// Guard pins the first hop (guard persistence, fixed-circuit
+	// experiments, PT bridges). Nil selects one from the consensus and
+	// keeps it for the client's lifetime.
+	Guard *Descriptor
+	// Middle and Exit pin the rest of the path when non-nil (§5.2's
+	// LeaveStreamsUnattached+carml equivalent).
+	Middle, Exit *Descriptor
+	// Seed makes path selection and handshakes deterministic.
+	Seed int64
+	// BuildTimeout bounds circuit construction in virtual time; zero
+	// means 60 virtual seconds.
+	BuildTimeout time.Duration
+}
+
+// Client is a Tor client: it builds circuits and opens streams.
+type Client struct {
+	cfg   ClientConfig
+	clock *netem.Clock
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu    sync.Mutex
+	guard *Descriptor
+	circ  *circuit
+}
+
+// NewClient creates a client. It does not build a circuit until the
+// first Dial (or an explicit Preheat).
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Host == nil {
+		return nil, errors.New("tor: client needs a host")
+	}
+	if cfg.Directory == nil && (cfg.Guard == nil || cfg.Middle == nil || cfg.Exit == nil) {
+		return nil, errors.New("tor: client needs a directory or a fully pinned path")
+	}
+	if cfg.BuildTimeout <= 0 {
+		cfg.BuildTimeout = 60 * time.Second
+	}
+	c := &Client{
+		cfg:   cfg,
+		clock: cfg.Host.Network().Clock(),
+		rng:   rand.New(rand.NewSource(cfg.Seed*6364136223846793005 + 1442695040888963407)),
+		guard: cfg.Guard,
+	}
+	return c, nil
+}
+
+// Guard returns the client's persistent guard, selecting one if needed.
+func (c *Client) Guard() *Descriptor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.guardLocked()
+}
+
+func (c *Client) guardLocked() *Descriptor {
+	if c.guard == nil {
+		c.rngMu.Lock()
+		c.guard = pickWeighted(c.rng, c.cfg.Directory.WithFlag(FlagGuard))
+		c.rngMu.Unlock()
+	}
+	return c.guard
+}
+
+// Preheat builds a circuit if none is alive, so that measurement code can
+// exclude (or include) bootstrap cost explicitly.
+func (c *Client) Preheat() error {
+	_, err := c.circuitFor()
+	return err
+}
+
+// NewCircuit discards the current circuit so the next Dial builds a fresh
+// one (the paper accesses each website over a fresh circuit in §5.2, and
+// MaxCircuitDirtiness-style reuse otherwise).
+func (c *Client) NewCircuit() {
+	c.mu.Lock()
+	circ := c.circ
+	c.circ = nil
+	c.mu.Unlock()
+	if circ != nil {
+		circ.close(nil)
+	}
+}
+
+// Close tears down the client's circuit.
+func (c *Client) Close() error {
+	c.NewCircuit()
+	return nil
+}
+
+// Path returns the current circuit's path, or zero Path if none.
+func (c *Client) Path() Path {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.circ == nil {
+		return Path{}
+	}
+	return c.circ.path
+}
+
+// circuitFor returns a live circuit, building one if necessary.
+func (c *Client) circuitFor() (*circuit, error) {
+	c.mu.Lock()
+	if c.circ != nil && !c.circ.isClosed() {
+		circ := c.circ
+		c.mu.Unlock()
+		return circ, nil
+	}
+	c.mu.Unlock()
+
+	circ, err := c.buildCircuit()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	// Another goroutine may have raced us; prefer the existing one.
+	if c.circ != nil && !c.circ.isClosed() {
+		existing := c.circ
+		c.mu.Unlock()
+		circ.close(nil)
+		return existing, nil
+	}
+	c.circ = circ
+	c.mu.Unlock()
+	return circ, nil
+}
+
+// buildCircuit constructs a fresh 3-hop circuit: CREATE to the guard,
+// then two EXTENDs, each costing the appropriate chained round trips.
+func (c *Client) buildCircuit() (*circuit, error) {
+	guard := c.Guard()
+	var path Path
+	var err error
+	if c.cfg.Directory != nil {
+		c.rngMu.Lock()
+		path, err = c.cfg.Directory.SelectPath(c.rng, guard, c.cfg.Middle, c.cfg.Exit)
+		c.rngMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		path = Path{Guard: guard, Middle: c.cfg.Middle, Exit: c.cfg.Exit}
+	}
+
+	dial := c.cfg.DialFirstHop
+	if dial == nil {
+		dial = func(g *Descriptor) (net.Conn, error) { return c.cfg.Host.Dial(g.Addr) }
+	}
+	conn, err := dial(path.Guard)
+	if err != nil {
+		return nil, fmt.Errorf("tor: dial first hop: %w", err)
+	}
+
+	circ := newCircuit(c, conn, path)
+	if err := circ.build(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return circ, nil
+}
+
+// Dial opens an anonymized stream to target ("host:port") through the
+// client's circuit.
+func (c *Client) Dial(target string) (net.Conn, error) {
+	circ, err := c.circuitFor()
+	if err != nil {
+		return nil, err
+	}
+	s, err := circ.openStream(target)
+	if err != nil {
+		// One retry on a fresh circuit, like Tor's stream re-attach.
+		if errors.Is(err, ErrCircuitClosed) {
+			c.NewCircuit()
+			circ, err = c.circuitFor()
+			if err != nil {
+				return nil, err
+			}
+			return circ.openStream(target)
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+// ServeSOCKS runs a SOCKS5 front end on the given port of the client's
+// host, attaching each CONNECT to the circuit. It returns the listener
+// address once listening; the accept loop runs until the listener closes.
+func (c *Client) ServeSOCKS(port int) (net.Addr, func() error, error) {
+	ln, err := c.cfg.Host.Listen(port)
+	if err != nil {
+		return nil, nil, err
+	}
+	go socks.Serve(ln, func(target string, conn net.Conn) {
+		up, err := c.Dial(target)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		proxyPair(conn, up)
+	})
+	return ln.Addr(), ln.Close, nil
+}
+
+// proxyPair splices two conns together and closes both when either
+// direction finishes.
+func proxyPair(a, b net.Conn) {
+	done := make(chan struct{}, 2)
+	cp := func(dst, src net.Conn) {
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+		if cw, ok := dst.(interface{ CloseWrite() error }); ok {
+			cw.CloseWrite()
+		} else {
+			dst.Close()
+		}
+		done <- struct{}{}
+	}
+	go cp(a, b)
+	go cp(b, a)
+	<-done
+	<-done
+	a.Close()
+	b.Close()
+}

@@ -1,0 +1,194 @@
+package tor
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// HandshakeLen is the size of each half of the circuit handshake: an
+// X25519 public key.
+const HandshakeLen = 32
+
+// hopCrypto holds one hop's share of the onion encryption: AES-CTR
+// streams in both directions plus per-direction digest keys and counters.
+type hopCrypto struct {
+	fwd, bwd cipher.Stream
+	// digest keys authenticate relay cells addressed to this hop.
+	fwdMAC, bwdMAC []byte
+	fwdCtr, bwdCtr uint64
+}
+
+// deriveHop expands a shared secret into a hop's key material using an
+// HKDF-style SHA-256 counter expansion.
+func deriveHop(secret []byte) (*hopCrypto, error) {
+	expand := func(n int) []byte {
+		out := make([]byte, 0, n)
+		var ctr byte
+		for len(out) < n {
+			h := sha256.New()
+			h.Write(secret)
+			h.Write([]byte{ctr})
+			out = append(out, h.Sum(nil)...)
+			ctr++
+		}
+		return out[:n]
+	}
+	km := expand(16 + 16 + 16 + 16 + 32 + 32)
+	kf, ivf := km[0:16], km[16:32]
+	kb, ivb := km[32:48], km[48:64]
+	df, db := km[64:96], km[96:128]
+
+	bf, err := aes.NewCipher(kf)
+	if err != nil {
+		return nil, err
+	}
+	bb, err := aes.NewCipher(kb)
+	if err != nil {
+		return nil, err
+	}
+	return &hopCrypto{
+		fwd:    cipher.NewCTR(bf, ivf),
+		bwd:    cipher.NewCTR(bb, ivb),
+		fwdMAC: df,
+		bwdMAC: db,
+	}, nil
+}
+
+// relayDigest computes the 4-byte digest for the n-th recognized relay
+// cell in one direction: HMAC-SHA256(key, counter || payload-with-zero-
+// digest) truncated.
+func relayDigest(key []byte, counter uint64, payload *[PayloadSize]byte) [4]byte {
+	var zeroed [PayloadSize]byte
+	copy(zeroed[:], payload[:])
+	zeroed[5], zeroed[6], zeroed[7], zeroed[8] = 0, 0, 0, 0
+	mac := hmac.New(sha256.New, key)
+	var ctr [8]byte
+	binary.BigEndian.PutUint64(ctr[:], counter)
+	mac.Write(ctr[:])
+	mac.Write(zeroed[:])
+	var out [4]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// sealForward marks a plaintext relay payload with this hop's digest and
+// advances the forward counter. Called by the party that *originates*
+// cells toward this hop (the client).
+func (h *hopCrypto) sealForward(p *[PayloadSize]byte) {
+	d := relayDigest(h.fwdMAC, h.fwdCtr, p)
+	copy(p[5:9], d[:])
+	h.fwdCtr++
+}
+
+// checkForward verifies an arrived forward cell's digest at the hop.
+func (h *hopCrypto) checkForward(p *[PayloadSize]byte) bool {
+	want := relayDigest(h.fwdMAC, h.fwdCtr, p)
+	if !hmac.Equal(want[:], p[5:9]) {
+		return false
+	}
+	h.fwdCtr++
+	return true
+}
+
+// sealBackward marks a payload originated by this hop toward the client.
+func (h *hopCrypto) sealBackward(p *[PayloadSize]byte) {
+	d := relayDigest(h.bwdMAC, h.bwdCtr, p)
+	copy(p[5:9], d[:])
+	h.bwdCtr++
+}
+
+// checkBackward verifies a backward cell's digest at the client.
+func (h *hopCrypto) checkBackward(p *[PayloadSize]byte) bool {
+	want := relayDigest(h.bwdMAC, h.bwdCtr, p)
+	if !hmac.Equal(want[:], p[5:9]) {
+		return false
+	}
+	h.bwdCtr++
+	return true
+}
+
+// encryptForward applies this hop's forward stream cipher in place.
+func (h *hopCrypto) encryptForward(p *[PayloadSize]byte) { h.fwd.XORKeyStream(p[:], p[:]) }
+
+// decryptForward is identical for CTR mode; named for readability.
+func (h *hopCrypto) decryptForward(p *[PayloadSize]byte) { h.fwd.XORKeyStream(p[:], p[:]) }
+
+// encryptBackward applies this hop's backward stream cipher in place.
+func (h *hopCrypto) encryptBackward(p *[PayloadSize]byte) { h.bwd.XORKeyStream(p[:], p[:]) }
+
+// decryptBackward is identical for CTR mode; named for readability.
+func (h *hopCrypto) decryptBackward(p *[PayloadSize]byte) { h.bwd.XORKeyStream(p[:], p[:]) }
+
+// handshake is the X25519 exchange used by CREATE/CREATED and
+// EXTEND/EXTENDED. The simulation authenticates neither side (see package
+// comment); the exchange costs the same round trips as ntor.
+type handshake struct {
+	priv *ecdh.PrivateKey
+}
+
+// newHandshake generates the initiator or responder keypair from a
+// deterministic stream seeded by the caller.
+func newHandshake(rng *rand.Rand) (*handshake, error) {
+	seed := make([]byte, 32)
+	for i := range seed {
+		seed[i] = byte(rng.Intn(256))
+	}
+	priv, err := ecdh.X25519().NewPrivateKey(clampX25519(seed))
+	if err != nil {
+		return nil, fmt.Errorf("tor: handshake keygen: %w", err)
+	}
+	return &handshake{priv: priv}, nil
+}
+
+// clampX25519 applies the RFC 7748 scalar clamping so arbitrary seeds are
+// valid private keys.
+func clampX25519(seed []byte) []byte {
+	s := append([]byte(nil), seed...)
+	s[0] &= 248
+	s[31] &= 127
+	s[31] |= 64
+	return s
+}
+
+// public returns the 32-byte public key for the wire.
+func (hs *handshake) public() []byte { return hs.priv.PublicKey().Bytes() }
+
+// complete derives the hop keys from the peer's public key.
+func (hs *handshake) complete(peerPub []byte) (*hopCrypto, error) {
+	if len(peerPub) != HandshakeLen {
+		return nil, errors.New("tor: bad handshake length")
+	}
+	pub, err := ecdh.X25519().NewPublicKey(peerPub)
+	if err != nil {
+		return nil, fmt.Errorf("tor: bad peer key: %w", err)
+	}
+	secret, err := hs.priv.ECDH(pub)
+	if err != nil {
+		return nil, fmt.Errorf("tor: ecdh: %w", err)
+	}
+	return deriveHop(secret)
+}
+
+// readHandshake extracts the handshake public key from a cell payload.
+func readHandshake(p *[PayloadSize]byte) []byte {
+	return append([]byte(nil), p[:HandshakeLen]...)
+}
+
+// writeHandshake places a handshake public key into a cell payload.
+func writeHandshake(p *[PayloadSize]byte, pub []byte) {
+	copy(p[:HandshakeLen], pub)
+}
+
+// randFill fills b from the rng; used for cover padding.
+func randFill(rng *rand.Rand, b []byte) {
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+}

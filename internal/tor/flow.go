@@ -1,0 +1,14 @@
+package tor
+
+// Flow-control constants, following tor-spec §7: windows are counted in
+// RELAY_DATA cells and replenished by SENDME cells.
+const (
+	// circWindowInit is the initial circuit-level package window.
+	circWindowInit = 1000
+	// circWindowInc is the cells acknowledged by one circuit SENDME.
+	circWindowInc = 100
+	// streamWindowInit is the initial stream-level package window.
+	streamWindowInit = 500
+	// streamWindowInc is the cells acknowledged by one stream SENDME.
+	streamWindowInc = 50
+)

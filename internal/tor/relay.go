@@ -1,0 +1,595 @@
+package tor
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+
+	"ptperf/internal/netem"
+)
+
+// DefaultORPort is the port relays listen on unless configured otherwise.
+const DefaultORPort = 9001
+
+// RelayConfig configures one relay process.
+type RelayConfig struct {
+	// Name is the unique nickname published to the directory.
+	Name string
+	// Host is the virtual machine the relay runs on. The host's link
+	// capacity and background utilization model the relay's real load.
+	Host *netem.Host
+	// Directory receives the descriptor; required unless Unpublished.
+	Directory *Directory
+	// Flags are the relay's roles.
+	Flags Flag
+	// Bandwidth is the advertised selection weight in bytes per virtual
+	// second. Zero defaults to the host's egress capacity.
+	Bandwidth float64
+	// Port overrides DefaultORPort.
+	Port int
+	// Seed makes handshake key generation deterministic.
+	Seed int64
+	// Unpublished relays (private bridges acting as guards for PT
+	// servers) are reachable but never selected from the consensus.
+	Unpublished bool
+}
+
+// Relay is a running onion router.
+type Relay struct {
+	cfg  RelayConfig
+	desc *Descriptor
+	ln   *netem.Listener
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// StartRelay launches a relay and publishes its descriptor.
+func StartRelay(cfg RelayConfig) (*Relay, error) {
+	if cfg.Host == nil {
+		return nil, fmt.Errorf("tor: relay %q needs a host", cfg.Name)
+	}
+	if cfg.Port == 0 {
+		cfg.Port = DefaultORPort
+	}
+	if cfg.Bandwidth <= 0 {
+		cfg.Bandwidth = cfg.Host.Egress().Rate()
+	}
+	if cfg.Flags == 0 {
+		cfg.Flags = FlagFast
+	}
+	ln, err := cfg.Host.Listen(cfg.Port)
+	if err != nil {
+		return nil, err
+	}
+	r := &Relay{
+		cfg: cfg,
+		ln:  ln,
+		rng: rand.New(rand.NewSource(cfg.Seed*2654435761 + 17)),
+		desc: &Descriptor{
+			Name:      cfg.Name,
+			Addr:      fmt.Sprintf("%s:%d", cfg.Host.Name(), cfg.Port),
+			Flags:     cfg.Flags,
+			Bandwidth: cfg.Bandwidth,
+			Location:  cfg.Host.Location(),
+		},
+	}
+	if !cfg.Unpublished {
+		if cfg.Directory == nil {
+			return nil, fmt.Errorf("tor: relay %q needs a directory (or Unpublished)", cfg.Name)
+		}
+		if err := cfg.Directory.Publish(r.desc); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Descriptor returns the relay's directory entry (also for unpublished
+// bridges, where it is handed to clients out of band).
+func (r *Relay) Descriptor() *Descriptor { return r.desc }
+
+// Close stops accepting connections.
+func (r *Relay) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	return r.ln.Close()
+}
+
+func (r *Relay) acceptLoop() {
+	for {
+		c, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		go r.ServeConn(c)
+	}
+}
+
+// ServeConn runs the OR protocol on one inbound link. It is exported so
+// pluggable-transport servers can hand obfuscated connections directly to
+// a co-located relay (integration set 1 of the paper, where the PT server
+// is the guard).
+func (r *Relay) ServeConn(conn net.Conn) {
+	l := &link{relay: r, conn: conn, circs: make(map[uint32]*relayCirc)}
+	l.serve()
+}
+
+func (r *Relay) newHandshake() (*handshake, error) {
+	r.rngMu.Lock()
+	defer r.rngMu.Unlock()
+	return newHandshake(r.rng)
+}
+
+func (r *Relay) randID() uint32 {
+	r.rngMu.Lock()
+	defer r.rngMu.Unlock()
+	return r.rng.Uint32() | 1
+}
+
+// link is one upstream connection carrying circuits.
+type link struct {
+	relay *Relay
+	conn  net.Conn
+
+	wmu sync.Mutex
+
+	mu    sync.Mutex
+	circs map[uint32]*relayCirc
+}
+
+func (l *link) writeCell(c *Cell) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	return WriteCell(l.conn, c)
+}
+
+func (l *link) circuit(id uint32) *relayCirc {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.circs[id]
+}
+
+func (l *link) removeCircuit(id uint32) {
+	l.mu.Lock()
+	delete(l.circs, id)
+	l.mu.Unlock()
+}
+
+// serve is the upstream read loop.
+func (l *link) serve() {
+	defer l.teardown()
+	var cell Cell
+	for {
+		if err := ReadCell(l.conn, &cell); err != nil {
+			return
+		}
+		switch cell.Cmd {
+		case CmdPadding:
+			// ignored
+		case CmdCreate:
+			if err := l.handleCreate(&cell); err != nil {
+				return
+			}
+		case CmdRelay:
+			circ := l.circuit(cell.CircID)
+			if circ == nil {
+				continue
+			}
+			if err := circ.handleRelay(&cell); err != nil {
+				circ.destroy(true, false)
+			}
+		case CmdDestroy:
+			if circ := l.circuit(cell.CircID); circ != nil {
+				circ.destroy(false, true)
+			}
+		}
+	}
+}
+
+func (l *link) teardown() {
+	l.mu.Lock()
+	circs := make([]*relayCirc, 0, len(l.circs))
+	for _, c := range l.circs {
+		circs = append(circs, c)
+	}
+	l.circs = map[uint32]*relayCirc{}
+	l.mu.Unlock()
+	for _, c := range circs {
+		c.destroy(false, true)
+	}
+	l.conn.Close()
+}
+
+func (l *link) handleCreate(cell *Cell) error {
+	hs, err := l.relay.newHandshake()
+	if err != nil {
+		return err
+	}
+	hc, err := hs.complete(readHandshake(&cell.Payload))
+	if err != nil {
+		return err
+	}
+	circ := &relayCirc{
+		link:       l,
+		id:         cell.CircID,
+		crypto:     hc,
+		streams:    make(map[uint16]*exitStream),
+		circPkgWin: circWindowInit,
+		circDlvWin: circWindowInit,
+	}
+	circ.fcCond = sync.NewCond(&circ.fcMu)
+	l.mu.Lock()
+	l.circs[cell.CircID] = circ
+	l.mu.Unlock()
+
+	reply := &Cell{CircID: cell.CircID, Cmd: CmdCreated}
+	writeHandshake(&reply.Payload, hs.public())
+	return l.writeCell(reply)
+}
+
+// relayCirc is this relay's view of one circuit.
+type relayCirc struct {
+	link   *link
+	id     uint32
+	crypto *hopCrypto
+
+	mu      sync.Mutex
+	next    net.Conn // downstream link, nil while last hop
+	nextID  uint32
+	nextWMu sync.Mutex
+	// bwdMu makes "apply backward crypto, then write upstream" atomic so
+	// the client observes cells in CTR-stream order.
+	bwdMu   sync.Mutex
+	streams map[uint16]*exitStream
+	closed  bool
+
+	// Backward (towards client) flow control.
+	fcMu       sync.Mutex
+	fcCond     *sync.Cond
+	circPkgWin int
+	// Forward delivery accounting for SENDME generation.
+	circDlvWin int
+}
+
+// handleRelay processes one forward relay cell.
+func (c *relayCirc) handleRelay(cell *Cell) error {
+	c.crypto.decryptForward(&cell.Payload)
+	if rc, ok := parseRelay(&cell.Payload); ok && c.crypto.checkForward(&cell.Payload) {
+		return c.handleRecognized(rc)
+	}
+	// Not for us: forward downstream.
+	c.mu.Lock()
+	next, nextID := c.next, c.nextID
+	c.mu.Unlock()
+	if next == nil {
+		return fmt.Errorf("tor: unrecognized relay cell at last hop")
+	}
+	out := &Cell{CircID: nextID, Cmd: CmdRelay, Payload: cell.Payload}
+	c.nextWMu.Lock()
+	err := WriteCell(next, out)
+	c.nextWMu.Unlock()
+	return err
+}
+
+func (c *relayCirc) handleRecognized(rc RelayCell) error {
+	switch rc.Cmd {
+	case RelayExtend:
+		return c.handleExtend(rc)
+	case RelayBegin:
+		return c.handleBegin(rc)
+	case RelayData:
+		return c.handleData(rc)
+	case RelayEnd:
+		c.closeStream(rc.StreamID, false)
+		return nil
+	case RelaySendme:
+		c.handleSendme(rc.StreamID)
+		return nil
+	default:
+		return fmt.Errorf("tor: unexpected relay command %v", rc.Cmd)
+	}
+}
+
+// handleExtend dials the requested next relay and splices the circuit.
+func (c *relayCirc) handleExtend(rc RelayCell) error {
+	if len(rc.Data) < 1+HandshakeLen {
+		return fmt.Errorf("tor: short EXTEND")
+	}
+	nameLen := int(rc.Data[0])
+	if len(rc.Data) < 1+nameLen+HandshakeLen {
+		return fmt.Errorf("tor: malformed EXTEND")
+	}
+	addr := string(rc.Data[1 : 1+nameLen])
+	clientPub := rc.Data[1+nameLen : 1+nameLen+HandshakeLen]
+
+	conn, err := c.link.relay.cfg.Host.Dial(addr)
+	if err != nil {
+		return c.sendBackwardControl(RelayTruncated, nil)
+	}
+	nextID := c.link.relay.randID()
+	create := &Cell{CircID: nextID, Cmd: CmdCreate}
+	writeHandshake(&create.Payload, clientPub)
+	if err := WriteCell(conn, create); err != nil {
+		conn.Close()
+		return c.sendBackwardControl(RelayTruncated, nil)
+	}
+	var created Cell
+	if err := ReadCell(conn, &created); err != nil || created.Cmd != CmdCreated {
+		conn.Close()
+		return c.sendBackwardControl(RelayTruncated, nil)
+	}
+
+	c.mu.Lock()
+	c.next = conn
+	c.nextID = nextID
+	c.mu.Unlock()
+	go c.pumpBackward(conn)
+
+	return c.sendBackwardControl(RelayExtended, readHandshake(&created.Payload))
+}
+
+// pumpBackward relays downstream→upstream cells, adding our onion layer.
+func (c *relayCirc) pumpBackward(conn net.Conn) {
+	var cell Cell
+	for {
+		if err := ReadCell(conn, &cell); err != nil {
+			c.destroy(true, false)
+			return
+		}
+		switch cell.Cmd {
+		case CmdRelay:
+			c.bwdMu.Lock()
+			c.crypto.encryptBackward(&cell.Payload)
+			out := &Cell{CircID: c.id, Cmd: CmdRelay, Payload: cell.Payload}
+			err := c.link.writeCell(out)
+			c.bwdMu.Unlock()
+			if err != nil {
+				c.destroy(false, true)
+				return
+			}
+		case CmdDestroy:
+			c.destroy(true, false)
+			return
+		}
+	}
+}
+
+// sendBackwardControl originates a backward relay cell at this hop.
+func (c *relayCirc) sendBackwardControl(cmd RelayCommand, data []byte) error {
+	return c.sendBackward(RelayCell{Cmd: cmd, StreamID: 0, Data: data})
+}
+
+func (c *relayCirc) sendBackward(rc RelayCell) error {
+	payload, err := marshalRelay(&rc)
+	if err != nil {
+		return err
+	}
+	// Seal, encrypt and write atomically so digest counters and the CTR
+	// stream stay in the order the client will observe.
+	c.bwdMu.Lock()
+	defer c.bwdMu.Unlock()
+	c.crypto.sealBackward(&payload)
+	c.crypto.encryptBackward(&payload)
+	cell := &Cell{CircID: c.id, Cmd: CmdRelay, Payload: payload}
+	return c.link.writeCell(cell)
+}
+
+// handleBegin opens the exit connection for a new stream.
+func (c *relayCirc) handleBegin(rc RelayCell) error {
+	target := string(rc.Data)
+	conn, err := c.link.relay.cfg.Host.Dial(target)
+	if err != nil {
+		return c.sendBackward(RelayCell{Cmd: RelayEnd, StreamID: rc.StreamID})
+	}
+	s := &exitStream{
+		circ:   c,
+		id:     rc.StreamID,
+		conn:   conn,
+		pkgWin: streamWindowInit,
+		dlvWin: streamWindowInit,
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return nil
+	}
+	c.streams[rc.StreamID] = s
+	c.mu.Unlock()
+	if err := c.sendBackward(RelayCell{Cmd: RelayConnected, StreamID: rc.StreamID}); err != nil {
+		return err
+	}
+	go s.pump()
+	return nil
+}
+
+// handleData delivers forward stream data to the exit connection and
+// generates deliver-window SENDMEs.
+func (c *relayCirc) handleData(rc RelayCell) error {
+	c.mu.Lock()
+	s := c.streams[rc.StreamID]
+	c.mu.Unlock()
+	if s == nil {
+		return nil
+	}
+	if _, err := s.conn.Write(rc.Data); err != nil {
+		c.closeStream(rc.StreamID, true)
+		return nil
+	}
+	// Circuit-level deliver window.
+	c.fcMu.Lock()
+	c.circDlvWin--
+	sendCirc := false
+	if c.circDlvWin <= circWindowInit-circWindowInc {
+		c.circDlvWin += circWindowInc
+		sendCirc = true
+	}
+	s.dlvWin--
+	sendStream := false
+	if s.dlvWin <= streamWindowInit-streamWindowInc {
+		s.dlvWin += streamWindowInc
+		sendStream = true
+	}
+	c.fcMu.Unlock()
+	if sendCirc {
+		if err := c.sendBackward(RelayCell{Cmd: RelaySendme}); err != nil {
+			return err
+		}
+	}
+	if sendStream {
+		if err := c.sendBackward(RelayCell{Cmd: RelaySendme, StreamID: s.id}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleSendme replenishes backward package windows.
+func (c *relayCirc) handleSendme(streamID uint16) {
+	c.fcMu.Lock()
+	if streamID == 0 {
+		c.circPkgWin += circWindowInc
+	} else {
+		c.mu.Lock()
+		if s := c.streams[streamID]; s != nil {
+			s.pkgWin += streamWindowInc
+		}
+		c.mu.Unlock()
+	}
+	c.fcCond.Broadcast()
+	c.fcMu.Unlock()
+}
+
+func (c *relayCirc) closeStream(id uint16, notifyClient bool) {
+	c.mu.Lock()
+	s := c.streams[id]
+	delete(c.streams, id)
+	c.mu.Unlock()
+	if s == nil {
+		return
+	}
+	s.conn.Close()
+	c.fcMu.Lock()
+	s.closed = true
+	c.fcCond.Broadcast()
+	c.fcMu.Unlock()
+	if notifyClient {
+		c.sendBackward(RelayCell{Cmd: RelayEnd, StreamID: id})
+	}
+}
+
+// destroy tears the circuit down; notifyUp sends DESTROY upstream,
+// notifyDown sends DESTROY downstream.
+func (c *relayCirc) destroy(notifyUp, notifyDown bool) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	next := c.next
+	nextID := c.nextID
+	streams := c.streams
+	c.streams = map[uint16]*exitStream{}
+	c.mu.Unlock()
+
+	c.fcMu.Lock()
+	c.fcCond.Broadcast()
+	c.fcMu.Unlock()
+
+	for _, s := range streams {
+		s.conn.Close()
+	}
+	if next != nil {
+		if notifyDown {
+			c.nextWMu.Lock()
+			WriteCell(next, &Cell{CircID: nextID, Cmd: CmdDestroy})
+			c.nextWMu.Unlock()
+		}
+		next.Close()
+	}
+	if notifyUp {
+		c.link.writeCell(&Cell{CircID: c.id, Cmd: CmdDestroy})
+	}
+	c.link.removeCircuit(c.id)
+}
+
+// exitStream pumps bytes from the destination back into the circuit.
+type exitStream struct {
+	circ *relayCirc
+	id   uint16
+	conn net.Conn
+
+	// guarded by circ.fcMu
+	pkgWin int
+	dlvWin int
+	closed bool
+}
+
+// pump reads from the destination and packages RELAY_DATA cells,
+// blocking on circuit and stream package windows.
+func (s *exitStream) pump() {
+	buf := make([]byte, MaxRelayData)
+	for {
+		if !s.waitWindow() {
+			return
+		}
+		n, err := s.conn.Read(buf)
+		if n > 0 {
+			s.circ.fcMu.Lock()
+			s.circ.circPkgWin--
+			s.pkgWin--
+			s.circ.fcMu.Unlock()
+			if serr := s.circ.sendBackward(RelayCell{Cmd: RelayData, StreamID: s.id, Data: buf[:n]}); serr != nil {
+				return
+			}
+		}
+		if err != nil {
+			s.circ.sendBackward(RelayCell{Cmd: RelayEnd, StreamID: s.id})
+			s.circ.mu.Lock()
+			delete(s.circ.streams, s.id)
+			s.circ.mu.Unlock()
+			return
+		}
+	}
+}
+
+// waitWindow blocks until both package windows are positive; it returns
+// false when the stream or circuit has closed.
+func (s *exitStream) waitWindow() bool {
+	s.circ.fcMu.Lock()
+	defer s.circ.fcMu.Unlock()
+	for {
+		if s.closed {
+			return false
+		}
+		s.circ.mu.Lock()
+		closed := s.circ.closed
+		s.circ.mu.Unlock()
+		if closed {
+			return false
+		}
+		if s.circ.circPkgWin > 0 && s.pkgWin > 0 {
+			return true
+		}
+		s.circ.fcCond.Wait()
+	}
+}
+
+// encodeExtend builds the RELAY_EXTEND payload: len-prefixed next-hop
+// address plus the client handshake.
+func encodeExtend(addr string, pub []byte) []byte {
+	out := make([]byte, 0, 1+len(addr)+len(pub))
+	out = append(out, byte(len(addr)))
+	out = append(out, addr...)
+	out = append(out, pub...)
+	return out
+}

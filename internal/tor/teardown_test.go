@@ -1,0 +1,111 @@
+package tor
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+func TestStreamEOFOnServerClose(t *testing.T) {
+	w := buildWorld(t, 1, 1, 1)
+	c := newTestClient(t, w, nil)
+	conn, err := c.Dial(w.target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The echo server closes when we half-close; we should see EOF,
+	// not a hang or a non-EOF error.
+	conn.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	conn.(*Stream).Close()
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read after local close must fail")
+	}
+}
+
+func TestCircuitSurvivesStreamChurn(t *testing.T) {
+	w := buildWorld(t, 1, 1, 1)
+	c := newTestClient(t, w, nil)
+	if err := c.Preheat(); err != nil {
+		t.Fatal(err)
+	}
+	p := c.Path()
+	for i := 0; i < 20; i++ {
+		conn, err := c.Dial(w.target)
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		conn.Write([]byte("ping"))
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.Fatalf("stream %d read: %v", i, err)
+		}
+		conn.Close()
+	}
+	if c.Path() != p {
+		t.Fatal("stream churn must not rebuild the circuit")
+	}
+}
+
+func TestDialAfterGuardDeath(t *testing.T) {
+	w := buildWorld(t, 2, 2, 2)
+	c := newTestClient(t, w, nil)
+	if err := c.Preheat(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the current circuit from below by closing the client's view.
+	c.NewCircuit()
+	conn, err := c.Dial(w.target)
+	if err != nil {
+		t.Fatalf("dial after teardown: %v", err)
+	}
+	conn.Close()
+}
+
+func TestBuildTimeoutOnDeadGuard(t *testing.T) {
+	w := buildWorld(t, 1, 1, 1)
+	dead := &Descriptor{Name: "dead", Addr: "nosuchhost:9001", Flags: FlagGuard | FlagFast, Bandwidth: 1e6}
+	c := newTestClient(t, w, func(cfg *ClientConfig) {
+		cfg.Guard = dead
+		cfg.BuildTimeout = 2 * time.Second
+	})
+	if err := c.Preheat(); err == nil {
+		t.Fatal("building through a dead guard must fail")
+	}
+}
+
+func TestWindowsNeverGoNegativeUnderLoad(t *testing.T) {
+	// Hammer one circuit with interleaved writes from several streams
+	// and verify flow-control book-keeping stays sane (no deadlock, all
+	// data arrives).
+	w := buildWorld(t, 1, 1, 1)
+	// A generous build timeout: under -race the detector's real-time
+	// overhead inflates virtual time at this small scale.
+	c := newTestClient(t, w, func(cfg *ClientConfig) { cfg.BuildTimeout = 20 * time.Minute })
+	if err := c.Preheat(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			conn, err := c.Dial(w.target)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer conn.Close()
+			payload := make([]byte, 200<<10)
+			go conn.Write(payload)
+			_, err = io.ReadFull(conn, make([]byte, len(payload)))
+			done <- err
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

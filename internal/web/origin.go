@@ -1,0 +1,199 @@
+package web
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"ptperf/internal/netem"
+)
+
+// Origin serves the catalogs and bulk files over the minimal HTTP/1.1
+// subset. One origin stands in for the paper's "uncensored Internet".
+type Origin struct {
+	ln       *netem.Listener
+	catalogs map[List]*Catalog
+	addr     string
+}
+
+// StartOrigin launches the origin on host:port.
+func StartOrigin(host *netem.Host, port int, catalogs ...*Catalog) (*Origin, error) {
+	ln, err := host.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	o := &Origin{
+		ln:       ln,
+		catalogs: make(map[List]*Catalog),
+		addr:     fmt.Sprintf("%s:%d", host.Name(), port),
+	}
+	for _, c := range catalogs {
+		o.catalogs[c.List] = c
+	}
+	go o.acceptLoop()
+	return o, nil
+}
+
+// Addr returns the origin's "host:port".
+func (o *Origin) Addr() string { return o.addr }
+
+// Close stops the origin.
+func (o *Origin) Close() error { return o.ln.Close() }
+
+func (o *Origin) acceptLoop() {
+	for {
+		c, err := o.ln.Accept()
+		if err != nil {
+			return
+		}
+		go o.serveConn(c)
+	}
+}
+
+func (o *Origin) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 4<<10)
+	w := bufio.NewWriterSize(conn, 32<<10)
+	for {
+		req, err := ReadRequest(r)
+		if err != nil {
+			return
+		}
+		if err := o.serveRequest(w, req); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if req.Close {
+			return
+		}
+	}
+}
+
+// serveRequest routes one GET.
+func (o *Origin) serveRequest(w *bufio.Writer, req *Request) error {
+	if req.Method != "GET" {
+		return writeResponseHeader(w, 404, 0)
+	}
+	switch {
+	case strings.HasPrefix(req.Path, "/site/"):
+		return o.servePage(w, req.Path)
+	case strings.HasPrefix(req.Path, "/res/"):
+		return o.serveResource(w, req.Path)
+	case strings.HasPrefix(req.Path, "/file/"):
+		return o.serveFile(w, req.Path)
+	default:
+		return writeResponseHeader(w, 404, 0)
+	}
+}
+
+// lookupSite resolves "/site/<list>/<id>" or "/res/<list>/<id>/<k>".
+func (o *Origin) lookupSite(list, id string) *Site {
+	cat := o.catalogs[List(list)]
+	if cat == nil {
+		return nil
+	}
+	n, err := strconv.Atoi(id)
+	if err != nil || n < 0 || n >= len(cat.Sites) {
+		return nil
+	}
+	return &cat.Sites[n]
+}
+
+// servePage writes the default document. Its body begins with a resource
+// manifest — the simulation's stand-in for HTML references — followed by
+// filler up to the page size:
+//
+//	ptperf-page resources=<n>
+//	<path> <bytes> <weight-ppm>
+//	...
+func (o *Origin) servePage(w *bufio.Writer, path string) error {
+	parts := strings.Split(strings.TrimPrefix(path, "/site/"), "/")
+	if len(parts) != 2 {
+		return writeResponseHeader(w, 404, 0)
+	}
+	site := o.lookupSite(parts[0], parts[1])
+	if site == nil {
+		return writeResponseHeader(w, 404, 0)
+	}
+	manifest := BuildManifest(site)
+	n := site.PageBytes
+	if len(manifest) > n {
+		n = len(manifest)
+	}
+	if err := writeResponseHeader(w, 200, int64(n)); err != nil {
+		return err
+	}
+	return writeBody(w, manifest, n)
+}
+
+func (o *Origin) serveResource(w *bufio.Writer, path string) error {
+	parts := strings.Split(strings.TrimPrefix(path, "/res/"), "/")
+	if len(parts) != 3 {
+		return writeResponseHeader(w, 404, 0)
+	}
+	site := o.lookupSite(parts[0], parts[1])
+	if site == nil {
+		return writeResponseHeader(w, 404, 0)
+	}
+	k, err := strconv.Atoi(parts[2])
+	if err != nil || k < 0 || k >= len(site.Resources) {
+		return writeResponseHeader(w, 404, 0)
+	}
+	res := site.Resources[k]
+	if err := writeResponseHeader(w, 200, int64(res.Bytes)); err != nil {
+		return err
+	}
+	return writeBody(w, nil, res.Bytes)
+}
+
+func (o *Origin) serveFile(w *bufio.Writer, path string) error {
+	n, err := strconv.Atoi(strings.TrimPrefix(path, "/file/"))
+	if err != nil || n < 0 || n > 1<<31 {
+		return writeResponseHeader(w, 404, 0)
+	}
+	if err := writeResponseHeader(w, 200, int64(n)); err != nil {
+		return err
+	}
+	return writeBody(w, nil, n)
+}
+
+// BuildManifest renders the machine-readable resource list embedded at
+// the top of a default page.
+func BuildManifest(site *Site) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ptperf-page resources=%d base-weight-ppm=%d\n",
+		len(site.Resources), int(site.BaseVisualWeight*1e6))
+	for _, r := range site.Resources {
+		fmt.Fprintf(&b, "%s %d %d\n", r.Path, r.Bytes, int(r.VisualWeight*1e6))
+	}
+	return []byte(b.String())
+}
+
+// ParseManifest recovers the resource list from a page body prefix.
+func ParseManifest(body []byte) (base float64, res []Resource, ok bool) {
+	lines := strings.Split(string(body), "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "ptperf-page ") {
+		return 0, nil, false
+	}
+	var nres, basePPM int
+	if _, err := fmt.Sscanf(lines[0], "ptperf-page resources=%d base-weight-ppm=%d", &nres, &basePPM); err != nil {
+		return 0, nil, false
+	}
+	if nres+1 > len(lines) {
+		return 0, nil, false
+	}
+	for i := 1; i <= nres; i++ {
+		var r Resource
+		var ppm int
+		if _, err := fmt.Sscanf(lines[i], "%s %d %d", &r.Path, &r.Bytes, &ppm); err != nil {
+			return 0, nil, false
+		}
+		r.VisualWeight = float64(ppm) / 1e6
+		res = append(res, r)
+	}
+	return float64(basePPM) / 1e6, res, true
+}
