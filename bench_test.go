@@ -55,7 +55,8 @@ func runExperiment(b *testing.B, id string, mut func(*harness.Config)) {
 	}
 }
 
-func BenchmarkTable1Overview(b *testing.B)  { runExperiment(b, "table1", nil) }
+func BenchmarkTable1Overview(b *testing.B) { runExperiment(b, "table1", nil) }
+
 func BenchmarkFig2aCurlAccess(b *testing.B) { runExperiment(b, "fig2a", nil) }
 func BenchmarkFig2bSeleniumAccess(b *testing.B) {
 	runExperiment(b, "fig2b", nil)

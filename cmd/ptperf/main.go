@@ -33,7 +33,7 @@ func main() {
 		repeats   = flag.Int("repeats", 2, "accesses per site (the paper uses 5)")
 		attempts  = flag.Int("attempts", 2, "download attempts per file size")
 		sizes     = flag.String("sizes", "", "comma-separated file sizes in MB (default 5,10,20,50,100)")
-		timeScale = flag.Float64("timescale", 0.004, "real seconds per virtual second")
+		timeScale = flag.Float64("timescale", 0, "deprecated no-op: the discrete-event clock always runs at CPU speed")
 		byteScale = flag.Float64("bytescale", 0.125, "byte-quantity scale (sizes, rates and caps together)")
 		pts       = flag.String("transports", "", "comma-separated methods (default: tor plus all 12 PTs)")
 		seq       = flag.Bool("sequential", false, "measure transports one at a time")

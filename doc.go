@@ -3,4 +3,13 @@
 // Pluggable Transports" (IMC '23). See README.md for the architecture
 // and cmd/ptperf for the experiment runner; the per-artifact benchmarks
 // live in bench_test.go.
+//
+// Time in the simulation is virtual and discrete-event: internal/netem
+// keeps a min-heap of pending virtual timers and advances the clock
+// only when every simulation goroutine is parked, so campaigns run at
+// CPU speed and identical seeds produce bit-identical reports. The old
+// TimeScale knob (real seconds slept per virtual second) is retired and
+// survives only as a compatibility no-op — there is nothing left to
+// tune. See DESIGN.md for the scheduler architecture and the rules
+// simulation code must follow.
 package ptperf

@@ -1,0 +1,3 @@
+module ptperf
+
+go 1.22

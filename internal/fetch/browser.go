@@ -4,9 +4,9 @@ import (
 	"bufio"
 	"errors"
 	"sort"
-	"sync"
 	"time"
 
+	"ptperf/internal/netem"
 	"ptperf/internal/web"
 )
 
@@ -79,6 +79,11 @@ func (c *Client) Browse(origin, path string, maxConns int) PageResult {
 			bytes int64
 			err   error
 		}
+		// queue and results never block: queue is pre-filled and closed
+		// before the workers start, and results has room for every
+		// resource. Plain channels are therefore safe under the
+		// discrete-event scheduler; the workers themselves are
+		// simulation goroutines.
 		queue := make(chan web.Resource, len(resources))
 		for _, r := range resources {
 			queue <- r
@@ -86,10 +91,10 @@ func (c *Client) Browse(origin, path string, maxConns int) PageResult {
 		close(queue)
 		results := make(chan done, len(resources))
 
-		var wg sync.WaitGroup
+		wg := netem.NewWaitGroup(c.Net.Clock())
 		for w := 0; w < maxConns; w++ {
 			wg.Add(1)
-			go func() {
+			c.Net.Go(func() {
 				defer wg.Done()
 				conn, err := c.Dial(origin)
 				if err != nil {
@@ -117,7 +122,7 @@ func (c *Client) Browse(origin, path string, maxConns int) PageResult {
 						return
 					}
 				}
-			}()
+			})
 		}
 		wg.Wait()
 		close(results)

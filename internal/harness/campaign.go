@@ -78,7 +78,7 @@ func (r *Runner) cachedAccess(kind string, methods []string, measure func(*testb
 	}
 	sites := r.sites(w)
 
-	results, err := r.forEachMethod(methods, func(name string) (any, error) {
+	results, err := r.forEachMethod(w, methods, func(name string) (any, error) {
 		d, err := w.Deployment(name)
 		if err != nil {
 			return nil, err
@@ -117,6 +117,11 @@ func (r *Runner) cachedAccess(kind string, methods []string, measure func(*testb
 			data.TTFBs = append(data.TTFBs, fSum/float64(n))
 			data.SpeedIndexes = append(data.SpeedIndexes, sSum/float64(n))
 		}
+		// Park the transport when its campaign ends: polling tunnels
+		// (dnstt, meek, camoufler) otherwise keep generating events
+		// through every virtual second of the remaining methods'
+		// campaigns, which dominates scheduler load.
+		d.FreshCircuit()
 		return data, nil
 	})
 	if err != nil {
@@ -210,7 +215,7 @@ func (r *Runner) filesData() (map[string]*fileData, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := r.forEachMethodN(r.cfg.Transports, 3, func(name string) (any, error) {
+	results, err := r.forEachMethodN(w, r.cfg.Transports, 1, func(name string) (any, error) {
 		d, err := w.Deployment(name)
 		if err != nil {
 			return nil, err
@@ -244,6 +249,8 @@ func (r *Runner) filesData() (map[string]*fileData, error) {
 				}
 			}
 		}
+		// Park the transport's tunnels (see cachedAccess).
+		d.FreshCircuit()
 		return data, nil
 	})
 	if err != nil {

@@ -94,7 +94,7 @@ func (r *Runner) runMedium() error {
 		if len(sites) > r.cfg.Sites {
 			sites = sites[:r.cfg.Sites]
 		}
-		results, err := r.forEachMethod(methods, func(name string) (any, error) {
+		results, err := r.forEachMethod(w, methods, func(name string) (any, error) {
 			d, err := w.Deployment(name)
 			if err != nil {
 				return nil, err
@@ -348,7 +348,7 @@ func (r *Runner) runFig7() error {
 		if len(sites) > r.cfg.Sites {
 			sites = sites[:r.cfg.Sites]
 		}
-		results, err := r.forEachMethod(methods, func(name string) (any, error) {
+		results, err := r.forEachMethod(w, methods, func(name string) (any, error) {
 			d, err := w.Deployment(name)
 			if err != nil {
 				return nil, err
@@ -425,7 +425,7 @@ func (r *Runner) runFig9() error {
 	if len(sites) > r.cfg.Sites {
 		sites = sites[:r.cfg.Sites]
 	}
-	results, err := r.forEachMethod(testbed.OverheadPTs, func(name string) (any, error) {
+	results, err := r.forEachMethod(w, testbed.OverheadPTs, func(name string) (any, error) {
 		rig, err := w.NewOverheadRig(name, int64(len(name))*13)
 		if err != nil {
 			return nil, err

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"ptperf/internal/netem"
 	"ptperf/internal/pt"
 	"ptperf/internal/testbed"
 	"ptperf/internal/web"
@@ -187,31 +188,34 @@ func (r *Runner) sites(w *testbed.World) []siteRef {
 	return out
 }
 
-// forEachMethod runs fn for each configured method, in parallel unless
-// Sequential, and returns results keyed by method name.
-func (r *Runner) forEachMethod(methods []string, fn func(name string) (any, error)) (map[string]any, error) {
-	return r.forEachMethodN(methods, r.parallelism(), fn)
+// forEachMethod runs fn for each configured method over world w, in
+// parallel unless Sequential, and returns results keyed by method name.
+// The per-method goroutines are simulation goroutines on w's scheduler,
+// so they interleave deterministically at virtual-time waits.
+func (r *Runner) forEachMethod(w *testbed.World, methods []string, fn func(name string) (any, error)) (map[string]any, error) {
+	return r.forEachMethodN(w, methods, r.parallelism(), fn)
 }
 
 // forEachMethodN bounds the concurrency explicitly; bulk campaigns use a
 // low bound so simultaneous downloads do not contend on the shared relay
 // fleet in a way the paper's time-gapped measurements never did.
-func (r *Runner) forEachMethodN(methods []string, limit int, fn func(name string) (any, error)) (map[string]any, error) {
+func (r *Runner) forEachMethodN(w *testbed.World, methods []string, limit int, fn func(name string) (any, error)) (map[string]any, error) {
 	if r.cfg.Sequential || limit < 1 {
 		limit = 1
 	}
+	clock := w.Net.Clock()
 	out := make(map[string]any, len(methods))
 	var mu sync.Mutex
 	var firstErr error
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, limit)
+	wg := netem.NewWaitGroup(clock)
+	sem := netem.NewChan[struct{}](clock, limit)
 	for _, name := range methods {
 		name := name
 		wg.Add(1)
-		go func() {
+		clock.Go(func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			sem.Send(struct{}{})
+			defer sem.Recv()
 			v, err := fn(name)
 			mu.Lock()
 			defer mu.Unlock()
@@ -219,7 +223,7 @@ func (r *Runner) forEachMethodN(methods []string, limit int, fn func(name string
 				firstErr = fmt.Errorf("%s: %w", name, err)
 			}
 			out[name] = v
-		}()
+		})
 	}
 	wg.Wait()
 	return out, firstErr

@@ -7,106 +7,14 @@
 // All protocol stacks in this repository (Tor, the twelve pluggable
 // transports, the web origin) run unmodified on top of these conns.
 //
-// Time is virtual: every latency and rate in the simulation is expressed
-// in virtual seconds, and the substrate sleeps TimeScale real seconds per
-// virtual second. Measurements read the virtual clock, so reported
-// durations are comparable to the paper's wall-clock seconds while the
-// whole campaign executes quickly.
+// Time is virtual and discrete-event: every latency and rate in the
+// simulation is expressed in virtual seconds, but no goroutine ever
+// sleeps in real time. The Clock keeps a min-heap of pending virtual
+// timers and a registry of simulation goroutines; when every registered
+// goroutine is parked in a scheduler wait, the clock jumps to the
+// earliest timer and wakes its owner. Campaigns therefore execute at CPU
+// speed, reported durations carry no OS-scheduler noise, and identical
+// seeds produce bit-identical results. See DESIGN.md for the
+// architecture and the rules simulation code must follow (spawn via
+// Clock.Go, block only in scheduler-aware primitives).
 package netem
-
-import (
-	"runtime"
-	"sync/atomic"
-	"time"
-)
-
-// DefaultTimeScale is the default real-seconds-per-virtual-second factor.
-// 0.01 runs the simulation 100x faster than real time while keeping the
-// smallest shaped delays (a few virtual milliseconds) well above the
-// scheduler's sleep granularity.
-const DefaultTimeScale = 0.01
-
-// Clock converts between virtual and real time for one Network.
-type Clock struct {
-	scale   float64 // real seconds per virtual second
-	start   time.Time
-	monoOff atomic.Int64 // virtual nanoseconds added by AdvanceBy (tests)
-}
-
-// NewClock returns a clock running at the given scale. A non-positive
-// scale falls back to DefaultTimeScale.
-func NewClock(scale float64) *Clock {
-	if scale <= 0 {
-		scale = DefaultTimeScale
-	}
-	return &Clock{scale: scale, start: time.Now()}
-}
-
-// Scale reports the real-seconds-per-virtual-second factor.
-func (c *Clock) Scale() float64 { return c.scale }
-
-// Now returns the current virtual time as an offset from clock start.
-func (c *Clock) Now() time.Duration {
-	real := time.Since(c.start)
-	return time.Duration(float64(real)/c.scale) + time.Duration(c.monoOff.Load())
-}
-
-// Sleep pauses the calling goroutine for a virtual duration.
-func (c *Clock) Sleep(v time.Duration) {
-	if v <= 0 {
-		return
-	}
-	sleepReal(c.real(v))
-}
-
-// SleepUntil pauses until the virtual clock reaches vt.
-func (c *Clock) SleepUntil(vt time.Duration) {
-	for {
-		d := vt - c.Now()
-		if d <= 0 {
-			return
-		}
-		sleepReal(c.real(d))
-	}
-}
-
-// spinThreshold is the real duration below which we busy-wait instead of
-// calling time.Sleep. The OS sleep granularity (~50–100 µs) would
-// otherwise translate into large virtual-time noise at small TimeScales.
-const spinThreshold = 150 * time.Microsecond
-
-// sleepReal pauses for a real duration with microsecond-level accuracy:
-// coarse time.Sleep for the bulk, then a Gosched spin for the remainder.
-func sleepReal(d time.Duration) {
-	if d <= 0 {
-		return
-	}
-	deadline := time.Now().Add(d)
-	if d > spinThreshold {
-		time.Sleep(d - spinThreshold)
-	}
-	for time.Now().Before(deadline) {
-		runtime.Gosched()
-	}
-}
-
-// AdvanceBy shifts the virtual clock forward without sleeping. It exists
-// for tests that want to expire deadlines instantly.
-func (c *Clock) AdvanceBy(v time.Duration) {
-	c.monoOff.Add(int64(v))
-}
-
-// real converts a virtual duration to the real sleeping time.
-func (c *Clock) real(v time.Duration) time.Duration {
-	r := time.Duration(float64(v) * c.scale)
-	if r < time.Microsecond && v > 0 {
-		r = time.Microsecond
-	}
-	return r
-}
-
-// Timer returns a channel that fires after a virtual duration. The timer
-// is not reusable; it exists for select-based timeouts in protocol code.
-func (c *Clock) Timer(v time.Duration) <-chan time.Time {
-	return time.After(c.real(v))
-}

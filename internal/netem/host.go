@@ -63,7 +63,7 @@ type Listener struct {
 	port int
 
 	mu     sync.Mutex
-	queue  chan *Conn
+	queue  *Chan[*Conn]
 	closed bool
 }
 
@@ -78,14 +78,14 @@ func (h *Host) Listen(port int) (*Listener, error) {
 	if _, busy := h.listeners[port]; busy {
 		return nil, fmt.Errorf("netem: %s port %d already in use", h.name, port)
 	}
-	l := &Listener{host: h, port: port, queue: make(chan *Conn, 128)}
+	l := &Listener{host: h, port: port, queue: NewChan[*Conn](h.net.clock, 128)}
 	h.listeners[port] = l
 	return l, nil
 }
 
-// Accept waits for the next inbound connection.
+// Accept parks until the next inbound connection arrives.
 func (l *Listener) Accept() (net.Conn, error) {
-	c, ok := <-l.queue
+	c, ok := l.queue.Recv()
 	if !ok {
 		return nil, ErrClosed
 	}
@@ -103,7 +103,7 @@ func (l *Listener) Close() error {
 	l.host.mu.Lock()
 	delete(l.host.listeners, l.port)
 	l.host.mu.Unlock()
-	close(l.queue)
+	l.queue.Close()
 	return nil
 }
 
@@ -119,12 +119,10 @@ func (l *Listener) deliver(c *Conn) error {
 	if l.closed {
 		return ErrClosed
 	}
-	select {
-	case l.queue <- c:
-		return nil
-	default:
+	if !l.queue.TrySend(c) {
 		return fmt.Errorf("netem: accept backlog full on %s:%d", l.host.name, l.port)
 	}
+	return nil
 }
 
 // Dial opens a shaped connection from this host to "host:port". It costs
@@ -158,12 +156,12 @@ func (h *Host) Dial(address string) (net.Conn, error) {
 	rtt := out.delay + in.delay
 	// Deliver the server side after one one-way delay (the SYN), then
 	// return to the dialer after the full handshake round trip.
-	go func() {
+	h.net.clock.Go(func() {
 		h.net.clock.Sleep(out.delay)
 		if err := l.deliver(sc); err != nil {
 			cc.Abort()
 		}
-	}()
+	})
 	h.net.clock.Sleep(rtt)
 	return cc, nil
 }
@@ -174,22 +172,26 @@ func (h *Host) DialTimeout(address string, vtimeout time.Duration) (net.Conn, er
 		c   net.Conn
 		err error
 	}
-	ch := make(chan res, 1)
-	go func() {
+	clock := h.net.clock
+	ch := NewChan[res](clock, 1)
+	clock.Go(func() {
 		c, err := h.Dial(address)
-		ch <- res{c, err}
-	}()
-	select {
-	case r := <-ch:
-		return r.c, r.err
-	case <-h.net.clock.Timer(vtimeout):
-		go func() {
-			if r := <-ch; r.c != nil {
-				r.c.Close()
+		ch.Send(res{c, err})
+	})
+	r, ok, timedOut := ch.RecvTimeout(vtimeout)
+	if timedOut {
+		// Reap the late connection when the dial eventually resolves.
+		clock.Go(func() {
+			if late, ok := ch.Recv(); ok && late.c != nil {
+				late.c.Close()
 			}
-		}()
+		})
 		return nil, ErrTimeout
 	}
+	if !ok {
+		return nil, ErrClosed
+	}
+	return r.c, r.err
 }
 
 func (h *Host) ephemeral() int {

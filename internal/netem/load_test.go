@@ -44,16 +44,16 @@ func TestLoadedHopSlowsSmallTransfers(t *testing.T) {
 		dst := n.MustAddHost(HostConfig{Name: "dst", Location: geo.NewYork})
 
 		dl, _ := dst.Listen(80)
-		go func() {
+		n.Go(func() {
 			c, err := dl.Accept()
 			if err != nil {
 				return
 			}
 			defer c.Close()
 			io.Copy(c, c)
-		}()
+		})
 		rl, _ := relay.Listen(81)
-		go func() {
+		n.Go(func() {
 			c, err := rl.Accept()
 			if err != nil {
 				return
@@ -63,9 +63,9 @@ func TestLoadedHopSlowsSmallTransfers(t *testing.T) {
 				c.Close()
 				return
 			}
-			go io.Copy(down, c)
+			n.Go(func() { io.Copy(down, c) })
 			io.Copy(c, down)
-		}()
+		})
 
 		conn, err := src.Dial("relay:81")
 		if err != nil {
@@ -94,14 +94,14 @@ func TestWirelessMediumAddsJitterAndLoss(t *testing.T) {
 		a := n.MustAddHost(HostConfig{Name: "a", Location: geo.Toronto, Medium: medium})
 		b := n.MustAddHost(HostConfig{Name: "b", Location: geo.NewYork})
 		l, _ := b.Listen(80)
-		go func() {
+		n.Go(func() {
 			c, err := l.Accept()
 			if err != nil {
 				return
 			}
 			defer c.Close()
 			io.Copy(c, c)
-		}()
+		})
 		conn, err := a.Dial("b:80")
 		if err != nil {
 			t.Fatal(err)

@@ -3,7 +3,6 @@ package netem
 import (
 	"bytes"
 	"io"
-	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -34,7 +33,7 @@ func TestDialRefused(t *testing.T) {
 }
 
 func TestRoundTripBytes(t *testing.T) {
-	_, a, b := testNetwork(t)
+	n, a, b := testNetwork(t)
 	l, err := b.Listen(80)
 	if err != nil {
 		t.Fatal(err)
@@ -42,7 +41,7 @@ func TestRoundTripBytes(t *testing.T) {
 	defer l.Close()
 
 	msg := bytes.Repeat([]byte("payload-"), 1000)
-	go func() {
+	n.Go(func() {
 		c, err := l.Accept()
 		if err != nil {
 			return
@@ -51,7 +50,7 @@ func TestRoundTripBytes(t *testing.T) {
 		buf, _ := io.ReadAll(c)
 		c.Write(buf) // echo
 		c.(*Conn).CloseWrite()
-	}()
+	})
 
 	c, err := a.Dial("b:80")
 	if err != nil {
@@ -75,7 +74,7 @@ func TestLatencyAccounting(t *testing.T) {
 	n, a, b := testNetwork(t)
 	l, _ := b.Listen(80)
 	defer l.Close()
-	go func() {
+	n.Go(func() {
 		c, err := l.Accept()
 		if err != nil {
 			return
@@ -84,7 +83,7 @@ func TestLatencyAccounting(t *testing.T) {
 		buf := make([]byte, 1)
 		c.Read(buf)
 		c.Write(buf)
-	}()
+	})
 
 	start := n.Now()
 	c, err := a.Dial("b:80")
@@ -133,14 +132,15 @@ func TestBandwidthContention(t *testing.T) {
 		io.Copy(io.Discard, c)
 		return n.Since(start)
 	}
-	var wg sync.WaitGroup
+	wg := NewWaitGroup(n.Clock())
 	durs := make([]time.Duration, 2)
 	for i := 0; i < 2; i++ {
+		i := i
 		wg.Add(1)
-		go func(i int) {
+		n.Go(func() {
 			defer wg.Done()
 			durs[i] = recv()
-		}(i)
+		})
 	}
 	send := func() {
 		c, err := src.Dial("dst:80")
@@ -151,10 +151,10 @@ func TestBandwidthContention(t *testing.T) {
 		c.Write(make([]byte, payload))
 		c.Close()
 	}
-	var sg sync.WaitGroup
+	sg := NewWaitGroup(n.Clock())
 	for i := 0; i < 2; i++ {
 		sg.Add(1)
-		go func() { defer sg.Done(); send() }()
+		n.Go(func() { defer sg.Done(); send() })
 	}
 	sg.Wait()
 	wg.Wait()
@@ -179,22 +179,23 @@ func TestUtilizationReducesRate(t *testing.T) {
 }
 
 func TestDeadline(t *testing.T) {
-	_, a, b := testNetwork(t)
+	n, a, b := testNetwork(t)
 	l, _ := b.Listen(80)
 	defer l.Close()
-	go func() {
+	n.Go(func() {
 		c, _ := l.Accept()
 		if c != nil {
-			defer c.Close()
-			select {} // never respond
+			// Never respond: park in a read that no data resolves.
+			c.Read(make([]byte, 1))
+			c.Close()
 		}
-	}()
+	})
 	c, err := a.Dial("b:80")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	c.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	c.SetReadDeadline(n.VirtualDeadline(20 * time.Millisecond))
 	buf := make([]byte, 1)
 	_, err = c.Read(buf)
 	ne, ok := err.(interface{ Timeout() bool })
@@ -204,30 +205,30 @@ func TestDeadline(t *testing.T) {
 }
 
 func TestCloseSemantics(t *testing.T) {
-	_, a, b := testNetwork(t)
+	n, a, b := testNetwork(t)
 	l, _ := b.Listen(80)
 	defer l.Close()
-	srv := make(chan *Conn, 2)
-	go func() {
+	srv := NewChan[*Conn](n.Clock(), 2)
+	n.Go(func() {
 		for {
 			c, err := l.Accept()
 			if err != nil {
 				return
 			}
-			srv <- c.(*Conn)
+			srv.Send(c.(*Conn))
 		}
-	}()
+	})
 	c, err := a.Dial("b:80")
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := <-srv
+	s, _ := srv.Recv()
 	c.Write([]byte("hi"))
 	c.Close()
 	buf := make([]byte, 16)
-	n, _ := io.ReadFull(s, buf[:2])
-	if n != 2 {
-		t.Fatalf("peer should read buffered data after close, got %d", n)
+	nr, _ := io.ReadFull(s, buf[:2])
+	if nr != 2 {
+		t.Fatalf("peer should read buffered data after close, got %d", nr)
 	}
 	if _, err := s.Read(buf); err != io.EOF {
 		t.Fatalf("want EOF after close, got %v", err)
@@ -240,7 +241,7 @@ func TestCloseSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2 := <-srv
+	s2, _ := srv.Recv()
 	c2.(*Conn).Abort()
 	if _, err := s2.Write(make([]byte, 1<<20)); err == nil {
 		t.Fatal("write to aborted peer should eventually fail")

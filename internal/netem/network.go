@@ -32,15 +32,19 @@ type options struct {
 	seed  int64
 }
 
-// WithTimeScale sets real seconds slept per virtual second.
+// WithTimeScale is a compatibility no-op. The retired wall-clock
+// implementation slept scale real seconds per virtual second; the
+// discrete-event scheduler always runs at CPU speed.
 func WithTimeScale(scale float64) Option { return func(o *options) { o.scale = scale } }
 
 // WithSeed sets the base RNG seed for jitter/loss draws.
 func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
 
-// New creates an empty network.
+// New creates an empty network. The calling goroutine is registered as
+// the network's driver; see Clock.Go for spawning further simulation
+// goroutines.
 func New(opts ...Option) *Network {
-	o := options{scale: DefaultTimeScale, seed: 1}
+	o := options{seed: 1}
 	for _, f := range opts {
 		f(&o)
 	}
@@ -60,11 +64,14 @@ func (n *Network) Now() time.Duration { return n.clock.Now() }
 // Since returns the virtual time elapsed since a mark from Now.
 func (n *Network) Since(mark time.Duration) time.Duration { return n.clock.Now() - mark }
 
-// VirtualDeadline converts a virtual timeout into a real time.Time usable
-// with net.Conn deadlines.
+// VirtualDeadline converts a virtual timeout into the time.Time
+// encoding (relative to Epoch) usable with net.Conn deadlines.
 func (n *Network) VirtualDeadline(v time.Duration) time.Time {
-	return time.Now().Add(n.clock.real(v))
+	return n.clock.VirtualDeadline(v)
 }
+
+// Go spawns fn as a simulation goroutine on this network's scheduler.
+func (n *Network) Go(fn func()) { n.clock.Go(fn) }
 
 // AddHost attaches a host to the network.
 func (n *Network) AddHost(cfg HostConfig) (*Host, error) {

@@ -25,24 +25,58 @@ func (*timeoutError) Timeout() bool   { return true }
 func (*timeoutError) Temporary() bool { return true }
 
 // seg is one shaped segment in flight: its payload and the virtual time at
-// which the last byte arrives at the receiver.
+// which the last byte arrives at the receiver. base retains the pooled
+// backing array while data shrinks across partial reads.
 type seg struct {
 	data []byte
+	base *[]byte
 	at   time.Duration
 }
 
-// pipe is one direction of a shaped duplex connection.
+// segBufPool recycles segment backing arrays; segment copies are the
+// simulation's dominant allocation.
+var segBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, segmentSize)
+		return &b
+	},
+}
+
+// getSegBuf returns a buffer holding a copy of p: tiny frames get a
+// plain allocation (cheaper than pool churn), bulk segments a pooled
+// backing array.
+func getSegBuf(p []byte) ([]byte, *[]byte) {
+	if len(p) <= 1024 {
+		data := make([]byte, len(p))
+		copy(data, p)
+		return data, nil
+	}
+	base := segBufPool.Get().(*[]byte)
+	data := (*base)[:len(p)]
+	copy(data, p)
+	return data, base
+}
+
+func putSegBuf(base *[]byte) {
+	if base != nil {
+		segBufPool.Put(base)
+	}
+}
+
+// pipe is one direction of a shaped duplex connection. All waits go
+// through the scheduler cond, so a blocked reader or writer releases its
+// run token and virtual time can advance to the segment arrivals and
+// deadlines it is waiting for.
 type pipe struct {
 	clock *Clock
 
 	mu       sync.Mutex
-	cond     *sync.Cond
+	cond     *Cond
 	segs     []seg
 	buffered int  // bytes queued and not yet read
 	maxBuf   int  // receive-window bound for backpressure
 	wclosed  bool // writer has closed; reader drains then sees EOF
 	rclosed  bool // reader has closed; writes fail
-	werr     error
 }
 
 func newPipe(clock *Clock, maxBuf int) *pipe {
@@ -50,99 +84,107 @@ func newPipe(clock *Clock, maxBuf int) *pipe {
 		maxBuf = 256 << 10
 	}
 	p := &pipe{clock: clock, maxBuf: maxBuf}
-	p.cond = sync.NewCond(&p.mu)
+	p.cond = NewCond(clock, &p.mu)
 	return p
 }
 
-// push enqueues a shaped segment, blocking while the receive window is
+// deadlineVT decodes a conn deadline, mapping "none" to noDeadline.
+func deadlineVT(t time.Time) time.Duration {
+	if vt, ok := DeadlineVT(t); ok {
+		return vt
+	}
+	return noDeadline
+}
+
+func vtExpired(c *Clock, vt time.Duration) bool {
+	return vt != noDeadline && c.Now() >= vt
+}
+
+// push enqueues a shaped segment, parking while the receive window is
 // full. It returns an error if either side has closed.
-func (p *pipe) push(data []byte, arrival time.Duration, deadline time.Time) error {
+func (p *pipe) push(data []byte, base *[]byte, arrival time.Duration, deadline time.Time) error {
+	vt := deadlineVT(deadline)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for p.buffered+len(data) > p.maxBuf && !p.rclosed && !p.wclosed {
-		if expired(deadline) {
+		if vtExpired(p.clock, vt) {
+			putSegBuf(base)
 			return ErrTimeout
 		}
-		p.waitLocked(deadline)
+		p.cond.WaitVT(vt)
 	}
 	if p.wclosed {
+		putSegBuf(base)
 		return ErrClosed
 	}
 	if p.rclosed {
+		putSegBuf(base)
 		return ErrReset
 	}
-	p.segs = append(p.segs, seg{data: data, at: arrival})
+	p.segs = append(p.segs, seg{data: data, base: base, at: arrival})
 	p.buffered += len(data)
-	p.cond.Broadcast()
+	// Wake a parked reader at the segment's arrival, not now: waking it
+	// at push time would only make it re-park until the data has
+	// propagated.
+	p.cond.WakeAt(arrival)
 	return nil
 }
 
-// pop reads up to len(buf) bytes that have "arrived" on the virtual clock,
-// sleeping through propagation delay as needed.
+// pop reads up to len(buf) bytes that have "arrived" on the virtual
+// clock, parking through propagation delay as needed. Unlike the retired
+// wall-clock implementation it never returns (0, nil): it loops back to
+// waiting until data, EOF, close or a deadline resolves the read.
 func (p *pipe) pop(buf []byte, deadline time.Time) (int, error) {
+	vt := deadlineVT(deadline)
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	for {
 		if p.rclosed {
-			p.mu.Unlock()
 			return 0, ErrClosed
 		}
 		if len(p.segs) > 0 {
-			break
-		}
-		if p.wclosed {
-			p.mu.Unlock()
-			return 0, io.EOF
-		}
-		if expired(deadline) {
-			p.mu.Unlock()
-			return 0, ErrTimeout
-		}
-		p.waitLocked(deadline)
-	}
-	s := &p.segs[0]
-	at := s.at
-	p.mu.Unlock()
-
-	// Wait for the segment to propagate, bounded by the deadline.
-	if wait := at - p.clock.Now(); wait > 0 {
-		if !deadline.IsZero() {
-			realAt := time.Now().Add(p.clock.real(wait))
-			if realAt.After(deadline) {
-				time.Sleep(time.Until(deadline))
+			s := &p.segs[0]
+			now := p.clock.Now()
+			if s.at <= now {
+				n := copy(buf, s.data)
+				if n == len(s.data) {
+					putSegBuf(s.base)
+					p.segs = p.segs[1:]
+				} else {
+					s.data = s.data[n:]
+				}
+				p.buffered -= n
+				p.cond.Broadcast()
+				return n, nil
+			}
+			if vtExpired(p.clock, vt) {
 				return 0, ErrTimeout
 			}
+			// Park until the segment's arrival or the deadline,
+			// whichever is earlier; a broadcast (new segment, close)
+			// re-evaluates.
+			wake := s.at
+			if vt != noDeadline && vt < wake {
+				wake = vt
+			}
+			p.cond.WaitVT(wake)
+			continue
 		}
-		p.clock.SleepUntil(at)
-	}
-
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.rclosed {
-		return 0, ErrClosed
-	}
-	if len(p.segs) == 0 {
 		if p.wclosed {
 			return 0, io.EOF
 		}
-		return 0, nil
+		if vtExpired(p.clock, vt) {
+			return 0, ErrTimeout
+		}
+		p.cond.WaitVT(vt)
 	}
-	s = &p.segs[0]
-	n := copy(buf, s.data)
-	if n == len(s.data) {
-		p.segs = p.segs[1:]
-	} else {
-		s.data = s.data[n:]
-	}
-	p.buffered -= n
-	p.cond.Broadcast()
-	return n, nil
 }
 
 // closeWrite marks the writer side closed; the reader drains then gets EOF.
 func (p *pipe) closeWrite() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.wclosed = true
+	p.mu.Unlock()
 	p.cond.Broadcast()
 }
 
@@ -150,29 +192,12 @@ func (p *pipe) closeWrite() {
 // subsequent writes fail with ErrReset.
 func (p *pipe) closeRead() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.rclosed = true
+	for i := range p.segs {
+		putSegBuf(p.segs[i].base)
+	}
 	p.segs = nil
 	p.buffered = 0
+	p.mu.Unlock()
 	p.cond.Broadcast()
-}
-
-// waitLocked waits on the pipe condition, honouring an optional deadline
-// by scheduling a broadcast wakeup.
-func (p *pipe) waitLocked(deadline time.Time) {
-	if deadline.IsZero() {
-		p.cond.Wait()
-		return
-	}
-	stop := time.AfterFunc(time.Until(deadline), func() {
-		p.mu.Lock()
-		p.cond.Broadcast()
-		p.mu.Unlock()
-	})
-	p.cond.Wait()
-	stop.Stop()
-}
-
-func expired(deadline time.Time) bool {
-	return !deadline.IsZero() && !time.Now().Before(deadline)
 }

@@ -145,7 +145,7 @@ type account struct {
 	sendFree time.Duration
 	// deliver is the inbound queue: messages wait out the provider's
 	// delivery latency here, pipelined but FIFO.
-	deliver chan delivery
+	deliver *netem.Chan[delivery]
 }
 
 // delivery is one queued message with its delivery due time.
@@ -170,7 +170,7 @@ func StartIMServer(host *netem.Host, port int, cfg Config) (*IMServer, error) {
 		accounts: make(map[string]*account),
 		rng:      rand.New(rand.NewSource(cfg.Seed + 2)),
 	}
-	go s.acceptLoop()
+	host.Network().Go(s.acceptLoop)
 	return s, nil
 }
 
@@ -186,7 +186,8 @@ func (s *IMServer) acceptLoop() {
 		if err != nil {
 			return
 		}
-		go s.serveConn(c)
+		conn := c
+		s.net.Go(func() { s.serveConn(conn) })
 	}
 }
 
@@ -199,11 +200,12 @@ func (s *IMServer) serveConn(c net.Conn) {
 		return
 	}
 	clock := s.net.Clock()
-	acct := &account{conn: c, deliver: make(chan delivery, 512)}
-	go func() {
+	acct := &account{conn: c, deliver: netem.NewChan[delivery](clock, 512)}
+	clock.Go(func() {
 		// Pipelined FIFO delivery: each message waits out its due time.
-		for d := range acct.deliver {
-			if d.stop {
+		for {
+			d, ok := acct.deliver.Recv()
+			if !ok || d.stop {
 				return
 			}
 			clock.SleepUntil(d.at)
@@ -214,7 +216,7 @@ func (s *IMServer) serveConn(c net.Conn) {
 				return
 			}
 		}
-	}()
+	})
 	s.mu.Lock()
 	s.accounts[name] = acct
 	s.mu.Unlock()
@@ -224,13 +226,9 @@ func (s *IMServer) serveConn(c net.Conn) {
 			delete(s.accounts, name)
 		}
 		s.mu.Unlock()
-		// Stop the delivery goroutine; the channel stays open so late
-		// producers never panic (their sends fall into the buffer or
-		// the drop default).
-		select {
-		case acct.deliver <- delivery{stop: true}:
-		default:
-		}
+		// Stop the delivery goroutine; late producers' TrySends fall
+		// into the buffer or are dropped.
+		acct.deliver.TrySend(delivery{stop: true})
 		c.Close()
 	}()
 
@@ -260,11 +258,8 @@ func (s *IMServer) serveConn(c net.Conn) {
 		}
 		d := delivery{from: name, seq: seq, at: clock.Now() + s.cfg.DeliveryDelay}
 		d.payload = append([]byte(nil), payload...)
-		select {
-		case dst.deliver <- d:
-		default:
-			// Queue overflow behaves like a dropped message.
-		}
+		// Queue overflow behaves like a dropped message.
+		dst.deliver.TrySend(d)
 	}
 }
 
@@ -274,12 +269,13 @@ type imConn struct {
 	cap     int
 	self    string
 	peer    string
+	clock   *netem.Clock
 	conn    net.Conn // to the IM server
 	wmu     sync.Mutex
 	sendSeq uint64
 
 	mu      sync.Mutex
-	cond    *sync.Cond
+	cond    *netem.Cond
 	recvBuf []byte
 	rnext   uint64
 	held    map[uint64][]byte
@@ -288,11 +284,11 @@ type imConn struct {
 	onClose func()
 }
 
-func newIMConn(conn net.Conn, self, peer string, capBytes int) *imConn {
+func newIMConn(clock *netem.Clock, conn net.Conn, self, peer string, capBytes int) *imConn {
 	// Data messages carry seq ≥ 1 (seq 0 is the login frame).
-	ic := &imConn{cap: capBytes, self: self, peer: peer, conn: conn, held: make(map[uint64][]byte), rnext: 1}
-	ic.cond = sync.NewCond(&ic.mu)
-	go ic.recvLoop()
+	ic := &imConn{cap: capBytes, self: self, peer: peer, clock: clock, conn: conn, held: make(map[uint64][]byte), rnext: 1}
+	ic.cond = netem.NewCond(clock, &ic.mu)
+	clock.Go(ic.recvLoop)
 	return ic
 }
 
@@ -344,20 +340,10 @@ func (ic *imConn) Read(p []byte) (int, error) {
 		if ic.closed {
 			return 0, io.EOF
 		}
-		if !ic.rdl.IsZero() && !time.Now().Before(ic.rdl) {
+		if ic.clock.Expired(ic.rdl) {
 			return 0, errIMTimeout
 		}
-		if ic.rdl.IsZero() {
-			ic.cond.Wait()
-		} else {
-			timer := time.AfterFunc(time.Until(ic.rdl), func() {
-				ic.mu.Lock()
-				ic.cond.Broadcast()
-				ic.mu.Unlock()
-			})
-			ic.cond.Wait()
-			timer.Stop()
-		}
+		ic.cond.WaitDeadline(ic.rdl)
 	}
 	n := copy(p, ic.recvBuf)
 	ic.recvBuf = ic.recvBuf[n:]
@@ -473,7 +459,7 @@ func (p *Proxy) serveSession(n uint64) error {
 	}
 	self := fmt.Sprintf("%s-p%d", p.acct, n)
 	peer := fmt.Sprintf("%s-c%d", p.acct, n)
-	ic := newIMConn(conn, self, peer, p.cfg.MessageCap)
+	ic := newIMConn(p.host.Network().Clock(), conn, self, peer, p.cfg.MessageCap)
 	if err := ic.login(); err != nil {
 		ic.Close()
 		return err
@@ -481,14 +467,14 @@ func (p *Proxy) serveSession(n uint64) error {
 	p.mu.Lock()
 	p.conns = append(p.conns, ic)
 	p.mu.Unlock()
-	go func() {
+	p.host.Network().Go(func() {
 		target, err := pt.ReadTarget(ic)
 		if err != nil {
 			ic.Close()
 			return
 		}
 		p.handle(target, ic)
-	}()
+	})
 	return nil
 }
 
@@ -562,7 +548,7 @@ func (d *Dialer) Dial(target string) (net.Conn, error) {
 	}
 	self := fmt.Sprintf("%s-c%d", d.acct, n)
 	peer := fmt.Sprintf("%s-p%d", d.acct, n)
-	ic := newIMConn(conn, self, peer, d.cfg.MessageCap)
+	ic := newIMConn(d.host.Network().Clock(), conn, self, peer, d.cfg.MessageCap)
 	ic.onClose = release
 	if err := ic.login(); err != nil {
 		ic.Close()

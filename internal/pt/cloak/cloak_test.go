@@ -12,7 +12,7 @@ import (
 
 // bufferedPair returns two connected conns with buffering (unlike
 // net.Pipe), so a server can flush its ServerHello without a reader.
-func bufferedPair(t *testing.T) (net.Conn, net.Conn) {
+func bufferedPair(t *testing.T) (*netem.Network, net.Conn, net.Conn) {
 	t.Helper()
 	n := netem.New(netem.WithTimeScale(0.001), netem.WithSeed(9))
 	a := n.MustAddHost(netem.HostConfig{Name: "a", Location: geo.London})
@@ -21,18 +21,19 @@ func bufferedPair(t *testing.T) (net.Conn, net.Conn) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	accepted := make(chan net.Conn, 1)
-	go func() {
+	accepted := netem.NewChan[net.Conn](n.Clock(), 1)
+	n.Go(func() {
 		c, err := ln.Accept()
 		if err == nil {
-			accepted <- c
+			accepted.Send(c)
 		}
-	}()
+	})
 	c, err := a.Dial("b:1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	return c, <-accepted
+	sc, _ := accepted.Recv()
+	return n, c, sc
 }
 
 func TestClientHelloShape(t *testing.T) {
@@ -59,18 +60,18 @@ func TestClientHelloAuthenticates(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	hello, _ := buildClientHello(Config{UID: uid, RedirAddr: "x.com"}, rng)
 
-	a, b := bufferedPair(t)
+	n1, a, b := bufferedPair(t)
 	defer a.Close()
 	defer b.Close()
-	go a.Write(hello)
+	n1.Go(func() { a.Write(hello) })
 	if _, err := serverWrap(b, Config{UID: uid}, 3); err != nil {
 		t.Fatalf("valid hello rejected: %v", err)
 	}
 
-	c, d := bufferedPair(t)
+	n2, c, d := bufferedPair(t)
 	defer c.Close()
 	defer d.Close()
-	go c.Write(hello)
+	n2.Go(func() { c.Write(hello) })
 	if _, err := serverWrap(d, Config{UID: []byte("other")}, 4); err != ErrAuth {
 		t.Fatalf("wrong UID must fail auth, got %v", err)
 	}
@@ -79,21 +80,21 @@ func TestClientHelloAuthenticates(t *testing.T) {
 func TestZeroRTT(t *testing.T) {
 	// The client must be able to finish its first Write before reading
 	// anything from the server: that is cloak's zero-RTT property.
-	a, b := bufferedPair(t)
+	nw, a, b := bufferedPair(t)
 	defer a.Close()
 	defer b.Close()
 
-	serverGot := make(chan []byte, 1)
-	go func() {
+	serverGot := netem.NewChan[[]byte](nw.Clock(), 1)
+	nw.Go(func() {
 		sc, err := serverWrap(b, Config{UID: []byte("u")}, 5)
 		if err != nil {
-			serverGot <- nil
+			serverGot.Send(nil)
 			return
 		}
 		buf := make([]byte, 10)
 		n, _ := sc.Read(buf)
-		serverGot <- buf[:n]
-	}()
+		serverGot.Send(buf[:n])
+	})
 
 	cc, err := clientWrap(a, Config{UID: []byte("u")}, 6)
 	if err != nil {
@@ -102,7 +103,7 @@ func TestZeroRTT(t *testing.T) {
 	if _, err := cc.Write([]byte("early-data")); err != nil {
 		t.Fatal(err)
 	}
-	if got := <-serverGot; string(got) != "early-data" {
+	if got, _ := serverGot.Recv(); string(got) != "early-data" {
 		t.Fatalf("server got %q", got)
 	}
 }

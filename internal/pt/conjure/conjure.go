@@ -49,6 +49,7 @@ type Config struct {
 type Infra struct {
 	cfg        Config
 	bridgeAddr string
+	regHost    *netem.Host
 	stationHst *netem.Host
 
 	regLn     *netem.Listener
@@ -77,13 +78,14 @@ func StartInfra(registrarHost, stationHost *netem.Host, regPort, phantomPort int
 	inf := &Infra{
 		cfg:        cfg,
 		bridgeAddr: bridgeAddr,
+		regHost:    registrarHost,
 		stationHst: stationHost,
 		regLn:      regLn,
 		phantomLn:  phantomLn,
 		registered: make(map[[nonceLen]byte]bool),
 	}
-	go inf.serveRegistrar()
-	go inf.serveStation()
+	registrarHost.Network().Go(inf.serveRegistrar)
+	stationHost.Network().Go(inf.serveStation)
 	return inf, nil
 }
 
@@ -112,7 +114,9 @@ func (inf *Infra) serveRegistrar() {
 		if err != nil {
 			return
 		}
-		go func(c net.Conn) {
+		conn := c
+		inf.regHost.Network().Go(func() {
+			c := conn
 			defer c.Close()
 			msg := make([]byte, nonceLen+16)
 			if _, err := io.ReadFull(c, msg); err != nil {
@@ -127,7 +131,7 @@ func (inf *Infra) serveRegistrar() {
 			inf.registered[nonce] = true
 			inf.mu.Unlock()
 			c.Write([]byte{0x01}) // ack
-		}(c)
+		})
 	}
 }
 
@@ -139,7 +143,9 @@ func (inf *Infra) serveStation() {
 		if err != nil {
 			return
 		}
-		go func(c net.Conn) {
+		conn := c
+		inf.stationHst.Network().Go(func() {
+			c := conn
 			hello := make([]byte, nonceLen)
 			if _, err := io.ReadFull(c, hello); err != nil {
 				c.Close()
@@ -168,8 +174,8 @@ func (inf *Infra) serveStation() {
 				down.Close()
 				return
 			}
-			pt.Splice(c, down)
-		}(c)
+			pt.Splice(inf.stationHst.Network().Clock(), c, down)
+		})
 	}
 }
 

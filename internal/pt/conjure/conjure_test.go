@@ -53,7 +53,7 @@ func TestRegistrationIsSingleUse(t *testing.T) {
 	}
 	defer raw.Close()
 	raw.Write(make([]byte, nonceLen))
-	raw.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	raw.SetReadDeadline(client.Network().VirtualDeadline(30 * time.Millisecond))
 	if _, err := raw.Read(make([]byte, 1)); err == nil {
 		t.Fatal("unregistered phantom flow must get nothing")
 	}

@@ -155,7 +155,7 @@ func StartResolver(host *netem.Host, port int, cfg Config, serverAddr string) (*
 		rng:        rand.New(rand.NewSource(cfg.Seed + 29)),
 		sessions:   make(map[string]*sessionMeter),
 	}
-	go r.acceptLoop()
+	host.Network().Go(r.acceptLoop)
 	return r, nil
 }
 
@@ -171,7 +171,8 @@ func (r *Resolver) acceptLoop() {
 		if err != nil {
 			return
 		}
-		go r.serveConn(c)
+		conn := c
+		r.host.Network().Go(func() { r.serveConn(conn) })
 	}
 }
 
@@ -261,6 +262,7 @@ func appendLen(frame []byte) []byte {
 type Server struct {
 	cfg    Config
 	ln     *netem.Listener
+	clock  *netem.Clock
 	handle pt.StreamHandler
 
 	mu       sync.Mutex
@@ -273,8 +275,8 @@ func StartServer(host *netem.Host, port int, cfg Config, handle pt.StreamHandler
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg.withDefaults(), ln: ln, handle: handle, sessions: make(map[string]*serverSession)}
-	go s.acceptLoop()
+	s := &Server{cfg: cfg.withDefaults(), ln: ln, clock: host.Network().Clock(), handle: handle, sessions: make(map[string]*serverSession)}
+	s.clock.Go(s.acceptLoop)
 	return s, nil
 }
 
@@ -290,7 +292,8 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
-		go s.serveResolverConn(c)
+		conn := c
+		s.clock.Go(func() { s.serveResolverConn(conn) })
 	}
 }
 
@@ -299,7 +302,7 @@ type serverSession struct {
 	srv *Server
 
 	mu      sync.Mutex
-	cond    *sync.Cond
+	cond    *netem.Cond
 	upNext  uint32
 	upHeld  map[uint32][]byte
 	upBuf   []byte
@@ -315,10 +318,10 @@ func (s *Server) session(id string) *serverSession {
 		return ss
 	}
 	ss := &serverSession{srv: s, upHeld: make(map[uint32][]byte)}
-	ss.cond = sync.NewCond(&ss.mu)
+	ss.cond = netem.NewCond(s.clock, &ss.mu)
 	s.sessions[id] = ss
 	// The handler sees an ordinary stream; dnstt framing hides behind it.
-	go func() {
+	s.clock.Go(func() {
 		conn := &sessionConn{ss: ss}
 		target, err := pt.ReadTarget(conn)
 		if err != nil {
@@ -326,7 +329,7 @@ func (s *Server) session(id string) *serverSession {
 			return
 		}
 		s.handle(target, conn)
-	}()
+	})
 	return ss
 }
 
@@ -524,9 +527,10 @@ func (d *Dialer) Dial(target string) (net.Conn, error) {
 		conns: conns,
 		held:  make(map[uint32][]byte),
 	}
-	t.cond = sync.NewCond(&t.mu)
+	t.cond = netem.NewCond(t.clock, &t.mu)
 	for _, c := range conns {
-		go t.pollLoop(c)
+		conn := c
+		t.clock.Go(func() { t.pollLoop(conn) })
 	}
 	if err := pt.WriteTarget(t, target); err != nil {
 		t.Close()
@@ -543,7 +547,7 @@ type tunnelConn struct {
 	conns []net.Conn
 
 	mu      sync.Mutex
-	cond    *sync.Cond
+	cond    *netem.Cond
 	upBuf   []byte
 	qseq    uint32
 	downBuf []byte
@@ -661,20 +665,10 @@ func (t *tunnelConn) Read(p []byte) (int, error) {
 		if t.closed {
 			return 0, io.EOF
 		}
-		if !t.rdl.IsZero() && !time.Now().Before(t.rdl) {
+		if t.clock.Expired(t.rdl) {
 			return 0, errTunnelTimeout
 		}
-		if t.rdl.IsZero() {
-			t.cond.Wait()
-		} else {
-			timer := time.AfterFunc(time.Until(t.rdl), func() {
-				t.mu.Lock()
-				t.cond.Broadcast()
-				t.mu.Unlock()
-			})
-			t.cond.Wait()
-			timer.Stop()
-		}
+		t.cond.WaitDeadline(t.rdl)
 	}
 	n := copy(p, t.downBuf)
 	t.downBuf = t.downBuf[n:]

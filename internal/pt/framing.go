@@ -11,6 +11,8 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+
+	"ptperf/internal/netem"
 )
 
 // MaxRecord is the largest payload carried in one framed record.
@@ -178,9 +180,10 @@ func ReadTarget(r io.Reader) (string, error) {
 }
 
 // Splice copies both directions between a and b and closes both when
-// either side finishes. It is the standard PT-server forwarding loop.
-func Splice(a, b net.Conn) {
-	var wg sync.WaitGroup
+// both directions finish. It is the standard PT-server forwarding loop;
+// the pump goroutines are simulation goroutines on clock.
+func Splice(clock *netem.Clock, a, b net.Conn) {
+	wg := netem.NewWaitGroup(clock)
 	cp := func(dst, src net.Conn) {
 		defer wg.Done()
 		buf := make([]byte, 32<<10)
@@ -202,8 +205,8 @@ func Splice(a, b net.Conn) {
 		}
 	}
 	wg.Add(2)
-	go cp(a, b)
-	go cp(b, a)
+	clock.Go(func() { cp(a, b) })
+	clock.Go(func() { cp(b, a) })
 	wg.Wait()
 	a.Close()
 	b.Close()

@@ -164,7 +164,7 @@ func StartFront(host *netem.Host, port int, cfg Config, bridgeAddr string) (*Fro
 		return nil, err
 	}
 	f := &Front{cfg: cfg.withDefaults(), host: host, bridgeAddr: bridgeAddr, ln: ln}
-	go f.acceptLoop()
+	host.Network().Go(f.acceptLoop)
 	return f, nil
 }
 
@@ -180,7 +180,8 @@ func (f *Front) acceptLoop() {
 		if err != nil {
 			return
 		}
-		go f.serveConn(c)
+		conn := c
+		f.host.Network().Go(func() { f.serveConn(conn) })
 	}
 }
 
@@ -229,7 +230,7 @@ type Bridge struct {
 
 type bridgeSession struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
+	cond    *netem.Cond
 	upBuf   []byte
 	downBuf []byte
 	budget  int64
@@ -252,7 +253,7 @@ func StartBridge(host *netem.Host, port int, cfg Config, handle pt.StreamHandler
 		rng:      rand.New(rand.NewSource(cfg.Seed + 3)),
 		sessions: make(map[uint64]*bridgeSession),
 	}
-	go b.acceptLoop()
+	host.Network().Go(b.acceptLoop)
 	return b, nil
 }
 
@@ -268,7 +269,8 @@ func (b *Bridge) acceptLoop() {
 		if err != nil {
 			return
 		}
-		go b.serveFrontConn(c)
+		conn := c
+		b.host.Network().Go(func() { b.serveFrontConn(conn) })
 	}
 }
 
@@ -280,9 +282,9 @@ func (b *Bridge) session(sid uint64) *bridgeSession {
 		return s
 	}
 	s := &bridgeSession{budget: b.drawBudget()}
-	s.cond = sync.NewCond(&s.mu)
+	s.cond = netem.NewCond(b.host.Network().Clock(), &s.mu)
 	b.sessions[sid] = s
-	go func() {
+	b.host.Network().Go(func() {
 		conn := &bridgeConn{s: s}
 		target, err := pt.ReadTarget(conn)
 		if err != nil {
@@ -290,7 +292,7 @@ func (b *Bridge) session(sid uint64) *bridgeSession {
 			return
 		}
 		b.handle(target, conn)
-	}()
+	})
 	return s
 }
 
@@ -482,8 +484,8 @@ func (d *Dialer) Dial(target string) (net.Conn, error) {
 		sid:   sid,
 		conn:  conn,
 	}
-	t.cond = sync.NewCond(&t.mu)
-	go t.pollLoop()
+	t.cond = netem.NewCond(t.clock, &t.mu)
+	d.host.Network().Go(t.pollLoop)
 	if err := pt.WriteTarget(t, target); err != nil {
 		t.Close()
 		return nil, err
@@ -499,7 +501,7 @@ type pollConn struct {
 	conn  net.Conn
 
 	mu      sync.Mutex
-	cond    *sync.Cond
+	cond    *netem.Cond
 	upBuf   []byte
 	downBuf []byte
 	closed  bool
@@ -573,20 +575,10 @@ func (t *pollConn) Read(p []byte) (int, error) {
 		if t.closed {
 			return 0, io.EOF
 		}
-		if !t.rdl.IsZero() && !time.Now().Before(t.rdl) {
+		if t.clock.Expired(t.rdl) {
 			return 0, errMeekTimeout
 		}
-		if t.rdl.IsZero() {
-			t.cond.Wait()
-		} else {
-			timer := time.AfterFunc(time.Until(t.rdl), func() {
-				t.mu.Lock()
-				t.cond.Broadcast()
-				t.mu.Unlock()
-			})
-			t.cond.Wait()
-			timer.Stop()
-		}
+		t.cond.WaitDeadline(t.rdl)
 	}
 	n := copy(p, t.downBuf)
 	t.downBuf = t.downBuf[n:]

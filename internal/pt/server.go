@@ -34,19 +34,21 @@ func ListenAndServe(host *netem.Host, port int, wrap ServerWrapper, handle Strea
 		return nil, err
 	}
 	srv := &listenServer{ln: ln, addr: fmt.Sprintf("%s:%d", host.Name(), port)}
-	go func() {
+	clock := host.Network().Clock()
+	clock.Go(func() {
 		for {
 			raw, err := ln.Accept()
 			if err != nil {
 				return
 			}
-			go func(raw net.Conn) {
-				conn := raw
+			rawConn := raw
+			clock.Go(func() {
+				conn := rawConn
 				if wrap != nil {
 					var err error
-					conn, err = wrap(raw)
+					conn, err = wrap(rawConn)
 					if err != nil {
-						raw.Close()
+						rawConn.Close()
 						return
 					}
 				}
@@ -56,9 +58,9 @@ func ListenAndServe(host *netem.Host, port int, wrap ServerWrapper, handle Strea
 					return
 				}
 				handle(target, conn)
-			}(raw)
+			})
 		}
-	}()
+	})
 	return srv, nil
 }
 
@@ -88,26 +90,27 @@ func DialWrapped(host *netem.Host, addr string, wrap ClientWrapper, target strin
 // fromHost and splices — the integration-set-2 server behaviour (the
 // target names the guard the client's Tor selected).
 func ForwardTo(fromHost *netem.Host) StreamHandler {
+	clock := fromHost.Network().Clock()
 	return func(target string, conn net.Conn) {
 		down, err := fromHost.Dial(target)
 		if err != nil {
 			conn.Close()
 			return
 		}
-		Splice(conn, down)
+		Splice(clock, conn, down)
 	}
 }
 
 // HandleWithDialer returns a StreamHandler that opens the target through
 // an arbitrary dialer and splices — the integration-set-3 server
 // behaviour (the dialer is the co-located Tor client).
-func HandleWithDialer(dial func(target string) (net.Conn, error)) StreamHandler {
+func HandleWithDialer(clock *netem.Clock, dial func(target string) (net.Conn, error)) StreamHandler {
 	return func(target string, conn net.Conn) {
 		up, err := dial(target)
 		if err != nil {
 			conn.Close()
 			return
 		}
-		Splice(conn, up)
+		Splice(clock, conn, up)
 	}
 }

@@ -123,7 +123,7 @@ func Deploy(brokerHost *netem.Host, brokerPort int, cfg Config) (*Deployment, er
 			return nil, err
 		}
 	}
-	go d.serveBroker()
+	d.net.Go(d.serveBroker)
 	return d, nil
 }
 
@@ -194,15 +194,15 @@ func (d *Deployment) spawnProxy() error {
 	d.mu.Lock()
 	d.proxies = append(d.proxies, p)
 	d.mu.Unlock()
-	go p.serve()
+	d.net.Go(p.serve)
 	if lifetime > 0 {
-		go func() {
+		d.net.Go(func() {
 			d.net.Clock().Sleep(lifetime)
 			p.kill()
 			// A replacement volunteer appears after a gap.
 			d.net.Clock().Sleep(time.Duration(2+id%3) * time.Second)
 			d.spawnProxy()
-		}()
+		})
 	}
 	return nil
 }
@@ -219,7 +219,9 @@ func (p *proxy) serve() {
 		if err != nil {
 			return
 		}
-		go func(c net.Conn) {
+		conn := c
+		p.host.Network().Go(func() {
+			c := conn
 			bridgeAddr, err := readHello(c)
 			if err != nil {
 				c.Close()
@@ -231,8 +233,8 @@ func (p *proxy) serve() {
 				return
 			}
 			p.track(c, down)
-			pt.Splice(c, down)
-		}(c)
+			pt.Splice(p.host.Network().Clock(), c, down)
+		})
 	}
 }
 
@@ -281,7 +283,9 @@ func (d *Deployment) serveBroker() {
 		if err != nil {
 			return
 		}
-		go func(c net.Conn) {
+		conn := c
+		d.net.Go(func() {
+			c := conn
 			defer c.Close()
 			var req [1]byte
 			if _, err := io.ReadFull(c, req[:]); err != nil {
@@ -296,7 +300,7 @@ func (d *Deployment) serveBroker() {
 			}
 			d.mu.Unlock()
 			writeString(c, addr)
-		}(c)
+		})
 	}
 }
 

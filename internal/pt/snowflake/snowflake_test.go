@@ -49,7 +49,7 @@ func testNet(t *testing.T) (*netem.Network, *netem.Host, *netem.Host) {
 }
 
 func TestBrokerAssignsLiveProxy(t *testing.T) {
-	_, client, infra := testNet(t)
+	n, client, infra := testNet(t)
 	dep, err := Deploy(infra, 443, Config{Seed: 1, ProxyLifetime: -1, Proxies: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +73,7 @@ func TestBrokerAssignsLiveProxy(t *testing.T) {
 	}
 	defer conn.Close()
 	msg := []byte("through a volunteer")
-	go conn.Write(msg)
+	n.Go(func() { conn.Write(msg) })
 	got := make([]byte, len(msg))
 	if _, err := io.ReadFull(conn, got); err != nil {
 		t.Fatal(err)

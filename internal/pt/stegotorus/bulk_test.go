@@ -27,7 +27,7 @@ func TestBulkOverManyConns(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			go func() {
+			n.Go(func() {
 				c, err := ln.Accept()
 				if err != nil {
 					return
@@ -40,7 +40,7 @@ func TestBulkOverManyConns(t *testing.T) {
 				if cw, ok := c.(interface{ CloseWrite() error }); ok {
 					cw.CloseWrite()
 				}
-			}()
+			})
 
 			cfg := Config{Seed: int64(conns), Conns: conns}
 			srv, err := StartServer(server, 8080, cfg, pt.ForwardTo(server))

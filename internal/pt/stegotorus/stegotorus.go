@@ -137,11 +137,12 @@ func cutPrefixFold(s, prefix string) (string, bool) {
 
 // session reassembles one direction of a chopped stream.
 type session struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	next uint64
-	held map[uint64][]byte
-	buf  []byte
+	clock *netem.Clock
+	mu    sync.Mutex
+	cond  *netem.Cond
+	next  uint64
+	held  map[uint64][]byte
+	buf   []byte
 	// closed is the hard teardown (error or local close).
 	closed bool
 	// finSeq+1 is stored in fin when the peer's FIN announced the total
@@ -150,9 +151,9 @@ type session struct {
 	rdl time.Time
 }
 
-func newSession() *session {
-	s := &session{held: make(map[uint64][]byte)}
-	s.cond = sync.NewCond(&s.mu)
+func newSession(clock *netem.Clock) *session {
+	s := &session{clock: clock, held: make(map[uint64][]byte)}
+	s.cond = netem.NewCond(clock, &s.mu)
 	return s
 }
 
@@ -206,20 +207,10 @@ func (s *session) read(p []byte) (int, error) {
 		if s.closed || s.finishedLocked() {
 			return 0, io.EOF
 		}
-		if !s.rdl.IsZero() && !time.Now().Before(s.rdl) {
+		if s.clock.Expired(s.rdl) {
 			return 0, errStegTimeout
 		}
-		if s.rdl.IsZero() {
-			s.cond.Wait()
-		} else {
-			timer := time.AfterFunc(time.Until(s.rdl), func() {
-				s.mu.Lock()
-				s.cond.Broadcast()
-				s.mu.Unlock()
-			})
-			s.cond.Wait()
-			timer.Stop()
-		}
+		s.cond.WaitDeadline(s.rdl)
 	}
 	n := copy(p, s.buf)
 	s.buf = s.buf[n:]
@@ -246,18 +237,19 @@ type chopConn struct {
 	readers   int
 }
 
-func newChopConn(cfg Config, sid uint64, conns []net.Conn, seed int64) *chopConn {
+func newChopConn(clock *netem.Clock, cfg Config, sid uint64, conns []net.Conn, seed int64) *chopConn {
 	c := &chopConn{
 		cfg:     cfg,
 		sid:     sid,
 		conns:   conns,
-		recv:    newSession(),
+		recv:    newSession(clock),
 		rng:     rand.New(rand.NewSource(seed)),
 		readers: len(conns),
 	}
 	for _, conn := range conns {
+		conn := conn
 		c.wbufs = append(c.wbufs, bufio.NewWriterSize(conn, 8<<10))
-		go c.readLoop(conn)
+		clock.Go(func() { c.readLoop(conn) })
 	}
 	return c
 }
@@ -412,6 +404,7 @@ var errStegTimeout = stegTimeout{}
 type Server struct {
 	cfg    Config
 	ln     *netem.Listener
+	clock  *netem.Clock
 	handle pt.StreamHandler
 
 	mu       sync.Mutex
@@ -434,11 +427,12 @@ func StartServer(host *netem.Host, port int, cfg Config, handle pt.StreamHandler
 	s := &Server{
 		cfg:      cfg.withDefaults(),
 		ln:       ln,
+		clock:    host.Network().Clock(),
 		handle:   handle,
 		pending:  make(map[uint64]*pendingSession),
 		nextSeed: cfg.Seed + 11,
 	}
-	go s.acceptLoop()
+	s.clock.Go(s.acceptLoop)
 	return s, nil
 }
 
@@ -455,7 +449,9 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
-		go func(c net.Conn) {
+		conn := c
+		s.clock.Go(func() {
+			c := conn
 			var pre [10]byte
 			if _, err := io.ReadFull(c, pre[:]); err != nil {
 				c.Close()
@@ -486,14 +482,14 @@ func (s *Server) acceptLoop() {
 			if !ready {
 				return
 			}
-			cc := newChopConn(s.cfg, sid, conns, seed)
+			cc := newChopConn(s.clock, s.cfg, sid, conns, seed)
 			target, err := pt.ReadTarget(cc)
 			if err != nil {
 				cc.Close()
 				return
 			}
 			s.handle(target, cc)
-		}(c)
+		})
 	}
 }
 
@@ -543,7 +539,7 @@ func (d *Dialer) Dial(target string) (net.Conn, error) {
 		}
 		conns = append(conns, c)
 	}
-	cc := newChopConn(d.cfg, sid, conns, seed)
+	cc := newChopConn(d.host.Network().Clock(), d.cfg, sid, conns, seed)
 	if err := pt.WriteTarget(cc, target); err != nil {
 		cc.Close()
 		return nil, err

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"ptperf/internal/netem"
 )
 
 func TestCoverCodecRoundTrip(t *testing.T) {
@@ -51,7 +53,7 @@ func TestDecodeCoverRejectsGarbage(t *testing.T) {
 }
 
 func TestSessionReorders(t *testing.T) {
-	s := newSession()
+	s := newSession(netem.NewClock(0))
 	s.accept(2, []byte("cc"))
 	s.accept(0, []byte("aa"))
 	s.accept(1, []byte("bb"))
@@ -66,7 +68,7 @@ func TestSessionReorders(t *testing.T) {
 }
 
 func TestSessionDuplicateIgnored(t *testing.T) {
-	s := newSession()
+	s := newSession(netem.NewClock(0))
 	s.accept(0, []byte("x"))
 	s.accept(0, []byte("y")) // duplicate seq: ignored
 	buf := make([]byte, 4)
@@ -77,7 +79,7 @@ func TestSessionDuplicateIgnored(t *testing.T) {
 }
 
 func TestSessionCloseDrainsThenEOF(t *testing.T) {
-	s := newSession()
+	s := newSession(netem.NewClock(0))
 	s.accept(0, []byte("tail"))
 	s.close()
 	buf := make([]byte, 8)

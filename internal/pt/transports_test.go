@@ -36,9 +36,9 @@ type world struct {
 
 func newWorld(t *testing.T) *world { return newWorldScale(t, 0.002) }
 
-// newTimingWorld uses a coarser time scale so that scheduler overhead
-// (inflated further under -race) stays negligible against virtual time;
-// tests that compare durations should use it.
+// newTimingWorld is newWorld under the retired wall-clock substrate; on
+// the discrete-event clock the distinction is gone, but timing tests
+// keep using it to mark that they compare virtual durations.
 func newTimingWorld(t *testing.T) *world { return newWorldScale(t, 0.03) }
 
 func newWorldScale(t *testing.T, scale float64) *world {
@@ -65,7 +65,7 @@ func echoHandler(t *testing.T, wantTarget string) pt.StreamHandler {
 }
 
 // exerciseEcho drives a full bidirectional transfer through a dialer.
-func exerciseEcho(t *testing.T, d pt.Dialer, payloadLen int) {
+func exerciseEcho(t *testing.T, w *world, d pt.Dialer, payloadLen int) {
 	t.Helper()
 	conn, err := d.Dial("guard-0:9001")
 	if err != nil {
@@ -73,16 +73,16 @@ func exerciseEcho(t *testing.T, d pt.Dialer, payloadLen int) {
 	}
 	defer conn.Close()
 	msg := bytes.Repeat([]byte("pluggable-transport-payload/"), payloadLen/28+1)[:payloadLen]
-	done := make(chan error, 1)
-	go func() {
+	done := netem.NewChan[error](w.net.Clock(), 1)
+	w.net.Go(func() {
 		_, err := conn.Write(msg)
-		done <- err
-	}()
+		done.Send(err)
+	})
 	got := make([]byte, len(msg))
 	if _, err := io.ReadFull(conn, got); err != nil {
 		t.Fatalf("read: %v", err)
 	}
-	if err := <-done; err != nil {
+	if err, _ := done.Recv(); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 	if !bytes.Equal(got, msg) {
@@ -99,7 +99,7 @@ func TestObfs4EndToEnd(t *testing.T) {
 	}
 	defer srv.Close()
 	d := obfs4.NewDialer(w.client, srv.Addr(), obfs4.Config{Secret: secret, Seed: 2})
-	exerciseEcho(t, d, 60_000)
+	exerciseEcho(t, w, d, 60_000)
 }
 
 func TestObfs4RejectsWrongSecret(t *testing.T) {
@@ -116,7 +116,7 @@ func TestObfs4RejectsWrongSecret(t *testing.T) {
 	if err == nil {
 		// The server drops us during the handshake; the failure may
 		// surface on first read instead of dial.
-		conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		conn.SetReadDeadline(w.net.VirtualDeadline(50 * time.Millisecond))
 		buf := make([]byte, 1)
 		if _, rerr := conn.Read(buf); rerr == nil {
 			t.Fatal("probe with wrong secret should not produce data")
@@ -134,7 +134,7 @@ func TestShadowsocksEndToEnd(t *testing.T) {
 	}
 	defer srv.Close()
 	d := shadowsocks.NewDialer(w.client, srv.Addr(), shadowsocks.Config{PSK: psk, Seed: 2})
-	exerciseEcho(t, d, 100_000)
+	exerciseEcho(t, w, d, 100_000)
 }
 
 func TestShadowsocksZeroRTTFasterThanObfs4(t *testing.T) {
@@ -173,7 +173,7 @@ func TestWebtunnelEndToEnd(t *testing.T) {
 	}
 	defer srv.Close()
 	d := webtunnel.NewDialer(w.client, srv.Addr(), webtunnel.Config{SessionKey: key, SNI: "cdn.example", Seed: 2})
-	exerciseEcho(t, d, 50_000)
+	exerciseEcho(t, w, d, 50_000)
 }
 
 func TestPsiphonEndToEnd(t *testing.T) {
@@ -185,7 +185,7 @@ func TestPsiphonEndToEnd(t *testing.T) {
 	}
 	defer srv.Close()
 	d := psiphon.NewDialer(w.client, srv.Addr(), psiphon.Config{HostKey: hostKey, Seed: 2})
-	exerciseEcho(t, d, 50_000)
+	exerciseEcho(t, w, d, 50_000)
 }
 
 func TestPsiphonRejectsWrongHostKey(t *testing.T) {
@@ -216,7 +216,7 @@ func TestCloakEndToEnd(t *testing.T) {
 	}
 	defer conn.Close()
 	msg := bytes.Repeat([]byte("zero-rtt"), 2000)
-	go conn.Write(msg)
+	w.net.Go(func() { conn.Write(msg) })
 	got := make([]byte, len(msg))
 	if _, err := io.ReadFull(conn, got); err != nil {
 		t.Fatal(err)
@@ -240,7 +240,7 @@ func TestConjureEndToEnd(t *testing.T) {
 	}
 	defer inf.Close()
 	d := conjure.NewDialer(w.client, inf.RegistrarAddr(), inf.PhantomAddr(), conjure.Config{Secret: secret, Seed: 3})
-	exerciseEcho(t, d, 40_000)
+	exerciseEcho(t, w, d, 40_000)
 }
 
 func TestConjureUnregisteredFlowDropped(t *testing.T) {
@@ -262,7 +262,7 @@ func TestConjureUnregisteredFlowDropped(t *testing.T) {
 	}
 	defer conn.Close()
 	conn.Write(make([]byte, 32))
-	conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	conn.SetReadDeadline(w.net.VirtualDeadline(50 * time.Millisecond))
 	if _, err := conn.Read(make([]byte, 1)); err == nil {
 		t.Fatal("station must not answer unregistered flows")
 	}
@@ -281,7 +281,7 @@ func TestDnsttEndToEnd(t *testing.T) {
 	}
 	defer res.Close()
 	d := dnstt.NewDialer(w.client, res.Addr(), dnstt.Config{Seed: 3})
-	exerciseEcho(t, d, 20_000)
+	exerciseEcho(t, w, d, 20_000)
 }
 
 func TestDnsttRespCapLimitsThroughput(t *testing.T) {
@@ -336,7 +336,7 @@ func TestDnsttResolverBudgetThrottles(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	conn.SetReadDeadline(w.net.VirtualDeadline(300 * time.Millisecond))
 	got := 0
 	buf := make([]byte, 4<<10)
 	for {
@@ -364,7 +364,7 @@ func TestMeekEndToEnd(t *testing.T) {
 	}
 	defer front.Close()
 	d := meek.NewDialer(w.client, front.Addr(), meek.Config{Seed: 3})
-	exerciseEcho(t, d, 30_000)
+	exerciseEcho(t, w, d, 30_000)
 }
 
 func TestMeekSessionBudgetCutsBulk(t *testing.T) {
@@ -416,7 +416,7 @@ func TestSnowflakeEndToEnd(t *testing.T) {
 	}
 	defer dep.Close()
 	d := snowflake.NewDialer(w.client, dep.BrokerAddr(), bridge.Addr())
-	exerciseEcho(t, d, 40_000)
+	exerciseEcho(t, w, d, 40_000)
 }
 
 func TestSnowflakeProxyChurnBreaksTransfer(t *testing.T) {
@@ -473,16 +473,16 @@ func TestCamouflerEndToEnd(t *testing.T) {
 	}
 	defer proxy.Close()
 	d := camoufler.NewDialer(w.client, im.Addr(), "acct", camoufler.Config{Seed: 7, LossProb: -1}, proxy)
-	exerciseEcho(t, d, 20_000)
+	exerciseEcho(t, w, d, 20_000)
 }
 
 func TestCamouflerSingleStreamOnly(t *testing.T) {
 	w := newWorld(t)
 	im, _ := camoufler.StartIMServer(w.extra, 5222, camoufler.Config{Seed: 5, LossProb: -1})
 	defer im.Close()
-	hold := make(chan struct{})
+	hold := netem.NewChan[struct{}](w.net.Clock(), 1)
 	proxy, _ := camoufler.StartProxy(w.server, im.Addr(), "acct", camoufler.Config{Seed: 6, LossProb: -1}, func(target string, conn net.Conn) {
-		<-hold
+		hold.Recv()
 		conn.Close()
 	})
 	defer proxy.Close()
@@ -494,7 +494,7 @@ func TestCamouflerSingleStreamOnly(t *testing.T) {
 	if _, err := d.Dial("g:1"); err != camoufler.ErrBusy {
 		t.Fatalf("second concurrent stream: want ErrBusy, got %v", err)
 	}
-	close(hold)
+	hold.Close()
 	c1.Close()
 	// After releasing, a new stream is possible.
 	c2, err := d.Dial("g:1")
@@ -545,7 +545,7 @@ func TestStegotorusEndToEnd(t *testing.T) {
 	}
 	defer srv.Close()
 	d := stegotorus.NewDialer(w.client, srv.Addr(), stegotorus.Config{Seed: 9})
-	exerciseEcho(t, d, 80_000)
+	exerciseEcho(t, w, d, 80_000)
 }
 
 func TestMarionetteEndToEnd(t *testing.T) {
@@ -559,7 +559,7 @@ func TestMarionetteEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exerciseEcho(t, d, 4_000)
+	exerciseEcho(t, w, d, 4_000)
 }
 
 func TestMarionetteModelValidate(t *testing.T) {
@@ -591,7 +591,7 @@ func TestMarionetteSlowerThanObfs4(t *testing.T) {
 		}
 		defer conn.Close()
 		msg := make([]byte, payload)
-		go conn.Write(msg)
+		w.net.Go(func() { conn.Write(msg) })
 		if _, err := io.ReadFull(conn, make([]byte, payload)); err != nil {
 			t.Fatal(err)
 		}

@@ -9,7 +9,7 @@ import (
 	"ptperf/internal/netem"
 )
 
-func bufferedPair(t *testing.T) (net.Conn, net.Conn) {
+func bufferedPair(t *testing.T) (*netem.Network, net.Conn, net.Conn) {
 	t.Helper()
 	n := netem.New(netem.WithTimeScale(0.001), netem.WithSeed(11))
 	a := n.MustAddHost(netem.HostConfig{Name: "a", Location: geo.London})
@@ -18,42 +18,43 @@ func bufferedPair(t *testing.T) (net.Conn, net.Conn) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	accepted := make(chan net.Conn, 1)
-	go func() {
+	accepted := netem.NewChan[net.Conn](n.Clock(), 1)
+	n.Go(func() {
 		c, err := ln.Accept()
 		if err == nil {
-			accepted <- c
+			accepted.Send(c)
 		}
-	}()
+	})
 	c, err := a.Dial("b:1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	return c, <-accepted
+	sc, _ := accepted.Recv()
+	return n, c, sc
 }
 
 func TestHandshakeAndRecords(t *testing.T) {
 	cfg := Config{SessionKey: []byte("k"), SNI: "static.example", Seed: 1}
-	a, b := bufferedPair(t)
+	n, a, b := bufferedPair(t)
 	type res struct {
 		conn net.Conn
 		err  error
 	}
-	sc := make(chan res, 1)
-	go func() {
+	sc := netem.NewChan[res](n.Clock(), 1)
+	n.Go(func() {
 		c, err := serverWrap(b, cfg, 2)
-		sc <- res{c, err}
-	}()
+		sc.Send(res{c, err})
+	})
 	cc, err := clientWrap(a, cfg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := <-sc
+	srv, _ := sc.Recv()
 	if srv.err != nil {
 		t.Fatal(srv.err)
 	}
 	msg := bytes.Repeat([]byte("https-tunnel"), 2000)
-	go cc.Write(msg)
+	n.Go(func() { cc.Write(msg) })
 	got := make([]byte, len(msg))
 	readFull(t, srv.conn, got)
 	if !bytes.Equal(got, msg) {
@@ -63,26 +64,26 @@ func TestHandshakeAndRecords(t *testing.T) {
 
 func TestServerRejectsNonTunnelRequest(t *testing.T) {
 	cfg := Config{SessionKey: []byte("k"), SNI: "x", Seed: 4}
-	a, b := bufferedPair(t)
-	errc := make(chan error, 1)
-	go func() {
+	n, a, b := bufferedPair(t)
+	errc := netem.NewChan[error](n.Clock(), 1)
+	n.Go(func() {
 		_, err := serverWrap(b, cfg, 5)
-		errc <- err
-	}()
+		errc.Send(err)
+	})
 	// Speak the TLS-ish prologue but then request the wrong path, like
 	// an ordinary HTTPS client hitting the innocuous site.
 	a.Write(append([]byte{0x16, 0x03, 0x01}, make([]byte, 32+1)...))
 	// Consume the ServerHello so the server can progress.
-	go func() {
+	n.Go(func() {
 		buf := make([]byte, 4096)
 		for {
 			if _, err := a.Read(buf); err != nil {
 				return
 			}
 		}
-	}()
+	})
 	a.Write([]byte("GET /index.html HTTP/1.1\r\n\r\n"))
-	if err := <-errc; err != ErrHandshake {
+	if err, _ := errc.Recv(); err != ErrHandshake {
 		t.Fatalf("want ErrHandshake, got %v", err)
 	}
 }

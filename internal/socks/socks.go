@@ -201,26 +201,34 @@ func ServerHandshake(conn net.Conn) (*Request, error) {
 	return &Request{Target: fmt.Sprintf("%s:%d", host, port), conn: conn}, nil
 }
 
+// Spawner starts simulation goroutines; *netem.Clock satisfies it. The
+// indirection keeps this package free of a netem dependency.
+type Spawner interface {
+	Go(fn func())
+}
+
 // Serve runs a SOCKS5 accept loop on l, invoking handle for each granted
-// CONNECT in its own goroutine. handle receives the target and the
-// client conn and owns the conn's lifetime. Serve returns when l closes.
-func Serve(l net.Listener, handle func(target string, conn net.Conn)) error {
+// CONNECT in its own simulation goroutine spawned via sp. handle
+// receives the target and the client conn and owns the conn's lifetime.
+// Serve returns when l closes.
+func Serve(sp Spawner, l net.Listener, handle func(target string, conn net.Conn)) error {
 	for {
 		c, err := l.Accept()
 		if err != nil {
 			return err
 		}
-		go func(c net.Conn) {
-			req, err := ServerHandshake(c)
+		conn := c
+		sp.Go(func() {
+			req, err := ServerHandshake(conn)
 			if err != nil {
-				c.Close()
+				conn.Close()
 				return
 			}
 			if err := req.Grant(); err != nil {
-				c.Close()
+				conn.Close()
 				return
 			}
-			handle(req.Target, c)
-		}(c)
+			handle(req.Target, conn)
+		})
 	}
 }

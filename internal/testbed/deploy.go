@@ -189,7 +189,15 @@ func (w *World) build(name string) (*Deployment, error) {
 	case "dnstt":
 		err = w.buildSet1(d, func(host *HostPort, handle pt.StreamHandler) (pt.Dialer, error) {
 			cfg := dnstt.Config{Seed: w.Opts.Seed + 16}
-			cfg.RespCap = w.Bytes(dnstt.DefaultRespCap)
+			// The response cap is floored so the poll count stays
+			// realistic; the in-flight window shrinks by the same
+			// factor, keeping the tunnel's inflight×cap/RTT throughput.
+			respCap, stretch := w.ScaleQuantum(dnstt.DefaultRespCap, 128)
+			cfg.RespCap = respCap
+			cfg.Inflight = int(float64(dnstt.DefaultInflight)/stretch + 0.5)
+			if cfg.Inflight < 1 {
+				cfg.Inflight = 1
+			}
 			cfg.QueryCap = w.Bytes(dnstt.DefaultQueryCap)
 			cfg.BudgetMedian = int64(w.Bytes(dnstt.DefaultBudgetMedian))
 			srv, err := dnstt.StartServer(host.Host, host.Port, cfg, handle)
@@ -237,7 +245,12 @@ func (w *World) build(name string) (*Deployment, error) {
 	case "camoufler":
 		err = w.buildSet2(d, func(host *HostPort) (pt.Dialer, error) {
 			cfg := camoufler.Config{Seed: w.Opts.Seed + 20}
-			cfg.MessageCap = w.Bytes(camoufler.DefaultMessageCap)
+			// Floored like dnstt's response cap: larger messages at a
+			// proportionally lower API rate keep the modeled
+			// throughput while bounding the message count.
+			msgCap, stretch := w.ScaleQuantum(camoufler.DefaultMessageCap, 1024)
+			cfg.MessageCap = msgCap
+			cfg.RatePerSec = camoufler.DefaultRatePerSec / stretch
 			imHost, err := w.newServerHost("im-provider", geo.Frankfurt, 0.25)
 			if err != nil {
 				return nil, err
@@ -282,7 +295,7 @@ func (w *World) build(name string) (*Deployment, error) {
 		})
 	case "marionette":
 		err = w.buildSet3(d, func(host *HostPort, handle pt.StreamHandler) (pt.Dialer, error) {
-			model := marionette.FTPWithCapacity(w.Bytes(marionette.DefaultCapacity))
+			model := marionette.FTPForScale(w.Opts.ByteScale)
 			if _, err := marionette.StartServer(host.Host, host.Port, model, w.Opts.Seed+23, handle); err != nil {
 				return nil, err
 			}
@@ -379,7 +392,7 @@ func (w *World) buildSet3(d *Deployment, start func(*HostPort, pt.StreamHandler)
 		return err
 	}
 	d.serverTor = serverTor
-	dialer, err := start(&HostPort{Host: srvHost, Port: ptServerPort}, pt.HandleWithDialer(serverTor.Dial))
+	dialer, err := start(&HostPort{Host: srvHost, Port: ptServerPort}, pt.HandleWithDialer(w.Net.Clock(), serverTor.Dial))
 	if err != nil {
 		return err
 	}

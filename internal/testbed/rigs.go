@@ -204,7 +204,7 @@ func (w *World) NewOverheadRig(name string, seq int64) (*OverheadRig, error) {
 		if err != nil {
 			return nil, err
 		}
-		dialer, err := w.startPTServer(name, srvHost, pt.HandleWithDialer(serverTor.Dial), seq)
+		dialer, err := w.startPTServer(name, srvHost, pt.HandleWithDialer(w.Net.Clock(), serverTor.Dial), seq)
 		if err != nil {
 			return nil, err
 		}
@@ -297,7 +297,7 @@ func (w *World) startPTServer(name string, host *netem.Host, handle pt.StreamHan
 		}
 		return cloak.NewDialer(w.Client, addr(4446), cfg), nil
 	case "marionette":
-		model := marionette.FTPWithCapacity(w.Bytes(marionette.DefaultCapacity))
+		model := marionette.FTPForScale(w.Opts.ByteScale)
 		if _, err := marionette.StartServer(host, 4447, model, seed, handle); err != nil {
 			return nil, err
 		}

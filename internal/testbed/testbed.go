@@ -211,6 +211,26 @@ func (w *World) uniform(lo, hi float64) float64 {
 	return lo + w.rng.Float64()*(hi-lo)
 }
 
+// ScaleQuantum byte-scales a protocol's per-message payload quantum
+// (DNS response cap, IM message cap, ...) like any other byte quantity,
+// but floors it so miniature campaigns do not multiply the protocol's
+// message count far beyond the real system's. It returns the quantum
+// plus the stretch factor the floor introduced; the caller must divide
+// the protocol's message rate (or multiply its pacing delay) by that
+// factor so the modeled throughput — and thus every measured duration —
+// is preserved.
+func (w *World) ScaleQuantum(real, floor int) (int, float64) {
+	exact := float64(real) * w.Opts.ByteScale
+	q := int(exact)
+	if q < 1 {
+		q = 1
+	}
+	if q >= floor || float64(floor) <= exact {
+		return q, 1
+	}
+	return floor, float64(floor) / exact
+}
+
 // Bytes scales a full-fidelity byte quantity by the world's ByteScale.
 func (w *World) Bytes(n int) int {
 	v := int(float64(n) * w.Opts.ByteScale)

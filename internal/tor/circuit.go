@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
+
+	"ptperf/internal/netem"
 )
 
 // errStreamTimeout satisfies net.Error with Timeout() == true.
@@ -25,8 +28,9 @@ type circuit struct {
 	id     uint32
 
 	// sendMu makes "seal, onion-encrypt, write" atomic so hop digest
-	// counters and CTR streams observe cells in wire order.
-	sendMu sync.Mutex
+	// counters and CTR streams observe cells in wire order. It is
+	// scheduler-aware because the write can park on conn backpressure.
+	sendMu *netem.Mutex
 
 	mu         sync.Mutex
 	hops       []*hopCrypto
@@ -35,10 +39,10 @@ type circuit struct {
 	closed     bool
 	closeErr   error
 
-	control chan RelayCell // EXTENDED / TRUNCATED during build
+	control *netem.Chan[RelayCell] // EXTENDED / TRUNCATED during build
 
 	fcMu       sync.Mutex
-	fcCond     *sync.Cond
+	fcCond     *netem.Cond
 	circPkgWin int // forward-data budget toward the exit
 	circDlvWin int // backward-data accounting for SENDME generation
 }
@@ -49,11 +53,12 @@ func newCircuit(client *Client, conn net.Conn, path Path) *circuit {
 		conn:       conn,
 		path:       path,
 		streams:    make(map[uint16]*Stream),
-		control:    make(chan RelayCell, 4),
+		control:    netem.NewChan[RelayCell](client.clock, 4),
+		sendMu:     netem.NewMutex(client.clock),
 		circPkgWin: circWindowInit,
 		circDlvWin: circWindowInit,
 	}
-	circ.fcCond = sync.NewCond(&circ.fcMu)
+	circ.fcCond = netem.NewCond(client.clock, &circ.fcMu)
 	return circ
 }
 
@@ -79,10 +84,15 @@ func (circ *circuit) build() error {
 	if err := WriteCell(circ.conn, create); err != nil {
 		return err
 	}
+	// The CREATED wait is bounded like every other build step: lossy
+	// first hops (a camoufler message drop, a dying snowflake proxy)
+	// can otherwise stall this read forever.
+	circ.conn.SetReadDeadline(c.clock.VirtualDeadline(c.cfg.BuildTimeout))
 	var created Cell
 	if err := ReadCell(circ.conn, &created); err != nil {
 		return fmt.Errorf("tor: waiting for CREATED: %w", err)
 	}
+	circ.conn.SetReadDeadline(time.Time{})
 	if created.Cmd != CmdCreated || created.CircID != circ.id {
 		return fmt.Errorf("tor: unexpected %v during create", created.Cmd)
 	}
@@ -94,7 +104,7 @@ func (circ *circuit) build() error {
 	circ.hops = append(circ.hops, hop)
 	circ.mu.Unlock()
 
-	go circ.readLoop()
+	c.clock.Go(circ.readLoop)
 
 	for _, next := range []*Descriptor{circ.path.Middle, circ.path.Exit} {
 		if next == nil {
@@ -124,26 +134,25 @@ func (circ *circuit) extend(next *Descriptor) error {
 	if err := circ.sendRelay(last, rc); err != nil {
 		return err
 	}
-	select {
-	case reply, ok := <-circ.control:
-		if !ok {
-			return circ.closeReason()
-		}
-		if reply.Cmd != RelayExtended || len(reply.Data) != HandshakeLen {
-			return fmt.Errorf("tor: extension to %s failed (%v)", next.Name, reply.Cmd)
-		}
-		hop, err := hs.complete(reply.Data)
-		if err != nil {
-			return err
-		}
-		circ.mu.Lock()
-		circ.hops = append(circ.hops, hop)
-		circ.mu.Unlock()
-		return nil
-	case <-c.clock.Timer(c.cfg.BuildTimeout):
+	reply, ok, timedOut := circ.control.RecvTimeout(c.cfg.BuildTimeout)
+	if timedOut {
 		circ.close(ErrBuildTimeout)
 		return ErrBuildTimeout
 	}
+	if !ok {
+		return circ.closeReason()
+	}
+	if reply.Cmd != RelayExtended || len(reply.Data) != HandshakeLen {
+		return fmt.Errorf("tor: extension to %s failed (%v)", next.Name, reply.Cmd)
+	}
+	hop, err := hs.complete(reply.Data)
+	if err != nil {
+		return err
+	}
+	circ.mu.Lock()
+	circ.hops = append(circ.hops, hop)
+	circ.mu.Unlock()
+	return nil
 }
 
 // sendRelay seals a relay cell for hop index h and onion-encrypts it
@@ -219,10 +228,7 @@ func (circ *circuit) peel(p *[PayloadSize]byte) (int, RelayCell, bool) {
 func (circ *circuit) deliver(hop int, rc RelayCell) {
 	switch rc.Cmd {
 	case RelayExtended, RelayTruncated:
-		select {
-		case circ.control <- rc:
-		default:
-		}
+		circ.control.TrySend(rc)
 	case RelayConnected:
 		if s := circ.stream(rc.StreamID); s != nil {
 			s.notifyConnected(nil)
@@ -324,17 +330,16 @@ func (circ *circuit) openStream(target string) (*Stream, error) {
 		circ.forgetStream(id)
 		return nil, err
 	}
-	select {
-	case err := <-s.connected:
-		if err != nil {
-			circ.forgetStream(id)
-			return nil, err
-		}
-		return s, nil
-	case <-circ.client.clock.Timer(circ.client.cfg.BuildTimeout):
+	err, ok, timedOut := s.connected.RecvTimeout(circ.client.cfg.BuildTimeout)
+	if timedOut || !ok {
 		circ.forgetStream(id)
 		return nil, ErrBuildTimeout
 	}
+	if err != nil {
+		circ.forgetStream(id)
+		return nil, err
+	}
+	return s, nil
 }
 
 func (circ *circuit) closeReason() error {
@@ -359,6 +364,9 @@ func (circ *circuit) close(err error) {
 	for _, s := range circ.streams {
 		streams = append(streams, s)
 	}
+	// Deterministic teardown order: map iteration order must not leak
+	// into the scheduler's wake-up sequence.
+	sort.Slice(streams, func(i, j int) bool { return streams[i].id < streams[j].id })
 	circ.streams = map[uint16]*Stream{}
 	circ.mu.Unlock()
 
@@ -369,6 +377,7 @@ func (circ *circuit) close(err error) {
 	circ.fcMu.Lock()
 	circ.fcCond.Broadcast()
 	circ.fcMu.Unlock()
+	circ.control.Close()
 	circ.conn.Close()
 }
 
@@ -403,10 +412,10 @@ type Stream struct {
 	id     uint16
 	target string
 
-	connected chan error
+	connected *netem.Chan[error]
 
 	mu           sync.Mutex
-	cond         *sync.Cond
+	cond         *netem.Cond
 	buf          []byte
 	remoteClosed bool
 	localClosed  bool
@@ -422,19 +431,16 @@ func newStream(circ *circuit, id uint16, target string) *Stream {
 		circ:      circ,
 		id:        id,
 		target:    target,
-		connected: make(chan error, 1),
+		connected: netem.NewChan[error](circ.client.clock, 1),
 		pkgWin:    streamWindowInit,
 		dlvWin:    streamWindowInit,
 	}
-	s.cond = sync.NewCond(&s.mu)
+	s.cond = netem.NewCond(circ.client.clock, &s.mu)
 	return s
 }
 
 func (s *Stream) notifyConnected(err error) {
-	select {
-	case s.connected <- err:
-	default:
-	}
+	s.connected.TrySend(err)
 }
 
 // push appends inbound data (called from the circuit read loop).
@@ -478,25 +484,11 @@ func (s *Stream) Read(p []byte) (int, error) {
 		if s.remoteClosed {
 			return 0, io.EOF
 		}
-		if !s.rdl.IsZero() && !time.Now().Before(s.rdl) {
+		if s.circ.client.clock.Expired(s.rdl) {
 			return 0, errStreamTimeout
 		}
-		s.waitLocked()
+		s.cond.WaitDeadline(s.rdl)
 	}
-}
-
-func (s *Stream) waitLocked() {
-	if s.rdl.IsZero() {
-		s.cond.Wait()
-		return
-	}
-	t := time.AfterFunc(time.Until(s.rdl), func() {
-		s.mu.Lock()
-		s.cond.Broadcast()
-		s.mu.Unlock()
-	})
-	s.cond.Wait()
-	t.Stop()
 }
 
 // Write implements net.Conn, packaging MaxRelayData-sized DATA cells

@@ -146,7 +146,17 @@ func (c *Client) circuitFor() (*circuit, error) {
 	}
 	c.mu.Unlock()
 
-	circ, err := c.buildCircuit()
+	// Like the real client, retry a failed build on a fresh circuit: a
+	// lossy transport can eat a handshake cell, and a snowflake
+	// volunteer can die mid-build.
+	var circ *circuit
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		circ, err = c.buildCircuit()
+		if err == nil {
+			break
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -228,22 +238,25 @@ func (c *Client) ServeSOCKS(port int) (net.Addr, func() error, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	go socks.Serve(ln, func(target string, conn net.Conn) {
-		up, err := c.Dial(target)
-		if err != nil {
-			conn.Close()
-			return
-		}
-		proxyPair(conn, up)
+	c.clock.Go(func() {
+		socks.Serve(c.clock, ln, func(target string, conn net.Conn) {
+			up, err := c.Dial(target)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			proxyPair(c.clock, conn, up)
+		})
 	})
 	return ln.Addr(), ln.Close, nil
 }
 
-// proxyPair splices two conns together and closes both when either
-// direction finishes.
-func proxyPair(a, b net.Conn) {
-	done := make(chan struct{}, 2)
+// proxyPair splices two conns together and closes both when both
+// directions finish.
+func proxyPair(clock *netem.Clock, a, b net.Conn) {
+	wg := netem.NewWaitGroup(clock)
 	cp := func(dst, src net.Conn) {
+		defer wg.Done()
 		buf := make([]byte, 32<<10)
 		for {
 			n, err := src.Read(buf)
@@ -261,12 +274,11 @@ func proxyPair(a, b net.Conn) {
 		} else {
 			dst.Close()
 		}
-		done <- struct{}{}
 	}
-	go cp(a, b)
-	go cp(b, a)
-	<-done
-	<-done
+	wg.Add(2)
+	clock.Go(func() { cp(a, b) })
+	clock.Go(func() { cp(b, a) })
+	wg.Wait()
 	a.Close()
 	b.Close()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 
 	"ptperf/internal/netem"
@@ -37,9 +38,10 @@ type RelayConfig struct {
 
 // Relay is a running onion router.
 type Relay struct {
-	cfg  RelayConfig
-	desc *Descriptor
-	ln   *netem.Listener
+	cfg   RelayConfig
+	desc  *Descriptor
+	ln    *netem.Listener
+	clock *netem.Clock
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -67,9 +69,10 @@ func StartRelay(cfg RelayConfig) (*Relay, error) {
 		return nil, err
 	}
 	r := &Relay{
-		cfg: cfg,
-		ln:  ln,
-		rng: rand.New(rand.NewSource(cfg.Seed*2654435761 + 17)),
+		cfg:   cfg,
+		ln:    ln,
+		clock: cfg.Host.Network().Clock(),
+		rng:   rand.New(rand.NewSource(cfg.Seed*2654435761 + 17)),
 		desc: &Descriptor{
 			Name:      cfg.Name,
 			Addr:      fmt.Sprintf("%s:%d", cfg.Host.Name(), cfg.Port),
@@ -87,7 +90,7 @@ func StartRelay(cfg RelayConfig) (*Relay, error) {
 			return nil, err
 		}
 	}
-	go r.acceptLoop()
+	r.clock.Go(r.acceptLoop)
 	return r, nil
 }
 
@@ -109,7 +112,8 @@ func (r *Relay) acceptLoop() {
 		if err != nil {
 			return
 		}
-		go r.ServeConn(c)
+		conn := c
+		r.clock.Go(func() { r.ServeConn(conn) })
 	}
 }
 
@@ -118,7 +122,7 @@ func (r *Relay) acceptLoop() {
 // a co-located relay (integration set 1 of the paper, where the PT server
 // is the guard).
 func (r *Relay) ServeConn(conn net.Conn) {
-	l := &link{relay: r, conn: conn, circs: make(map[uint32]*relayCirc)}
+	l := &link{relay: r, conn: conn, wmu: netem.NewMutex(r.clock), circs: make(map[uint32]*relayCirc)}
 	l.serve()
 }
 
@@ -139,7 +143,9 @@ type link struct {
 	relay *Relay
 	conn  net.Conn
 
-	wmu sync.Mutex
+	// wmu serializes upstream cell writes; scheduler-aware because a
+	// write can park on conn backpressure while other circuits contend.
+	wmu *netem.Mutex
 
 	mu    sync.Mutex
 	circs map[uint32]*relayCirc
@@ -200,6 +206,9 @@ func (l *link) teardown() {
 	for _, c := range l.circs {
 		circs = append(circs, c)
 	}
+	// Deterministic teardown order (map iteration order must not leak
+	// into the scheduler's wake-up sequence).
+	sort.Slice(circs, func(i, j int) bool { return circs[i].id < circs[j].id })
 	l.circs = map[uint32]*relayCirc{}
 	l.mu.Unlock()
 	for _, c := range circs {
@@ -217,15 +226,18 @@ func (l *link) handleCreate(cell *Cell) error {
 	if err != nil {
 		return err
 	}
+	clock := l.relay.clock
 	circ := &relayCirc{
 		link:       l,
 		id:         cell.CircID,
 		crypto:     hc,
+		nextWMu:    netem.NewMutex(clock),
+		bwdMu:      netem.NewMutex(clock),
 		streams:    make(map[uint16]*exitStream),
 		circPkgWin: circWindowInit,
 		circDlvWin: circWindowInit,
 	}
-	circ.fcCond = sync.NewCond(&circ.fcMu)
+	circ.fcCond = netem.NewCond(clock, &circ.fcMu)
 	l.mu.Lock()
 	l.circs[cell.CircID] = circ
 	l.mu.Unlock()
@@ -244,16 +256,16 @@ type relayCirc struct {
 	mu      sync.Mutex
 	next    net.Conn // downstream link, nil while last hop
 	nextID  uint32
-	nextWMu sync.Mutex
+	nextWMu *netem.Mutex
 	// bwdMu makes "apply backward crypto, then write upstream" atomic so
 	// the client observes cells in CTR-stream order.
-	bwdMu   sync.Mutex
+	bwdMu   *netem.Mutex
 	streams map[uint16]*exitStream
 	closed  bool
 
 	// Backward (towards client) flow control.
 	fcMu       sync.Mutex
-	fcCond     *sync.Cond
+	fcCond     *netem.Cond
 	circPkgWin int
 	// Forward delivery accounting for SENDME generation.
 	circDlvWin int
@@ -331,7 +343,7 @@ func (c *relayCirc) handleExtend(rc RelayCell) error {
 	c.next = conn
 	c.nextID = nextID
 	c.mu.Unlock()
-	go c.pumpBackward(conn)
+	c.link.relay.clock.Go(func() { c.pumpBackward(conn) })
 
 	return c.sendBackwardControl(RelayExtended, readHandshake(&created.Payload))
 }
@@ -407,7 +419,7 @@ func (c *relayCirc) handleBegin(rc RelayCell) error {
 	if err := c.sendBackward(RelayCell{Cmd: RelayConnected, StreamID: rc.StreamID}); err != nil {
 		return err
 	}
-	go s.pump()
+	c.link.relay.clock.Go(s.pump)
 	return nil
 }
 
@@ -497,7 +509,11 @@ func (c *relayCirc) destroy(notifyUp, notifyDown bool) {
 	c.closed = true
 	next := c.next
 	nextID := c.nextID
-	streams := c.streams
+	streams := make([]*exitStream, 0, len(c.streams))
+	for _, s := range c.streams {
+		streams = append(streams, s)
+	}
+	sort.Slice(streams, func(i, j int) bool { return streams[i].id < streams[j].id })
 	c.streams = map[uint16]*exitStream{}
 	c.mu.Unlock()
 

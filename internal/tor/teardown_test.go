@@ -4,6 +4,8 @@ import (
 	"io"
 	"testing"
 	"time"
+
+	"ptperf/internal/netem"
 )
 
 func TestStreamEOFOnServerClose(t *testing.T) {
@@ -88,23 +90,23 @@ func TestWindowsNeverGoNegativeUnderLoad(t *testing.T) {
 	if err := c.Preheat(); err != nil {
 		t.Fatal(err)
 	}
-	done := make(chan error, 3)
+	done := netem.NewChan[error](w.net.Clock(), 3)
 	for i := 0; i < 3; i++ {
-		go func() {
+		w.net.Go(func() {
 			conn, err := c.Dial(w.target)
 			if err != nil {
-				done <- err
+				done.Send(err)
 				return
 			}
 			defer conn.Close()
 			payload := make([]byte, 200<<10)
-			go conn.Write(payload)
+			w.net.Go(func() { conn.Write(payload) })
 			_, err = io.ReadFull(conn, make([]byte, len(payload)))
-			done <- err
-		}()
+			done.Send(err)
+		})
 	}
 	for i := 0; i < 3; i++ {
-		if err := <-done; err != nil {
+		if err, _ := done.Recv(); err != nil {
 			t.Fatal(err)
 		}
 	}

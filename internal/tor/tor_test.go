@@ -63,18 +63,19 @@ func buildWorld(t *testing.T, nGuard, nMiddle, nExit int) *testWorld {
 		t.Fatal(err)
 	}
 	w.target = "web:80"
-	go func() {
+	n.Go(func() {
 		for {
 			c, err := ln.Accept()
 			if err != nil {
 				return
 			}
-			go func(c net.Conn) {
-				defer c.Close()
-				io.Copy(c, c) // echo until client half-closes
-			}(c)
+			conn := c
+			n.Go(func() {
+				defer conn.Close()
+				io.Copy(conn, conn) // echo until client half-closes
+			})
 		}
-	}()
+	})
 	t.Cleanup(func() { ln.Close() })
 	return w
 }
@@ -142,16 +143,16 @@ func TestLargeTransferFlowControl(t *testing.T) {
 	rnd := rand.New(rand.NewSource(5))
 	rnd.Read(payload)
 
-	errc := make(chan error, 1)
-	go func() {
+	errc := netem.NewChan[error](w.net.Clock(), 1)
+	w.net.Go(func() {
 		_, err := conn.Write(payload)
-		errc <- err
-	}()
+		errc.Send(err)
+	})
 	got := make([]byte, len(payload))
 	if _, err := io.ReadFull(conn, got); err != nil {
 		t.Fatal(err)
 	}
-	if err := <-errc; err != nil {
+	if err, _ := errc.Recv(); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, payload) {
@@ -211,34 +212,35 @@ func TestMultipleStreamsOneCircuit(t *testing.T) {
 	p0 := c.Path()
 
 	const streams = 4
-	errs := make(chan error, streams)
+	errs := netem.NewChan[error](w.net.Clock(), streams)
 	for i := 0; i < streams; i++ {
-		go func(i int) {
+		i := i
+		w.net.Go(func() {
 			conn, err := c.Dial(w.target)
 			if err != nil {
-				errs <- err
+				errs.Send(err)
 				return
 			}
 			defer conn.Close()
 			msg := []byte(fmt.Sprintf("stream-%d-payload", i))
 			if _, err := conn.Write(msg); err != nil {
-				errs <- err
+				errs.Send(err)
 				return
 			}
 			got := make([]byte, len(msg))
 			if _, err := io.ReadFull(conn, got); err != nil {
-				errs <- err
+				errs.Send(err)
 				return
 			}
 			if !bytes.Equal(got, msg) {
-				errs <- fmt.Errorf("stream %d corrupted: %q", i, got)
+				errs.Send(fmt.Errorf("stream %d corrupted: %q", i, got))
 				return
 			}
-			errs <- nil
-		}(i)
+			errs.Send(nil)
+		})
 	}
 	for i := 0; i < streams; i++ {
-		if err := <-errs; err != nil {
+		if err, _ := errs.Recv(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -383,7 +385,7 @@ func TestStreamReadDeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	conn.SetReadDeadline(w.net.VirtualDeadline(20 * time.Millisecond))
 	buf := make([]byte, 1)
 	_, err = conn.Read(buf)
 	ne, ok := err.(net.Error)

@@ -14,6 +14,7 @@ import (
 // subset. One origin stands in for the paper's "uncensored Internet".
 type Origin struct {
 	ln       *netem.Listener
+	clock    *netem.Clock
 	catalogs map[List]*Catalog
 	addr     string
 }
@@ -26,13 +27,14 @@ func StartOrigin(host *netem.Host, port int, catalogs ...*Catalog) (*Origin, err
 	}
 	o := &Origin{
 		ln:       ln,
+		clock:    host.Network().Clock(),
 		catalogs: make(map[List]*Catalog),
 		addr:     fmt.Sprintf("%s:%d", host.Name(), port),
 	}
 	for _, c := range catalogs {
 		o.catalogs[c.List] = c
 	}
-	go o.acceptLoop()
+	o.clock.Go(o.acceptLoop)
 	return o, nil
 }
 
@@ -48,7 +50,8 @@ func (o *Origin) acceptLoop() {
 		if err != nil {
 			return
 		}
-		go o.serveConn(c)
+		conn := c
+		o.clock.Go(func() { o.serveConn(conn) })
 	}
 }
 
