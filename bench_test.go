@@ -87,6 +87,15 @@ func BenchmarkTables89PairedTSpeedIndex(b *testing.B) {
 }
 func BenchmarkTable10CategoryPairs(b *testing.B) { runExperiment(b, "table10", nil) }
 
+// BenchmarkScenarioSweep exercises the censor layer end to end:
+// {transports} × {scenarios} with throttling, loss draws, blocking
+// cutovers and the snowflake surge timeline.
+func BenchmarkScenarioSweep(b *testing.B) {
+	runExperiment(b, "sweep", func(c *harness.Config) {
+		c.Transports = []string{"tor", "obfs4", "meek", "snowflake"}
+	})
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // BenchmarkAblationGuardLoad toggles the volunteer-guard utilization gap

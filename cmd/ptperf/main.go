@@ -9,6 +9,17 @@
 //	ptperf -exp fig2a
 //	ptperf -exp all -sites 50 -repeats 5
 //
+// Beyond the paper's artifacts, the censor layer (internal/censor)
+// runs campaigns under programmable network interference:
+//
+//	ptperf -exp scenario:throttle-surge          one scenario, all transports
+//	ptperf -exp sweep                            {transports} × {scenarios}
+//	ptperf -exp fig5 -scenario lossy-path        any artifact under a scenario
+//
+// Scenario names come from the internal/censor registry (clean,
+// throttle-surge, lossy-path, bridge-block, snowflake-surge); -list
+// prints them with descriptions.
+//
 // Reported durations are virtual seconds, directly comparable to the
 // paper's wall-clock measurements (see DESIGN.md).
 package main
@@ -20,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ptperf/internal/censor"
 	"ptperf/internal/harness"
 	"ptperf/internal/web"
 )
@@ -36,6 +48,7 @@ func main() {
 		timeScale = flag.Float64("timescale", 0, "deprecated no-op: the discrete-event clock always runs at CPU speed")
 		byteScale = flag.Float64("bytescale", 0.125, "byte-quantity scale (sizes, rates and caps together)")
 		pts       = flag.String("transports", "", "comma-separated methods (default: tor plus all 12 PTs)")
+		scenario  = flag.String("scenario", "", "censor scenario every experiment world is built under (see -list; default: no interference)")
 		seq       = flag.Bool("sequential", false, "measure transports one at a time")
 		plotFlag  = flag.Bool("plot", true, "render ASCII box plots and ECDF curves under the tables")
 	)
@@ -44,9 +57,20 @@ func main() {
 	if *list {
 		fmt.Println("Experiments (paper artifact — description):")
 		for _, e := range harness.Experiments() {
-			fmt.Printf("  %-8s %-14s %s\n", e.ID, e.Artifact, e.Title)
+			fmt.Printf("  %-24s %-14s %s\n", e.ID, e.Artifact, e.Title)
+		}
+		fmt.Println("\nCensor scenarios (for -scenario and the sweep):")
+		for _, name := range censor.Names() {
+			sc, _ := censor.Lookup(name)
+			fmt.Printf("  %-24s %s\n", name, sc.Description)
 		}
 		return
+	}
+
+	if *scenario != "" {
+		if _, err := censor.Lookup(*scenario); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	cfg := harness.Config{
@@ -56,6 +80,7 @@ func main() {
 		Sites:        *sites,
 		Repeats:      *repeats,
 		FileAttempts: *attempts,
+		Scenario:     *scenario,
 		Sequential:   *seq,
 		Plot:         *plotFlag,
 	}

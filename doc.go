@@ -12,4 +12,14 @@
 // survives only as a compatibility no-op — there is nothing left to
 // tune. See DESIGN.md for the scheduler architecture and the rules
 // simulation code must follow.
+//
+// Beyond the paper's artifacts, internal/censor adds a programmable
+// adversary on the virtual paths: named scenarios (throttle-surge,
+// lossy-path, bridge-block, snowflake-surge) apply time-windowed
+// throttling, loss, connection resets and endpoint blocking, and the
+// harness's "sweep" experiment crosses them with every transport
+// against the clean baseline. Run "ptperf -list" for scenario ids and
+// "ptperf -exp sweep" for the matrix; see DESIGN.md's "Censor &
+// scenario layer" for the interception architecture and determinism
+// rules.
 package ptperf

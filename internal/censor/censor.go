@@ -1,0 +1,259 @@
+// Package censor is the programmable adversary and network-weather
+// subsystem: a deterministic middlebox that sits on netem paths (via
+// netem.Policy) and applies scenario-driven interference — bandwidth
+// throttling, added loss and jitter, injected connection resets,
+// endpoint blocking with client failover, and time-windowed events —
+// all on the virtual clock, so same-seed runs stay byte-identical.
+//
+// A Scenario names an interference timeline (see the registry in
+// scenario.go); Attach compiles it against one network. The testbed
+// wires scenarios through testbed.Options.Scenario and the harness
+// crosses them with transports in the scenario-sweep experiments.
+package censor
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ptperf/internal/netem"
+)
+
+// ErrBlocked is returned to dialers refused by an active Block rule.
+var ErrBlocked = errors.New("censor: connection blocked")
+
+// Stats counts the interference a censor has applied. All counters are
+// deterministic functions of the campaign seed.
+type Stats struct {
+	// BlockedDials counts dials refused by Block rules.
+	BlockedDials int
+	// FlowsCut counts established flows torn down when a Block rule
+	// activated.
+	FlowsCut int
+	// Resets counts injected mid-flight RSTs.
+	Resets int
+	// LossEvents counts induced per-segment loss events.
+	LossEvents int
+	// ThrottledSegments counts segments serialized through a throttle.
+	ThrottledSegments int
+}
+
+// Censor applies one scenario to one network. It implements
+// netem.Policy; construct it with Attach.
+type Censor struct {
+	net       *netem.Network
+	clock     *netem.Clock
+	sc        Scenario
+	rateScale float64
+	// shapers[i] is the shared throttle bottleneck of sc.Events[i]
+	// (nil for non-throttle rules).
+	shapers []*netem.Bucket
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	conns []*netem.Conn
+	stats Stats
+}
+
+// Attach compiles a scenario against a network and installs it as the
+// network's policy. rateScale multiplies rule rates (the testbed passes
+// its ByteScale so throttles shrink with every other byte quantity);
+// values <= 0 mean 1. Event windows are armed on the network's virtual
+// clock; call Attach before the campaign starts measuring.
+func Attach(n *netem.Network, sc Scenario, seed int64, rateScale float64) *Censor {
+	if rateScale <= 0 {
+		rateScale = 1
+	}
+	c := &Censor{
+		net:       n,
+		clock:     n.Clock(),
+		sc:        sc,
+		rateScale: rateScale,
+		rng:       rand.New(rand.NewSource(seed*7919 + 31)),
+	}
+	c.shapers = make([]*netem.Bucket, len(sc.Events))
+	for i, ev := range sc.Events {
+		if ev.Rule.RateBps > 0 {
+			c.shapers[i] = netem.NewBucket(ev.Rule.RateBps*rateScale, 0)
+		}
+	}
+	n.SetPolicy(c)
+	// Arm the cutovers: a Block rule activating mid-run tears existing
+	// matched flows down at its window start, like a censor flushing
+	// state into an access link.
+	for _, ev := range sc.Events {
+		if ev.Rule.Block && ev.At > 0 {
+			ev := ev
+			n.Go(func() {
+				c.clock.SleepUntil(ev.At)
+				c.cut(ev.Rule.Match)
+			})
+		}
+	}
+	return c
+}
+
+// Scenario returns the attached scenario.
+func (c *Censor) Scenario() Scenario { return c.sc }
+
+// Stats returns a snapshot of the interference counters.
+func (c *Censor) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// BindLoad connects the endpoint-weather timeline to a pool controller
+// (the snowflake deployment's SetLoad). The phase active now is applied
+// immediately; future phases are armed on the virtual clock.
+func (c *Censor) BindLoad(fn func(LoadPhase)) {
+	if fn == nil || len(c.sc.Phases) == 0 {
+		return
+	}
+	now := c.clock.Now()
+	cur := -1
+	for i, ph := range c.sc.Phases {
+		if ph.At <= now {
+			cur = i
+			continue
+		}
+		ph := ph
+		c.net.Go(func() {
+			c.clock.SleepUntil(ph.At)
+			fn(ph)
+		})
+	}
+	if cur >= 0 {
+		fn(c.sc.Phases[cur])
+	}
+}
+
+// cut aborts every live flow crossing the match.
+func (c *Censor) cut(m Match) {
+	c.mu.Lock()
+	var victims []*netem.Conn
+	for _, conn := range c.conns {
+		if conn.Closed() {
+			continue
+		}
+		if m.Hit(conn.LocalAddr().String(), conn.RemoteAddr().String()) {
+			victims = append(victims, conn)
+		}
+	}
+	c.stats.FlowsCut += len(victims)
+	c.mu.Unlock()
+	for _, conn := range victims {
+		conn.Abort()
+	}
+}
+
+// FilterDial implements netem.Policy: active Block rules refuse new
+// matched connections.
+func (c *Censor) FilterDial(src, dst string) error {
+	now := c.clock.Now()
+	for _, ev := range c.sc.Events {
+		if ev.Rule.Block && ev.active(now) && ev.Rule.Match.Hit(src, dst) {
+			c.mu.Lock()
+			c.stats.BlockedDials++
+			c.mu.Unlock()
+			return ErrBlocked
+		}
+	}
+	return nil
+}
+
+// ConnOpened implements netem.Policy: it registers live flows so a
+// Block activation can cut them. A conn whose handshake straddled a
+// Block activation — FilterDial passed before At, establishment
+// finished after — is aborted here instead of escaping the block. The
+// registry prunes itself once closed conns dominate.
+func (c *Censor) ConnOpened(conn *netem.Conn) {
+	now := c.clock.Now()
+	for _, ev := range c.sc.Events {
+		if ev.Rule.Block && ev.active(now) &&
+			ev.Rule.Match.Hit(conn.LocalAddr().String(), conn.RemoteAddr().String()) {
+			conn.Abort()
+			c.mu.Lock()
+			c.stats.FlowsCut++
+			c.mu.Unlock()
+			return
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.conns) >= 64 && len(c.conns)%64 == 0 {
+		live := c.conns[:0]
+		for _, cn := range c.conns {
+			if !cn.Closed() {
+				live = append(live, cn)
+			}
+		}
+		for i := len(live); i < len(c.conns); i++ {
+			c.conns[i] = nil
+		}
+		c.conns = live
+	}
+	c.conns = append(c.conns, conn)
+}
+
+// FilterSegment implements netem.Policy: it applies every active
+// matching rule to the segment — reset first, then throttling, fixed
+// delay, jitter and loss penalties accumulated into one verdict.
+func (c *Censor) FilterSegment(f netem.Flow, n int) netem.Verdict {
+	now := c.clock.Now()
+	var v netem.Verdict
+	for i, ev := range c.sc.Events {
+		r := &c.sc.Events[i].Rule
+		if !ev.active(now) || !r.Match.Hit(f.Src, f.Dst) {
+			continue
+		}
+		if r.Block {
+			// Backstop for any matched flow still alive inside a block
+			// window: the censor RSTs its traffic on sight.
+			c.mu.Lock()
+			c.stats.Resets++
+			c.mu.Unlock()
+			return netem.Verdict{Action: netem.Reset}
+		}
+		if r.ResetProb > 0 {
+			c.mu.Lock()
+			hit := c.rng.Float64() < r.ResetProb
+			if hit {
+				c.stats.Resets++
+			}
+			c.mu.Unlock()
+			if hit {
+				return netem.Verdict{Action: netem.Reset}
+			}
+		}
+		if sh := c.shapers[i]; sh != nil && v.Shaper == nil {
+			v.Shaper = sh
+			c.mu.Lock()
+			c.stats.ThrottledSegments++
+			c.mu.Unlock()
+		}
+		v.Extra += r.ExtraDelay
+		if r.Jitter > 0 {
+			c.mu.Lock()
+			v.Extra += time.Duration(c.rng.Int63n(int64(r.Jitter)))
+			c.mu.Unlock()
+		}
+		if r.Loss > 0 {
+			c.mu.Lock()
+			if c.rng.Float64() < r.Loss {
+				pen := r.LossPenalty
+				if pen <= 0 {
+					pen = 250 * time.Millisecond
+				}
+				v.Extra += pen
+				c.stats.LossEvents++
+			}
+			c.mu.Unlock()
+		}
+	}
+	if v.Extra > 0 || v.Shaper != nil {
+		v.Action = netem.Impair
+	}
+	return v
+}

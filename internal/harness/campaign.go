@@ -40,9 +40,11 @@ func (r *Runner) curlData() (map[string]*accessData, error) {
 	})
 }
 
-// seleniumData runs (once) the browser campaign; camoufler is excluded
-// because it cannot serve parallel streams (§4.2).
-func (r *Runner) seleniumData() (map[string]*accessData, error) {
+// seleniumMethods filters the configured transports down to the
+// browser-capable subset: transports that cannot serve parallel streams
+// (camoufler, §4.2) are excluded. Table 1's selenium and speed-index
+// counts use the same subset.
+func (r *Runner) seleniumMethods() []string {
 	methods := make([]string, 0, len(r.cfg.Transports))
 	for _, m := range r.cfg.Transports {
 		if info, ok := pt.InfoFor(m); ok && !info.ParallelStreams {
@@ -50,7 +52,13 @@ func (r *Runner) seleniumData() (map[string]*accessData, error) {
 		}
 		methods = append(methods, m)
 	}
-	return r.cachedAccess("selenium", methods, func(w *testbed.World, d *testbed.Deployment, site siteRef) (float64, float64, float64, error) {
+	return methods
+}
+
+// seleniumData runs (once) the browser campaign; camoufler is excluded
+// because it cannot serve parallel streams (§4.2).
+func (r *Runner) seleniumData() (map[string]*accessData, error) {
+	return r.cachedAccess("selenium", r.seleniumMethods(), func(w *testbed.World, d *testbed.Deployment, site siteRef) (float64, float64, float64, error) {
 		c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: pageTimeout}
 		pr := c.Browse(w.Origin.Addr(), site.path, fetch.DefaultBrowserConns)
 		if !pr.OK {

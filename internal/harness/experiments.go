@@ -2,8 +2,8 @@ package harness
 
 import (
 	"fmt"
-	"time"
 
+	"ptperf/internal/censor"
 	"ptperf/internal/fetch"
 	"ptperf/internal/geo"
 	"ptperf/internal/pt"
@@ -44,10 +44,14 @@ func (r *Runner) runTable1() error {
 	sites := 2 * c.Sites
 	t := newTable("measurement type", "measurements", "target")
 	methods := len(c.Transports)
+	// The selenium rows count the browser-capable subset, not
+	// methods-1: that shortcut assumed camoufler is always in the
+	// configured set.
+	selenium := len(r.seleniumMethods())
 	t.add("Website Download (curl)", fmt.Sprintf("%d", sites*c.Repeats*methods), fmt.Sprintf("Tranco top-%d & CBL-%d", c.Sites, c.Sites))
-	t.add("Website Download (selenium)", fmt.Sprintf("%d", sites*c.Repeats*(methods-1)), fmt.Sprintf("Tranco top-%d & CBL-%d", c.Sites, c.Sites))
+	t.add("Website Download (selenium)", fmt.Sprintf("%d", sites*c.Repeats*selenium), fmt.Sprintf("Tranco top-%d & CBL-%d", c.Sites, c.Sites))
 	t.add("File Downloads (curl)", fmt.Sprintf("%d", len(c.FileSizesMB)*c.FileAttempts*methods), fmt.Sprintf("%v MB", c.FileSizesMB))
-	t.add("Speed Index", fmt.Sprintf("%d", sites*c.Repeats*(methods-1)), fmt.Sprintf("Tranco top-%d", c.Sites))
+	t.add("Speed Index", fmt.Sprintf("%d", sites*c.Repeats*selenium), fmt.Sprintf("Tranco top-%d", c.Sites))
 	t.add("PT Overhead", fmt.Sprintf("%d", c.Sites*len(testbed.OverheadPTs)), fmt.Sprintf("Tranco top-%d", c.Sites))
 	t.add("Location Variation", fmt.Sprintf("%d", 3*3*c.Sites*c.Repeats), "Tranco & CBL")
 	t.write(r.out)
@@ -490,20 +494,23 @@ func (r *Runner) snowflakeAccess(w *testbed.World, nSites int) ([]float64, error
 	return xs, nil
 }
 
-// loadLevels models the §5.3 timeline: background utilization of
-// volunteer proxies and their mean lifetime per period.
-var loadLevels = []struct {
-	Label    string
-	Util     float64
-	Lifetime time.Duration
-}{
-	{"pre-Sept-2022", 0.1, 300 * time.Second},
-	{"post-Sept-2022", 0.8, 25 * time.Second},
-	{"Nov-2022", 0.82, 25 * time.Second},
-	{"Dec-2022", 0.78, 30 * time.Second},
-	{"Jan-2023", 0.8, 28 * time.Second},
-	{"Feb-2023", 0.76, 30 * time.Second},
-	{"Mar-2023", 0.75, 32 * time.Second},
+// surgePhases is the §5.3 snowflake load timeline, owned by the censor
+// scenario registry (the snowflake-surge scenario plays the same phases
+// on the virtual clock; figures 10 and 12 step through them manually).
+var surgePhases = censor.SurgePhases
+
+// manualLoadOptions is worldOptions for the figures that step load
+// phases by hand (10 and 12): a scenario that carries its own phase
+// timeline is dropped there, because the armed timers would override
+// the manual SetLoad stepping mid-measurement.
+func (r *Runner) manualLoadOptions(extraSeed int64) testbed.Options {
+	opts := r.worldOptions(extraSeed)
+	if opts.Scenario != "" {
+		if sc, err := censor.Lookup(opts.Scenario); err == nil && len(sc.Phases) > 0 {
+			opts.Scenario = ""
+		}
+	}
+	return opts
 }
 
 // runFig10 prints the snowflake user-count timeline (10a, from the load
@@ -512,14 +519,14 @@ func (r *Runner) runFig10() error {
 	fmt.Fprintln(r.out, "Modeled snowflake daily users (relative load timeline)")
 	t := newTable("period", "users", "proxy-utilization", "mean-proxy-lifetime")
 	base := 20000.0
-	for _, lv := range loadLevels {
+	for _, lv := range surgePhases {
 		users := int(base * (1 + 6*lv.Util))
 		t.add(lv.Label, fmt.Sprintf("%d", users), fmt.Sprintf("%.2f", lv.Util), lv.Lifetime.String())
 	}
 	t.write(r.out)
 	fmt.Fprintln(r.out)
 
-	w, err := testbed.New(r.worldOptions(3000))
+	w, err := testbed.New(r.manualLoadOptions(3000))
 	if err != nil {
 		return err
 	}
@@ -527,12 +534,12 @@ func (r *Runner) runFig10() error {
 	if err != nil {
 		return err
 	}
-	d.Snowflake().SetLoad(loadLevels[0].Util, loadLevels[0].Lifetime)
+	d.Snowflake().SetLoad(surgePhases[0].Util, surgePhases[0].Lifetime)
 	pre, err := r.snowflakeAccess(w, r.cfg.Sites)
 	if err != nil {
 		return err
 	}
-	d.Snowflake().SetLoad(loadLevels[1].Util, loadLevels[1].Lifetime)
+	d.Snowflake().SetLoad(surgePhases[1].Util, surgePhases[1].Lifetime)
 	post, err := r.snowflakeAccess(w, r.cfg.Sites)
 	if err != nil {
 		return err
@@ -565,7 +572,7 @@ func (r *Runner) runFig11() error {
 
 // runFig12 prints the post-September monthly monitoring boxes.
 func (r *Runner) runFig12() error {
-	w, err := testbed.New(r.worldOptions(3100))
+	w, err := testbed.New(r.manualLoadOptions(3100))
 	if err != nil {
 		return err
 	}
@@ -581,7 +588,7 @@ func (r *Runner) runFig12() error {
 		Name string
 		Box  stats.Box
 	}
-	for _, lv := range loadLevels {
+	for _, lv := range surgePhases {
 		if lv.Label == "post-Sept-2022" {
 			continue // fig12 shows pre + the monthly series
 		}

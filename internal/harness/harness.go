@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"ptperf/internal/censor"
 	"ptperf/internal/netem"
 	"ptperf/internal/pt"
 	"ptperf/internal/testbed"
@@ -36,6 +37,11 @@ type Config struct {
 	FileSizesMB []int
 	// Transports lists methods to evaluate; empty means all 12 + tor.
 	Transports []string
+	// Scenario names a censor scenario (internal/censor registry) that
+	// every experiment's world is built under. Empty leaves the paper
+	// experiments on unpoliced networks; the scenario:<name> and sweep
+	// experiments select their scenarios themselves.
+	Scenario string
 	// Sequential disables the per-transport parallelism.
 	Sequential bool
 	// Plot adds ASCII box plots and ECDF curves under the tables,
@@ -97,12 +103,16 @@ type Experiment struct {
 	Artifact string
 	// Title is a one-line description.
 	Title string
-	run   func(*Runner) error
+	// Optional experiments (the censor scenarios and the sweep) go
+	// beyond the paper's artifacts and are excluded from "all".
+	Optional bool
+	run      func(*Runner) error
 }
 
-// Experiments lists every reproducible artifact in paper order.
+// Experiments lists every reproducible artifact in paper order, then
+// the censor-scenario experiments.
 func Experiments() []Experiment {
-	return []Experiment{
+	exps := []Experiment{
 		{ID: "table1", Artifact: "Table 1", Title: "measurement campaign overview", run: (*Runner).runTable1},
 		{ID: "table2", Artifact: "Table 2", Title: "28 candidate transports at a glance", run: (*Runner).runTable2},
 		{ID: "fig2a", Artifact: "Figure 2a", Title: "website access time, curl", run: (*Runner).runFig2a},
@@ -124,12 +134,35 @@ func Experiments() []Experiment {
 		{ID: "table8", Artifact: "Tables 8–9", Title: "paired t-tests, speed index", run: (*Runner).runTables89},
 		{ID: "table10", Artifact: "Table 10", Title: "paired t-tests, PT categories", run: (*Runner).runTable10},
 	}
+	for _, name := range censor.Names() {
+		name := name
+		sc, _ := censor.Lookup(name)
+		exps = append(exps, Experiment{
+			ID:       "scenario:" + name,
+			Artifact: "Censor layer",
+			Title:    sc.Description,
+			Optional: true,
+			run:      func(r *Runner) error { return r.runScenario(name) },
+		})
+	}
+	exps = append(exps, Experiment{
+		ID:       "sweep",
+		Artifact: "Censor layer",
+		Title:    "scenario sweep: {transports} × {scenarios} vs the clean baseline",
+		Optional: true,
+		run:      (*Runner).runSweep,
+	})
+	return exps
 }
 
-// Run executes one experiment by ID ("all" runs everything).
+// Run executes one experiment by ID ("all" runs every paper artifact;
+// the scenario experiments and the sweep run by explicit ID).
 func (r *Runner) Run(id string) error {
 	if id == "all" {
 		for _, e := range Experiments() {
+			if e.Optional {
+				continue
+			}
 			if err := r.Run(e.ID); err != nil {
 				return fmt.Errorf("%s: %w", e.ID, err)
 			}
@@ -167,6 +200,7 @@ func (r *Runner) worldOptions(extraSeed int64) testbed.Options {
 		ByteScale: r.cfg.ByteScale,
 		TrancoN:   r.cfg.Sites,
 		CBLN:      r.cfg.Sites,
+		Scenario:  r.cfg.Scenario,
 	}
 }
 

@@ -21,8 +21,14 @@ func tinyConfig() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 20 {
-		t.Fatalf("want 20 experiments, got %d", len(exps))
+	paper := 0
+	for _, e := range exps {
+		if !e.Optional {
+			paper++
+		}
+	}
+	if paper != 20 {
+		t.Fatalf("want 20 paper experiments, got %d", paper)
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -34,7 +40,8 @@ func TestExperimentRegistry(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	for _, want := range []string{"fig2a", "fig5", "fig8", "fig9", "table10"} {
+	for _, want := range []string{"fig2a", "fig5", "fig8", "fig9", "table10",
+		"scenario:clean", "scenario:bridge-block", "sweep"} {
 		if !seen[want] {
 			t.Fatalf("missing experiment %s", want)
 		}

@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"ptperf/internal/censor"
+	"ptperf/internal/fetch"
+	"ptperf/internal/stats"
+	"ptperf/internal/testbed"
+)
+
+// This file implements the censor-scenario experiments: "scenario:<name>"
+// runs one named interference scenario across the configured transports,
+// and "sweep" crosses {transports} × {scenarios}, reporting per-scenario
+// access-time boxes, reliability splits, censor interference counters,
+// and paired t-tests against the clean baseline. Every scenario world is
+// built from the same seed, so the only difference between columns is
+// the interference itself — which is what makes the paired comparisons
+// meaningful.
+
+// scenarioSeedOffset separates sweep worlds from the figure worlds.
+const scenarioSeedOffset = 5000
+
+// scenarioResult holds one method's access outcomes under one scenario.
+// Times is aligned by site index (failures recorded as the page
+// timeout), keeping vectors pairable across scenarios and methods.
+type scenarioResult struct {
+	Name   string
+	Times  []float64
+	OK     int
+	Failed int
+}
+
+// sweepScenarios orders the sweep: the clean baseline first, then the
+// built-in narrative order, then any extra registered scenarios.
+func sweepScenarios() []string {
+	order := []string{"clean", "throttle-surge", "lossy-path", "bridge-block", "snowflake-surge"}
+	seen := make(map[string]bool, len(order))
+	for _, n := range order {
+		seen[n] = true
+	}
+	var extra []string
+	for _, n := range censor.Names() {
+		if !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(order, extra...)
+}
+
+// scenarioAccess measures website access for every configured transport
+// under one named scenario. All scenarios share one world seed, so
+// topology, catalogs and relay draws are identical across the sweep.
+func (r *Runner) scenarioAccess(name string) (map[string]*scenarioResult, censor.Stats, error) {
+	opts := r.worldOptions(scenarioSeedOffset)
+	opts.Scenario = name
+	w, err := testbed.New(opts)
+	if err != nil {
+		return nil, censor.Stats{}, err
+	}
+	sites := r.sites(w)
+	results, err := r.forEachMethod(w, r.cfg.Transports, func(method string) (any, error) {
+		d, err := w.Deployment(method)
+		if err != nil {
+			return nil, err
+		}
+		// A failed preheat is not fatal: under endpoint blocking the
+		// accesses themselves record the failure.
+		_ = d.Preheat()
+		c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: pageTimeout}
+		res := &scenarioResult{Name: method}
+		for _, site := range sites {
+			got := c.Get(w.Origin.Addr(), site.path, false)
+			if got.Err != nil || !got.Complete() {
+				res.Times = append(res.Times, pageTimeout.Seconds())
+				res.Failed++
+				continue
+			}
+			res.Times = append(res.Times, seconds(got.Total))
+			res.OK++
+		}
+		// Park the transport's tunnels (see cachedAccess).
+		d.FreshCircuit()
+		return res, nil
+	})
+	if err != nil {
+		return nil, censor.Stats{}, err
+	}
+	out := make(map[string]*scenarioResult, len(results))
+	for method, v := range results {
+		if v != nil {
+			out[method] = v.(*scenarioResult)
+		}
+	}
+	var st censor.Stats
+	if w.Censor != nil {
+		st = w.Censor.Stats()
+	}
+	return out, st, nil
+}
+
+// writeScenarioReport prints one scenario's boxes, reliability split and
+// interference counters.
+func (r *Runner) writeScenarioReport(name string, data map[string]*scenarioResult, st censor.Stats) {
+	order := orderedMethods(r.cfg.Transports)
+	var rows []struct {
+		Name string
+		Box  stats.Box
+	}
+	for _, m := range order {
+		d, ok := data[m]
+		if !ok {
+			continue
+		}
+		rows = append(rows, struct {
+			Name string
+			Box  stats.Box
+		}{m, stats.Summarize(d.Times)})
+	}
+	r.writeBoxes(fmt.Sprintf("Website access time under scenario %q (s; failures count as the %gs timeout)",
+		name, pageTimeout.Seconds()), rows)
+
+	t := newTable("method", "ok", "failed", "ok%")
+	for _, m := range order {
+		d, ok := data[m]
+		if !ok {
+			continue
+		}
+		total := d.OK + d.Failed
+		if total == 0 {
+			continue
+		}
+		t.add(m, fmt.Sprintf("%d", d.OK), fmt.Sprintf("%d", d.Failed),
+			fmt.Sprintf("%.0f%%", 100*float64(d.OK)/float64(total)))
+	}
+	fmt.Fprintf(r.out, "Access reliability under %q\n", name)
+	t.write(r.out)
+	fmt.Fprintf(r.out, "censor: blocked-dials=%d flows-cut=%d resets=%d loss-events=%d throttled-segments=%d\n\n",
+		st.BlockedDials, st.FlowsCut, st.Resets, st.LossEvents, st.ThrottledSegments)
+}
+
+// runScenario reproduces one named scenario across the configured
+// transports.
+func (r *Runner) runScenario(name string) error {
+	if _, err := censor.Lookup(name); err != nil {
+		return err
+	}
+	data, st, err := r.scenarioAccess(name)
+	if err != nil {
+		return err
+	}
+	r.writeScenarioReport(name, data, st)
+	return nil
+}
+
+// runSweep crosses {transports} × {scenarios}: per-scenario reports plus
+// paired t-tests of every transport against its clean baseline.
+func (r *Runner) runSweep() error {
+	names := sweepScenarios()
+	fmt.Fprintf(r.out, "Scenario sweep: %d transports × %d scenarios (same world seed per scenario)\n\n",
+		len(r.cfg.Transports), len(names))
+	all := make(map[string]map[string]*scenarioResult, len(names))
+	for _, name := range names {
+		data, st, err := r.scenarioAccess(name)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", name, err)
+		}
+		all[name] = data
+		r.writeScenarioReport(name, data, st)
+	}
+
+	clean, ok := all["clean"]
+	if !ok {
+		return nil
+	}
+	var pairs []pairResult
+	for _, name := range names {
+		if name == "clean" {
+			continue
+		}
+		for _, m := range orderedMethods(r.cfg.Transports) {
+			base, okB := clean[m]
+			under, okU := all[name][m]
+			if !okB || !okU {
+				continue
+			}
+			res, err := stats.PairedT(under.Times, base.Times)
+			if err != nil {
+				continue
+			}
+			pairs = append(pairs, pairResult{Name: fmt.Sprintf("%s@%s-clean", m, name), Res: res})
+		}
+	}
+	writePairedT(r.out, "Paired t-tests, access time per scenario vs clean (positive mean-diff = scenario slower)", pairs)
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,6 +33,7 @@ type shape struct {
 
 // Conn is a shaped virtual connection implementing net.Conn.
 type Conn struct {
+	net           *Network
 	local, remote Addr
 	tx, rx        *pipe
 	out           shape
@@ -46,16 +48,18 @@ type Conn struct {
 	wdl  time.Time
 
 	closeOnce sync.Once
+	closed    atomic.Bool
 }
 
 // newConnPair wires two conns back to back. aOut shapes a→b traffic and
 // bOut shapes b→a traffic.
-func newConnPair(clock *Clock, aAddr, bAddr Addr, aOut, bOut shape, seed int64) (*Conn, *Conn) {
+func newConnPair(n *Network, aAddr, bAddr Addr, aOut, bOut shape, seed int64) (*Conn, *Conn) {
+	clock := n.clock
 	ab := newPipe(clock, 0)
 	ba := newPipe(clock, 0)
-	a := &Conn{local: aAddr, remote: bAddr, tx: ab, rx: ba, out: aOut,
+	a := &Conn{net: n, local: aAddr, remote: bAddr, tx: ab, rx: ba, out: aOut,
 		rng: rand.New(rand.NewSource(seed)), wmu: NewMutex(clock)}
-	b := &Conn{local: bAddr, remote: aAddr, tx: ba, rx: ab, out: bOut,
+	b := &Conn{net: n, local: bAddr, remote: aAddr, tx: ba, rx: ab, out: bOut,
 		rng: rand.New(rand.NewSource(seed + 1)), wmu: NewMutex(clock)}
 	return a, b
 }
@@ -95,18 +99,34 @@ func (c *Conn) Write(p []byte) (int, error) {
 	c.dlMu.Unlock()
 
 	clock := c.tx.clock
+	pol := c.policy()
 	written := 0
 	for len(p) > 0 {
 		n := len(p)
 		if n > segmentSize {
 			n = segmentSize
 		}
+		var censored time.Duration
+		var shaper *Bucket
+		if pol != nil {
+			v := pol.FilterSegment(Flow{Src: c.local.host, Dst: c.remote.host}, n)
+			if v.Action == Reset {
+				c.Abort()
+				return written, ErrReset
+			}
+			censored = v.Extra
+			shaper = v.Shaper
+		}
 		data, base := getSegBuf(p[:n])
 
 		now := clock.Now()
 		done := c.out.egress.Reserve(now, n)
 		done = c.out.ingress.Reserve(done, n)
-		arrival := done + c.out.delay + c.extraDelay() +
+		if shaper != nil {
+			done = shaper.Reserve(done, n)
+			censored += shaper.QueueDelay()
+		}
+		arrival := done + c.out.delay + c.extraDelay() + censored +
 			c.out.egress.QueueDelay() + c.out.ingress.QueueDelay()
 		if err := c.tx.push(data, base, arrival, dl); err != nil {
 			return written, err
@@ -115,6 +135,15 @@ func (c *Conn) Write(p []byte) (int, error) {
 		p = p[n:]
 	}
 	return written, nil
+}
+
+// policy returns the network's middlebox policy, or nil for conns built
+// outside a network.
+func (c *Conn) policy() Policy {
+	if c.net == nil {
+		return nil
+	}
+	return c.net.policy.get()
 }
 
 // extraDelay draws the per-segment jitter and loss penalty.
@@ -137,6 +166,7 @@ func (c *Conn) extraDelay() time.Duration {
 // Close implements net.Conn.
 func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {
+		c.closed.Store(true)
 		c.tx.closeWrite()
 		c.rx.closeRead()
 	})
@@ -153,10 +183,15 @@ func (c *Conn) CloseWrite() error {
 // pending data is dropped and both directions error out. Failure-injection
 // models (snowflake proxy churn, meek session budgets) use this.
 func (c *Conn) Abort() {
+	c.closed.Store(true)
 	c.tx.closeWrite()
 	c.tx.closeRead()
 	c.rx.closeRead()
 }
+
+// Closed reports whether Close or Abort has been called; policies use
+// it to prune their flow registries.
+func (c *Conn) Closed() bool { return c.closed.Load() }
 
 // LocalAddr implements net.Conn.
 func (c *Conn) LocalAddr() net.Addr { return c.local }

@@ -150,10 +150,19 @@ func (h *Host) Dial(address string) (net.Conn, error) {
 	localAddr := Addr{host: fmt.Sprintf("%s:%d", h.name, h.ephemeral())}
 	remoteAddr := Addr{host: address}
 	out, in := h.net.shapes(h, peer)
-	seed := h.net.nextSeed()
-	cc, sc := newConnPair(h.net.clock, localAddr, remoteAddr, out, in, seed)
-
 	rtt := out.delay + in.delay
+	if pol := h.net.policy.get(); pol != nil {
+		if err := pol.FilterDial(h.name, address); err != nil {
+			// A censored dial still costs a round trip: the SYN travels
+			// to the interception point and the injected refusal (or
+			// the black-holed SYN's RST) travels back.
+			h.net.clock.Sleep(rtt)
+			return nil, err
+		}
+	}
+	seed := h.net.nextSeed()
+	cc, sc := newConnPair(h.net, localAddr, remoteAddr, out, in, seed)
+
 	// Deliver the server side after one one-way delay (the SYN), then
 	// return to the dialer after the full handshake round trip.
 	h.net.clock.Go(func() {
@@ -163,6 +172,9 @@ func (h *Host) Dial(address string) (net.Conn, error) {
 		}
 	})
 	h.net.clock.Sleep(rtt)
+	if pol := h.net.policy.get(); pol != nil {
+		pol.ConnOpened(cc)
+	}
 	return cc, nil
 }
 

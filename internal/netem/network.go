@@ -22,6 +22,7 @@ type Network struct {
 	hosts map[string]*Host
 
 	connSeq atomic.Int64
+	policy  policyHolder
 }
 
 // Option configures a Network.

@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"ptperf/internal/censor"
 	"ptperf/internal/geo"
 	"ptperf/internal/netem"
 	"ptperf/internal/pt"
@@ -282,6 +283,14 @@ func (w *World) build(name string) (*Deployment, error) {
 				return nil, err
 			}
 			d.snowflakeDep = dep
+			if w.Censor != nil {
+				// Scenarios with an endpoint-weather timeline (the
+				// snowflake-surge collapse) drive the volunteer pool on
+				// the virtual clock.
+				w.Censor.BindLoad(func(p censor.LoadPhase) {
+					dep.SetLoad(p.Util, p.Lifetime)
+				})
+			}
 			return snowflake.NewDialer(w.Client, dep.BrokerAddr(), bridge.Addr()), nil
 		})
 	case "cloak":

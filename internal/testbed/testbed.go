@@ -10,6 +10,7 @@ import (
 	"net"
 	"time"
 
+	"ptperf/internal/censor"
 	"ptperf/internal/geo"
 	"ptperf/internal/netem"
 	"ptperf/internal/tor"
@@ -46,6 +47,10 @@ type Options struct {
 	RelayBandwidth [2]float64
 	// TrancoN and CBLN size the website catalogs.
 	TrancoN, CBLN int
+	// Scenario names a censor scenario from the internal/censor
+	// registry ("clean", "throttle-surge", ...). Empty leaves the
+	// network unpoliced — identical to the pre-censor worlds.
+	Scenario string
 }
 
 // withDefaults fills the zero Options with the standard campaign world.
@@ -108,6 +113,9 @@ type World struct {
 	Tranco, CBL *web.Catalog
 	// Client is the measurement client machine.
 	Client *netem.Host
+	// Censor is the attached adversary, nil when Options.Scenario is
+	// empty.
+	Censor *censor.Censor
 
 	rng     *rand.Rand
 	relays  []*tor.Relay
@@ -125,6 +133,16 @@ func New(opts Options) (*World, error) {
 		Dir:  tor.NewDirectory(),
 		rng:  rand.New(rand.NewSource(o.Seed * 31)),
 		deps: make(map[string]*Deployment),
+	}
+	if o.Scenario != "" {
+		sc, err := censor.Lookup(o.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		// Censor rates are paper-scale figures; they shrink with the
+		// world's byte quantities so a throttle that binds at full
+		// fidelity still binds in a miniature campaign.
+		w.Censor = censor.Attach(n, sc, o.Seed, o.ByteScale)
 	}
 
 	var err error

@@ -58,9 +58,10 @@ type Client struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	mu    sync.Mutex
-	guard *Descriptor
-	circ  *circuit
+	mu        sync.Mutex
+	guard     *Descriptor
+	badGuards []*Descriptor
+	circ      *circuit
 }
 
 // NewClient creates a client. It does not build a circuit until the
@@ -94,10 +95,38 @@ func (c *Client) Guard() *Descriptor {
 func (c *Client) guardLocked() *Descriptor {
 	if c.guard == nil {
 		c.rngMu.Lock()
-		c.guard = pickWeighted(c.rng, c.cfg.Directory.WithFlag(FlagGuard))
+		cands := c.cfg.Directory.WithFlag(FlagGuard)
+		c.guard = pickWeighted(c.rng, cands, c.badGuards...)
+		if c.guard == nil {
+			// Every guard has failed; retry across the full list like a
+			// client whose guard context expired.
+			c.guard = pickWeighted(c.rng, cands)
+		}
 		c.rngMu.Unlock()
 	}
 	return c.guard
+}
+
+// guardFailed records a first-hop dial failure. An unpinned client
+// abandons the unreachable guard and fails over to a different one on
+// the next build attempt — the observable response to a censor blocking
+// the guard's address (a pinned bridge has nowhere to fail over to).
+func (c *Client) guardFailed(g *Descriptor) {
+	if c.cfg.Guard != nil || c.cfg.Directory == nil || g == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.guard != nil && c.guard.Name == g.Name {
+		c.guard = nil
+	}
+	for _, b := range c.badGuards {
+		if b.Name == g.Name {
+			c.mu.Unlock()
+			return
+		}
+	}
+	c.badGuards = append(c.badGuards, g)
+	c.mu.Unlock()
 }
 
 // Preheat builds a circuit if none is alive, so that measurement code can
@@ -196,6 +225,7 @@ func (c *Client) buildCircuit() (*circuit, error) {
 	}
 	conn, err := dial(path.Guard)
 	if err != nil {
+		c.guardFailed(path.Guard)
 		return nil, fmt.Errorf("tor: dial first hop: %w", err)
 	}
 
