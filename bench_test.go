@@ -31,7 +31,6 @@ import (
 func benchConfig(seed int64) harness.Config {
 	return harness.Config{
 		Seed:         seed,
-		TimeScale:    0.002,
 		ByteScale:    0.06,
 		Sites:        4,
 		Repeats:      1,
@@ -89,10 +88,25 @@ func BenchmarkTable10CategoryPairs(b *testing.B) { runExperiment(b, "table10", n
 
 // BenchmarkScenarioSweep exercises the censor layer end to end:
 // {transports} × {scenarios} with throttling, loss draws, blocking
-// cutovers and the snowflake surge timeline.
+// cutovers and the snowflake surge timeline. Jobs is pinned to 1 so
+// this stays the sequential baseline BenchmarkSweepParallel is
+// measured against.
 func BenchmarkScenarioSweep(b *testing.B) {
 	runExperiment(b, "sweep", func(c *harness.Config) {
 		c.Transports = []string{"tor", "obfs4", "meek", "snowflake"}
+		c.Jobs = 1
+	})
+}
+
+// BenchmarkSweepParallel is the same sweep on the multi-world shard
+// executor (one world task per scenario cell, -jobs = all cores). The
+// report is byte-identical to the sequential run; on a ≥4-core machine
+// ns/op should drop ≥2.5× versus BenchmarkScenarioSweep. CI computes
+// the ratio from BENCH_results.json.
+func BenchmarkSweepParallel(b *testing.B) {
+	runExperiment(b, "sweep", func(c *harness.Config) {
+		c.Transports = []string{"tor", "obfs4", "meek", "snowflake"}
+		c.Jobs = 0 // GOMAXPROCS
 	})
 }
 
@@ -105,7 +119,7 @@ func BenchmarkScenarioSweep(b *testing.B) {
 func BenchmarkAblationGuardLoad(b *testing.B) {
 	measure := func(util [2]float64, seed int64) float64 {
 		w, err := testbed.New(testbed.Options{
-			Seed: seed, TimeScale: 0.002, ByteScale: 0.06,
+			Seed: seed, ByteScale: 0.06,
 			TrancoN: 3, CBLN: 3,
 			GuardUtilization: util,
 		})
@@ -148,7 +162,7 @@ type ablationWorld struct {
 
 func newAblationWorld(b *testing.B, seed int64) *ablationWorld {
 	b.Helper()
-	n := netem.New(netem.WithTimeScale(0.002), netem.WithSeed(seed))
+	n := netem.New(netem.WithSeed(seed))
 	w := &ablationWorld{
 		net:    n,
 		client: n.MustAddHost(netem.HostConfig{Name: "client", Location: geo.Toronto}),

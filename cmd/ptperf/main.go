@@ -16,9 +16,17 @@
 //	ptperf -exp sweep                            {transports} × {scenarios}
 //	ptperf -exp fig5 -scenario lossy-path        any artifact under a scenario
 //
+// Campaigns are sharded by world (internal/sim): independent simulated
+// worlds — sweep cells, experiment worlds, client locations — run
+// concurrently on up to -jobs OS threads (default: all cores). Each
+// world keeps its own single-token virtual clock, so reports are
+// byte-identical for any -jobs value; -jobs 1 reproduces fully
+// sequential execution.
+//
 // Scenario names come from the internal/censor registry (clean,
-// throttle-surge, lossy-path, bridge-block, snowflake-surge); -list
-// prints them with descriptions.
+// throttle-surge, lossy-path, bridge-block, snowflake-surge,
+// rst-injection, evening-congestion, origin-throttle); -list prints
+// them with descriptions.
 //
 // Reported durations are virtual seconds, directly comparable to the
 // paper's wall-clock measurements (see DESIGN.md).
@@ -49,7 +57,8 @@ func main() {
 		byteScale = flag.Float64("bytescale", 0.125, "byte-quantity scale (sizes, rates and caps together)")
 		pts       = flag.String("transports", "", "comma-separated methods (default: tor plus all 12 PTs)")
 		scenario  = flag.String("scenario", "", "censor scenario every experiment world is built under (see -list; default: no interference)")
-		seq       = flag.Bool("sequential", false, "measure transports one at a time")
+		jobs      = flag.Int("jobs", 0, "independent simulated worlds run concurrently (0 = all cores); reports are byte-identical for any value")
+		seq       = flag.Bool("sequential", false, "measure transports one at a time within each world")
 		plotFlag  = flag.Bool("plot", true, "render ASCII box plots and ECDF curves under the tables")
 	)
 	flag.Parse()
@@ -73,14 +82,16 @@ func main() {
 		}
 	}
 
+	_ = *timeScale // retired knob, accepted for compatibility
+
 	cfg := harness.Config{
 		Seed:         *seed,
-		TimeScale:    *timeScale,
 		ByteScale:    *byteScale,
 		Sites:        *sites,
 		Repeats:      *repeats,
 		FileAttempts: *attempts,
 		Scenario:     *scenario,
+		Jobs:         *jobs,
 		Sequential:   *seq,
 		Plot:         *plotFlag,
 	}

@@ -8,14 +8,23 @@
 // keeps a min-heap of pending virtual timers and advances the clock
 // only when every simulation goroutine is parked, so campaigns run at
 // CPU speed and identical seeds produce bit-identical reports. The old
-// TimeScale knob (real seconds slept per virtual second) is retired and
-// survives only as a compatibility no-op — there is nothing left to
-// tune. See DESIGN.md for the scheduler architecture and the rules
-// simulation code must follow.
+// TimeScale knob (real seconds slept per virtual second) is retired —
+// there is nothing left to tune. See DESIGN.md for the scheduler
+// architecture and the rules simulation code must follow.
+//
+// Campaigns are additionally sharded across worlds (internal/sim): each
+// sweep scenario cell, experiment world and client location is an
+// independent world task with its own virtual clock and splitmix64-
+// derived seed stream, and up to -jobs of them (default: all cores) run
+// on real OS parallelism. Reports are assembled in canonical order
+// after join, so "-jobs 1" and "-jobs N" render byte-identical bytes —
+// parallelism only buys wall-clock time. See DESIGN.md's "Parallel
+// execution" section.
 //
 // Beyond the paper's artifacts, internal/censor adds a programmable
 // adversary on the virtual paths: named scenarios (throttle-surge,
-// lossy-path, bridge-block, snowflake-surge) apply time-windowed
+// lossy-path, bridge-block, snowflake-surge, rst-injection,
+// evening-congestion, origin-throttle) apply time-windowed
 // throttling, loss, connection resets and endpoint blocking, and the
 // harness's "sweep" experiment crosses them with every transport
 // against the clean baseline. Run "ptperf -list" for scenario ids and

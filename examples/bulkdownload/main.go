@@ -16,7 +16,6 @@ import (
 func main() {
 	world, err := testbed.New(testbed.Options{
 		Seed:      13,
-		TimeScale: 0.002,
 		ByteScale: 0.03, // small files keep the example quick
 		TrancoN:   2, CBLN: 2,
 	})

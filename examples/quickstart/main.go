@@ -15,7 +15,6 @@ func main() {
 	// A deterministic world: relay fleet, web origin, client machine.
 	world, err := testbed.New(testbed.Options{
 		Seed:      7,
-		TimeScale: 0.002, // no-op since the discrete-event clock: runs at CPU speed
 		ByteScale: 0.125,
 		TrancoN:   5, CBLN: 5,
 	})

@@ -16,7 +16,6 @@ import (
 func main() {
 	world, err := testbed.New(testbed.Options{
 		Seed:      17,
-		TimeScale: 0.002,
 		ByteScale: 0.03,
 		TrancoN:   3, CBLN: 3,
 	})

@@ -23,7 +23,6 @@ const (
 func main() {
 	world, err := testbed.New(testbed.Options{
 		Seed:      23,
-		TimeScale: 0.002,
 		ByteScale: 1, // the stream is small; no need to scale it
 		TrancoN:   2, CBLN: 2,
 	})

@@ -17,7 +17,6 @@ import (
 func main() {
 	world, err := testbed.New(testbed.Options{
 		Seed:      11,
-		TimeScale: 0.002,
 		ByteScale: 0.125,
 		TrancoN:   6, CBLN: 6,
 	})

@@ -292,4 +292,56 @@ func init() {
 		Description: "the §5.3 volunteer-pool collapse: utilization and churn follow the Sept-2022 surge timeline",
 		Phases:      SurgePhases,
 	})
+	Register(Scenario{
+		Name:        "rst-injection",
+		Description: "GFW-style tear-down: 2% per-segment injected RSTs on client flows from t=2s",
+		Events: []Event{{
+			At: 2 * time.Second,
+			Rule: Rule{
+				Name:      "rst-inject",
+				Match:     Match{Via: client},
+				ResetProb: 0.02,
+			},
+		}},
+	})
+	Register(Scenario{
+		Name: "evening-congestion",
+		Description: "two rush-hour windows: the access link drops to ~2 MB/s with 40ms jitter, " +
+			"clears, then congests again",
+		Events: []Event{
+			{
+				At:       4 * time.Second,
+				Duration: 10 * time.Second,
+				Rule: Rule{
+					Name:    "rush-1",
+					Match:   Match{Via: client},
+					RateBps: 2 * (1 << 20),
+					Jitter:  40 * time.Millisecond,
+				},
+			},
+			{
+				At:       24 * time.Second,
+				Duration: 14 * time.Second,
+				Rule: Rule{
+					Name:    "rush-2",
+					Match:   Match{Via: client},
+					RateBps: 2 * (1 << 20),
+					Jitter:  40 * time.Millisecond,
+				},
+			},
+		},
+	})
+	Register(Scenario{
+		Name: "origin-throttle",
+		Description: "destination-side interference: every path to the web origin squeezed " +
+			"through one ~3 MB/s bottleneck with 20ms added delay",
+		Events: []Event{{
+			Rule: Rule{
+				Name:       "origin-squeeze",
+				Match:      Match{Via: "*", Hosts: []string{"origin*"}},
+				RateBps:    3 * (1 << 20),
+				ExtraDelay: 20 * time.Millisecond,
+			},
+		}},
+	})
 }

@@ -6,6 +6,7 @@ import (
 
 	"ptperf/internal/fetch"
 	"ptperf/internal/pt"
+	"ptperf/internal/sim"
 	"ptperf/internal/testbed"
 )
 
@@ -30,14 +31,23 @@ const pageTimeout = 120 * time.Second
 // fileTimeout mirrors the paper's 1200 s bulk timeout.
 const fileTimeout = 1200 * time.Second
 
-// curlData runs (once) the curl website-access campaign for every
+// curlTask submits (once) the curl website-access campaign world: every
 // configured method over Tranco+CBL.
-func (r *Runner) curlData() (map[string]*accessData, error) {
-	return r.cachedAccess("curl", r.cfg.Transports, func(w *testbed.World, d *testbed.Deployment, site siteRef) (float64, float64, float64, error) {
+func (r *Runner) curlTask() *sim.Future[any] {
+	return r.accessTask("curl", r.cfg.Transports, func(w *testbed.World, d *testbed.Deployment, site siteRef) (float64, float64, float64, error) {
 		c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: pageTimeout}
 		res := c.Get(w.Origin.Addr(), site.path, false)
 		return seconds(res.Total), seconds(res.TTFB), 0, nil
 	})
+}
+
+// curlData joins the curl campaign.
+func (r *Runner) curlData() (map[string]*accessData, error) {
+	v, err := r.curlTask().Wait()
+	if err != nil {
+		return nil, err
+	}
+	return v.(map[string]*accessData), nil
 }
 
 // seleniumMethods filters the configured transports down to the
@@ -55,10 +65,10 @@ func (r *Runner) seleniumMethods() []string {
 	return methods
 }
 
-// seleniumData runs (once) the browser campaign; camoufler is excluded
-// because it cannot serve parallel streams (§4.2).
-func (r *Runner) seleniumData() (map[string]*accessData, error) {
-	return r.cachedAccess("selenium", r.seleniumMethods(), func(w *testbed.World, d *testbed.Deployment, site siteRef) (float64, float64, float64, error) {
+// seleniumTask submits (once) the browser campaign world; camoufler is
+// excluded because it cannot serve parallel streams (§4.2).
+func (r *Runner) seleniumTask() *sim.Future[any] {
+	return r.accessTask("selenium", r.seleniumMethods(), func(w *testbed.World, d *testbed.Deployment, site siteRef) (float64, float64, float64, error) {
 		c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: pageTimeout}
 		pr := c.Browse(w.Origin.Addr(), site.path, fetch.DefaultBrowserConns)
 		if !pr.OK {
@@ -71,21 +81,33 @@ func (r *Runner) seleniumData() (map[string]*accessData, error) {
 	})
 }
 
-// cachedAccess runs one access campaign (or returns the cached result).
-func (r *Runner) cachedAccess(kind string, methods []string, measure func(*testbed.World, *testbed.Deployment, siteRef) (float64, float64, float64, error)) (map[string]*accessData, error) {
-	r.mu.Lock()
-	if v, ok := r.cache[kind]; ok {
-		r.mu.Unlock()
-		return v.(map[string]*accessData), nil
-	}
-	r.mu.Unlock()
-
-	w, err := r.World()
+// seleniumData joins the browser campaign.
+func (r *Runner) seleniumData() (map[string]*accessData, error) {
+	v, err := r.seleniumTask().Wait()
 	if err != nil {
 		return nil, err
 	}
-	sites := r.sites(w)
+	return v.(map[string]*accessData), nil
+}
 
+// accessTask submits one access-campaign world task. All three paper
+// campaigns build their world on streamCampaign, so curl, selenium and
+// bulk downloads measure the same topology, relay draws and catalogs —
+// they only differ in what the client does, exactly like the paper's
+// campaigns running on one deployment.
+func (r *Runner) accessTask(kind string, methods []string, measure func(*testbed.World, *testbed.Deployment, siteRef) (float64, float64, float64, error)) *sim.Future[any] {
+	return r.task("access:"+kind, func() (any, error) {
+		w, err := testbed.New(r.worldOptions(streamCampaign))
+		if err != nil {
+			return nil, err
+		}
+		return r.measureAccess(w, methods, measure)
+	})
+}
+
+// measureAccess runs one access campaign over an already-built world.
+func (r *Runner) measureAccess(w *testbed.World, methods []string, measure func(*testbed.World, *testbed.Deployment, siteRef) (float64, float64, float64, error)) (map[string]*accessData, error) {
+	sites := r.sites(w)
 	results, err := r.forEachMethod(w, methods, func(name string) (any, error) {
 		d, err := w.Deployment(name)
 		if err != nil {
@@ -142,9 +164,6 @@ func (r *Runner) cachedAccess(kind string, methods []string, measure func(*testb
 			out[name] = v.(*accessData)
 		}
 	}
-	r.mu.Lock()
-	r.cache[kind] = out
-	r.mu.Unlock()
 	return out, nil
 }
 
@@ -210,68 +229,69 @@ func (fd *fileData) fractions() []float64 {
 	return out
 }
 
-// filesData runs (once) the bulk-download campaign.
-func (r *Runner) filesData() (map[string]*fileData, error) {
-	r.mu.Lock()
-	if v, ok := r.cache["files"]; ok {
-		r.mu.Unlock()
-		return v.(map[string]*fileData), nil
-	}
-	r.mu.Unlock()
-
-	w, err := r.World()
-	if err != nil {
-		return nil, err
-	}
-	results, err := r.forEachMethodN(w, r.cfg.Transports, 1, func(name string) (any, error) {
-		d, err := w.Deployment(name)
+// filesTask submits (once) the bulk-download campaign world.
+func (r *Runner) filesTask() *sim.Future[any] {
+	return r.task("files", func() (any, error) {
+		w, err := testbed.New(r.worldOptions(streamCampaign))
 		if err != nil {
 			return nil, err
 		}
-		if err := d.Preheat(); err != nil {
-			return nil, err
-		}
-		c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: fileTimeout}
-		data := &fileData{Name: name}
-		for _, mb := range r.cfg.FileSizesMB {
-			size := w.Bytes(mb << 20)
-			for attempt := 0; attempt < r.cfg.FileAttempts; attempt++ {
-				res := c.DownloadFile(w.Origin.Addr(), size)
-				data.Attempts = append(data.Attempts, fileAttempt{
-					SizeBytes: size,
-					SizeMB:    mb,
-					Seconds:   seconds(res.Total),
-					Fraction:  res.Fraction(),
-					Complete:  res.Complete(),
-					Failed:    res.Failed(),
-				})
-				// A broken circuit (snowflake churn, meek budget) must
-				// not poison subsequent attempts.
-				if !res.Complete() {
-					d.FreshCircuit()
-					if err := d.Preheat(); err != nil {
-						// The transport may be temporarily out of
-						// capacity; subsequent dials retry anyway.
-						continue
+		results, err := r.forEachMethodN(w, r.cfg.Transports, 1, func(name string) (any, error) {
+			d, err := w.Deployment(name)
+			if err != nil {
+				return nil, err
+			}
+			if err := d.Preheat(); err != nil {
+				return nil, err
+			}
+			c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: fileTimeout}
+			data := &fileData{Name: name}
+			for _, mb := range r.cfg.FileSizesMB {
+				size := w.Bytes(mb << 20)
+				for attempt := 0; attempt < r.cfg.FileAttempts; attempt++ {
+					res := c.DownloadFile(w.Origin.Addr(), size)
+					data.Attempts = append(data.Attempts, fileAttempt{
+						SizeBytes: size,
+						SizeMB:    mb,
+						Seconds:   seconds(res.Total),
+						Fraction:  res.Fraction(),
+						Complete:  res.Complete(),
+						Failed:    res.Failed(),
+					})
+					// A broken circuit (snowflake churn, meek budget) must
+					// not poison subsequent attempts.
+					if !res.Complete() {
+						d.FreshCircuit()
+						if err := d.Preheat(); err != nil {
+							// The transport may be temporarily out of
+							// capacity; subsequent dials retry anyway.
+							continue
+						}
 					}
 				}
 			}
+			// Park the transport's tunnels (see measureAccess).
+			d.FreshCircuit()
+			return data, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		// Park the transport's tunnels (see cachedAccess).
-		d.FreshCircuit()
-		return data, nil
+		out := make(map[string]*fileData, len(results))
+		for name, v := range results {
+			if v != nil {
+				out[name] = v.(*fileData)
+			}
+		}
+		return out, nil
 	})
+}
+
+// filesData joins the bulk-download campaign.
+func (r *Runner) filesData() (map[string]*fileData, error) {
+	v, err := r.filesTask().Wait()
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]*fileData, len(results))
-	for name, v := range results {
-		if v != nil {
-			out[name] = v.(*fileData)
-		}
-	}
-	r.mu.Lock()
-	r.cache["files"] = out
-	r.mu.Unlock()
-	return out, nil
+	return v.(map[string]*fileData), nil
 }

@@ -7,9 +7,10 @@ import (
 
 // campaignOutput runs a small but adversarial campaign — parallel curl
 // accesses plus bulk downloads over transports with churn (snowflake),
-// loss (camoufler) and budget cuts (meek, dnstt) — and returns the
-// rendered reports.
-func campaignOutput(t *testing.T, seed int64) string {
+// loss (camoufler) and budget cuts (meek, dnstt), plus the three-world
+// location experiment — and returns the rendered reports. jobs bounds
+// the shard executor (0 = all cores).
+func campaignOutput(t *testing.T, seed int64, jobs int) string {
 	t.Helper()
 	cfg := Config{
 		Seed:         seed,
@@ -19,10 +20,11 @@ func campaignOutput(t *testing.T, seed int64) string {
 		FileAttempts: 1,
 		FileSizesMB:  []int{5},
 		Transports:   []string{"tor", "obfs4", "meek", "dnstt", "snowflake", "camoufler"},
+		Jobs:         jobs,
 	}
 	var buf bytes.Buffer
 	r := New(cfg, &buf)
-	for _, id := range []string{"table1", "fig2a", "fig5"} {
+	for _, id := range []string{"table1", "fig2a", "fig5", "fig7"} {
 		if err := r.Run(id); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -37,8 +39,8 @@ func campaignOutput(t *testing.T, seed int64) string {
 // nondeterminism (map-ordered teardown, stray wall-clock reads, an
 // unregistered goroutine racing the scheduler) breaks this test.
 func TestSameSeedProducesIdenticalReports(t *testing.T) {
-	a := campaignOutput(t, 1)
-	b := campaignOutput(t, 1)
+	a := campaignOutput(t, 1, 0)
+	b := campaignOutput(t, 1, 0)
 	if a != b {
 		t.Fatalf("same seed produced different reports:\n--- first ---\n%s\n--- second ---\n%s", a, b)
 	}
@@ -47,7 +49,20 @@ func TestSameSeedProducesIdenticalReports(t *testing.T) {
 // TestDifferentSeedsDiffer guards the other direction: the seed must
 // actually reach the simulation's random draws.
 func TestDifferentSeedsDiffer(t *testing.T) {
-	if campaignOutput(t, 1) == campaignOutput(t, 2) {
+	if campaignOutput(t, 1, 0) == campaignOutput(t, 2, 0) {
 		t.Fatal("different seeds produced byte-identical reports")
+	}
+}
+
+// TestJobsOneEqualsJobsN is the shard executor's determinism contract:
+// every world task owns its clock and its seed stream, and reports are
+// assembled in canonical order after join, so the parallelism level
+// must be invisible in the bytes. -jobs 1 (fully sequential) and
+// -jobs 4 (four worlds in flight) must render identical reports.
+func TestJobsOneEqualsJobsN(t *testing.T) {
+	seq := campaignOutput(t, 1, 1)
+	par := campaignOutput(t, 1, 4)
+	if seq != par {
+		t.Fatalf("jobs=1 and jobs=4 produced different reports:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s", seq, par)
 	}
 }

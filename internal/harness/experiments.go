@@ -7,10 +7,18 @@ import (
 	"ptperf/internal/fetch"
 	"ptperf/internal/geo"
 	"ptperf/internal/pt"
+	"ptperf/internal/sim"
 	"ptperf/internal/stats"
 	"ptperf/internal/testbed"
 	"ptperf/internal/tor"
 )
+
+// The experiments that build their own worlds are split in two: a
+// *Task method submits the world task (build world, measure, return
+// values) on the shard executor, and the run* method joins the future
+// and renders the report. Prefetching submits every task before any
+// render, so "-exp all" keeps all -jobs cores busy while reports still
+// come out strictly in paper order.
 
 // boxRows builds the standard per-method box table from a dataset.
 func boxRows(data map[string]*accessData, pick func(*accessData) []float64, order []string) []struct {
@@ -77,52 +85,93 @@ func (r *Runner) runTable2() error {
 	return nil
 }
 
-// runMedium reproduces §4.7: the same website-access measurement over a
-// wired and a wireless (campus WiFi) client, expecting no change in the
-// between-transport trend.
-func (r *Runner) runMedium() error {
-	methods := []string{"tor", "obfs4", "meek", "dnstt", "cloak"}
-	var rows []struct {
-		Name string
-		Box  stats.Box
+// accessSamples measures plain curl access for every method of one
+// world, returning per-method aligned sample vectors. Shared by the
+// medium and location world tasks.
+func (r *Runner) accessSamples(w *testbed.World, methods []string) (map[string][]float64, error) {
+	sites := r.sites(w)
+	if len(sites) > r.cfg.Sites {
+		sites = sites[:r.cfg.Sites]
 	}
-	for mi, medium := range []geo.Medium{geo.Wired, geo.Wireless} {
-		opts := r.worldOptions(4000 + int64(mi))
+	results, err := r.forEachMethod(w, methods, func(name string) (any, error) {
+		d, err := w.Deployment(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Preheat(); err != nil {
+			return nil, err
+		}
+		c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: pageTimeout}
+		var xs []float64
+		for _, site := range sites {
+			res := c.Get(w.Origin.Addr(), site.path, false)
+			xs = append(xs, seconds(res.Total))
+		}
+		return xs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]float64, len(results))
+	for name, v := range results {
+		if xs, ok := v.([]float64); ok {
+			out[name] = xs
+		}
+	}
+	return out, nil
+}
+
+// mediumMethods and mediumKinds are the §4.7 grid; prefetchMedium and
+// runMedium must iterate the same cells, so both loop over mediumKinds.
+var (
+	mediumMethods = []string{"tor", "obfs4", "meek", "dnstt", "cloak"}
+	mediumKinds   = []geo.Medium{geo.Wired, geo.Wireless}
+)
+
+// mediumTask submits the §4.7 world for one access medium.
+func (r *Runner) mediumTask(mi int, medium geo.Medium) *sim.Future[any] {
+	return r.task("medium:"+medium.String(), func() (any, error) {
+		opts := r.worldOptions(streamMedium, int64(mi))
 		opts.Medium = medium
 		opts.ClientLocation = geo.Toronto
 		w, err := testbed.New(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		sites := r.sites(w)
-		if len(sites) > r.cfg.Sites {
-			sites = sites[:r.cfg.Sites]
+		samples, err := r.accessSamples(w, mediumMethods)
+		if err != nil {
+			return nil, err
 		}
-		results, err := r.forEachMethod(w, methods, func(name string) (any, error) {
-			d, err := w.Deployment(name)
-			if err != nil {
-				return nil, err
-			}
-			if err := d.Preheat(); err != nil {
-				return nil, err
-			}
-			c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: pageTimeout}
-			var xs []float64
-			for _, site := range sites {
-				res := c.Get(w.Origin.Addr(), site.path, false)
-				xs = append(xs, seconds(res.Total))
-			}
-			return xs, nil
-		})
+		return samples, nil
+	})
+}
+
+func prefetchMedium(r *Runner) {
+	for mi, medium := range mediumKinds {
+		r.mediumTask(mi, medium)
+	}
+}
+
+// runMedium reproduces §4.7: the same website-access measurement over a
+// wired and a wireless (campus WiFi) client, expecting no change in the
+// between-transport trend.
+func (r *Runner) runMedium() error {
+	prefetchMedium(r) // both media in flight before the first join
+	var rows []struct {
+		Name string
+		Box  stats.Box
+	}
+	for mi, medium := range mediumKinds {
+		v, err := r.mediumTask(mi, medium).Wait()
 		if err != nil {
 			return err
 		}
-		for _, name := range methods {
-			xs, _ := results[name].([]float64)
+		samples := v.(map[string][]float64)
+		for _, name := range mediumMethods {
 			rows = append(rows, struct {
 				Name string
 				Box  stats.Box
-			}{fmt.Sprintf("%s/%s", name, medium), stats.Summarize(xs)})
+			}{fmt.Sprintf("%s/%s", name, medium), stats.Summarize(samples[name])})
 		}
 	}
 	r.writeBoxes("Website access time by access medium (s)", rows)
@@ -198,30 +247,53 @@ func (r *Runner) fixedCircuitSamples(w *testbed.World, rig *testbed.FixedCircuit
 	return out, nil
 }
 
-// runFig3 prints the fixed-circuit boxes (3a) and the ECDF of per-site
-// absolute differences (3b).
-func (r *Runner) runFig3() error {
-	w, err := testbed.New(r.worldOptions(1000))
-	if err != nil {
-		return err
-	}
-	rig, err := w.NewFixedCircuitRig()
-	if err != nil {
-		return err
-	}
+// fixedCircuitData is the result of the fig3/fig4 world tasks.
+type fixedCircuitData struct {
+	Methods []string
+	Samples map[string][]float64
+}
+
+// fixedCircuitTask submits a fixed-circuit rig world.
+func (r *Runner) fixedCircuitTask(key string, stream int64, iters int, pinPair bool) *sim.Future[any] {
+	return r.task(key, func() (any, error) {
+		w, err := testbed.New(r.worldOptions(stream))
+		if err != nil {
+			return nil, err
+		}
+		rig, err := w.NewFixedCircuitRig()
+		if err != nil {
+			return nil, err
+		}
+		samples, err := r.fixedCircuitSamples(w, rig, iters, pinPair)
+		if err != nil {
+			return nil, err
+		}
+		return &fixedCircuitData{Methods: rig.Methods(), Samples: samples}, nil
+	})
+}
+
+func (r *Runner) fig3Task() *sim.Future[any] {
 	iters := r.cfg.Repeats * 3
 	if iters < 4 {
 		iters = 4
 	}
-	samples, err := r.fixedCircuitSamples(w, rig, iters, true)
+	return r.fixedCircuitTask("fig3", streamFig3, iters, true)
+}
+
+// runFig3 prints the fixed-circuit boxes (3a) and the ECDF of per-site
+// absolute differences (3b).
+func (r *Runner) runFig3() error {
+	v, err := r.fig3Task().Wait()
 	if err != nil {
 		return err
 	}
+	fc := v.(*fixedCircuitData)
+	samples := fc.Samples
 	var rows []struct {
 		Name string
 		Box  stats.Box
 	}
-	for _, m := range rig.Methods() {
+	for _, m := range fc.Methods {
 		rows = append(rows, struct {
 			Name string
 			Box  stats.Box
@@ -243,24 +315,21 @@ func (r *Runner) runFig3() error {
 	return nil
 }
 
-// runFig4 prints the fixed-guard / variable middle+exit comparison.
-func (r *Runner) runFig4() error {
-	w, err := testbed.New(r.worldOptions(1100))
-	if err != nil {
-		return err
-	}
-	rig, err := w.NewFixedCircuitRig()
-	if err != nil {
-		return err
-	}
+func (r *Runner) fig4Task() *sim.Future[any] {
 	iters := r.cfg.Repeats * 2
 	if iters < 3 {
 		iters = 3
 	}
-	samples, err := r.fixedCircuitSamples(w, rig, iters, false)
+	return r.fixedCircuitTask("fig4", streamFig4, iters, false)
+}
+
+// runFig4 prints the fixed-guard / variable middle+exit comparison.
+func (r *Runner) runFig4() error {
+	v, err := r.fig4Task().Wait()
 	if err != nil {
 		return err
 	}
+	samples := v.(*fixedCircuitData).Samples
 	var rows []struct {
 		Name string
 		Box  stats.Box
@@ -332,51 +401,55 @@ func (r *Runner) runFig6() error {
 	return nil
 }
 
+// fig7Methods and fig7Locations are the paper's §4.5 grid.
+var (
+	fig7Methods   = []string{"obfs4", "meek", "snowflake"}
+	fig7Locations = []geo.Location{geo.Bangalore, geo.London, geo.Toronto}
+)
+
+// fig7Task submits the location world for one client city.
+func (r *Runner) fig7Task(li int) *sim.Future[any] {
+	loc := fig7Locations[li]
+	return r.task("fig7:"+loc.Short(), func() (any, error) {
+		opts := r.worldOptions(streamFig7, int64(li))
+		opts.ClientLocation = loc
+		w, err := testbed.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		samples, err := r.accessSamples(w, fig7Methods)
+		if err != nil {
+			return nil, err
+		}
+		return samples, nil
+	})
+}
+
+func prefetchFig7(r *Runner) {
+	for li := range fig7Locations {
+		r.fig7Task(li)
+	}
+}
+
 // runFig7 measures meek/obfs4/snowflake from the paper's three client
-// cities.
+// cities — one independent world per city, all three in flight at once.
 func (r *Runner) runFig7() error {
-	methods := []string{"obfs4", "meek", "snowflake"}
-	locs := []geo.Location{geo.Bangalore, geo.London, geo.Toronto}
+	prefetchFig7(r)
 	var rows []struct {
 		Name string
 		Box  stats.Box
 	}
-	for li, loc := range locs {
-		opts := r.worldOptions(1200 + int64(li))
-		opts.ClientLocation = loc
-		w, err := testbed.New(opts)
+	for li, loc := range fig7Locations {
+		v, err := r.fig7Task(li).Wait()
 		if err != nil {
 			return err
 		}
-		sites := r.sites(w)
-		if len(sites) > r.cfg.Sites {
-			sites = sites[:r.cfg.Sites]
-		}
-		results, err := r.forEachMethod(w, methods, func(name string) (any, error) {
-			d, err := w.Deployment(name)
-			if err != nil {
-				return nil, err
-			}
-			if err := d.Preheat(); err != nil {
-				return nil, err
-			}
-			c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: pageTimeout}
-			var xs []float64
-			for _, site := range sites {
-				res := c.Get(w.Origin.Addr(), site.path, false)
-				xs = append(xs, seconds(res.Total))
-			}
-			return xs, nil
-		})
-		if err != nil {
-			return err
-		}
-		for _, name := range methods {
-			xs, _ := results[name].([]float64)
+		samples := v.(map[string][]float64)
+		for _, name := range fig7Methods {
 			rows = append(rows, struct {
 				Name string
 				Box  stats.Box
-			}{fmt.Sprintf("%s@%s", name, loc.Short()), stats.Summarize(xs)})
+			}{fmt.Sprintf("%s@%s", name, loc.Short()), stats.Summarize(samples[name])})
 		}
 	}
 	r.writeBoxes("Website access time by client location (s)", rows)
@@ -418,45 +491,63 @@ func (r *Runner) runFig8() error {
 	return nil
 }
 
-// runFig9 prints per-transport overhead over an identical pinned
-// circuit: positive means the PT added time over vanilla Tor.
-func (r *Runner) runFig9() error {
-	w, err := testbed.New(r.worldOptions(2000))
-	if err != nil {
-		return err
-	}
-	sites := r.sites(w)
-	if len(sites) > r.cfg.Sites {
-		sites = sites[:r.cfg.Sites]
-	}
-	results, err := r.forEachMethod(w, testbed.OverheadPTs, func(name string) (any, error) {
-		rig, err := w.NewOverheadRig(name, int64(len(name))*13)
+// fig9Task submits the pinned-circuit overhead world: per-transport
+// time difference over an identical circuit.
+func (r *Runner) fig9Task() *sim.Future[any] {
+	return r.task("fig9", func() (any, error) {
+		w, err := testbed.New(r.worldOptions(streamFig9))
 		if err != nil {
 			return nil, err
 		}
-		var diffs []float64
-		for _, site := range sites {
-			torC := &fetch.Client{Net: w.Net, Dial: rig.TorDial, Timeout: pageTimeout}
-			ptC := &fetch.Client{Net: w.Net, Dial: rig.PTDial, Timeout: pageTimeout}
-			tTor := torC.Get(w.Origin.Addr(), site.path, false)
-			tPT := ptC.Get(w.Origin.Addr(), site.path, false)
-			diffs = append(diffs, seconds(tPT.Total)-seconds(tTor.Total))
+		sites := r.sites(w)
+		if len(sites) > r.cfg.Sites {
+			sites = sites[:r.cfg.Sites]
 		}
-		return diffs, nil
+		results, err := r.forEachMethod(w, testbed.OverheadPTs, func(name string) (any, error) {
+			rig, err := w.NewOverheadRig(name, int64(len(name))*13)
+			if err != nil {
+				return nil, err
+			}
+			var diffs []float64
+			for _, site := range sites {
+				torC := &fetch.Client{Net: w.Net, Dial: rig.TorDial, Timeout: pageTimeout}
+				ptC := &fetch.Client{Net: w.Net, Dial: rig.PTDial, Timeout: pageTimeout}
+				tTor := torC.Get(w.Origin.Addr(), site.path, false)
+				tPT := ptC.Get(w.Origin.Addr(), site.path, false)
+				diffs = append(diffs, seconds(tPT.Total)-seconds(tTor.Total))
+			}
+			return diffs, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string][]float64, len(results))
+		for name, v := range results {
+			if diffs, ok := v.([]float64); ok {
+				out[name] = diffs
+			}
+		}
+		return out, nil
 	})
+}
+
+// runFig9 prints per-transport overhead over an identical pinned
+// circuit: positive means the PT added time over vanilla Tor.
+func (r *Runner) runFig9() error {
+	v, err := r.fig9Task().Wait()
 	if err != nil {
 		return err
 	}
+	samples := v.(map[string][]float64)
 	var rows []struct {
 		Name string
 		Box  stats.Box
 	}
 	for _, name := range testbed.OverheadPTs {
-		diffs, _ := results[name].([]float64)
 		rows = append(rows, struct {
 			Name string
 			Box  stats.Box
-		}{name, stats.Summarize(diffs)})
+		}{name, stats.Summarize(samples[name])})
 	}
 	r.writeBoxes("PT − vanilla Tor time difference on an identical circuit (s)", rows)
 	return nil
@@ -496,21 +587,52 @@ func (r *Runner) snowflakeAccess(w *testbed.World, nSites int) ([]float64, error
 
 // surgePhases is the §5.3 snowflake load timeline, owned by the censor
 // scenario registry (the snowflake-surge scenario plays the same phases
-// on the virtual clock; figures 10 and 12 step through them manually).
+// on the virtual clock; figures 10 and 12 step the same table).
 var surgePhases = censor.SurgePhases
 
 // manualLoadOptions is worldOptions for the figures that step load
 // phases by hand (10 and 12): a scenario that carries its own phase
 // timeline is dropped there, because the armed timers would override
 // the manual SetLoad stepping mid-measurement.
-func (r *Runner) manualLoadOptions(extraSeed int64) testbed.Options {
-	opts := r.worldOptions(extraSeed)
+func (r *Runner) manualLoadOptions(stream int64) testbed.Options {
+	opts := r.worldOptions(stream)
 	if opts.Scenario != "" {
 		if sc, err := censor.Lookup(opts.Scenario); err == nil && len(sc.Phases) > 0 {
 			opts.Scenario = ""
 		}
 	}
 	return opts
+}
+
+// surgeAccess is the fig10 world-task result.
+type surgeAccess struct {
+	Pre, Post []float64
+}
+
+// fig10Task submits the §5.3 surge world: snowflake access before and
+// after the September load step.
+func (r *Runner) fig10Task() *sim.Future[any] {
+	return r.task("fig10", func() (any, error) {
+		w, err := testbed.New(r.manualLoadOptions(streamFig10))
+		if err != nil {
+			return nil, err
+		}
+		d, err := w.Deployment("snowflake")
+		if err != nil {
+			return nil, err
+		}
+		d.Snowflake().SetLoad(surgePhases[0].Util, surgePhases[0].Lifetime)
+		pre, err := r.snowflakeAccess(w, r.cfg.Sites)
+		if err != nil {
+			return nil, err
+		}
+		d.Snowflake().SetLoad(surgePhases[1].Util, surgePhases[1].Lifetime)
+		post, err := r.snowflakeAccess(w, r.cfg.Sites)
+		if err != nil {
+			return nil, err
+		}
+		return &surgeAccess{Pre: pre, Post: post}, nil
+	})
 }
 
 // runFig10 prints the snowflake user-count timeline (10a, from the load
@@ -526,33 +648,20 @@ func (r *Runner) runFig10() error {
 	t.write(r.out)
 	fmt.Fprintln(r.out)
 
-	w, err := testbed.New(r.manualLoadOptions(3000))
+	v, err := r.fig10Task().Wait()
 	if err != nil {
 		return err
 	}
-	d, err := w.Deployment("snowflake")
-	if err != nil {
-		return err
-	}
-	d.Snowflake().SetLoad(surgePhases[0].Util, surgePhases[0].Lifetime)
-	pre, err := r.snowflakeAccess(w, r.cfg.Sites)
-	if err != nil {
-		return err
-	}
-	d.Snowflake().SetLoad(surgePhases[1].Util, surgePhases[1].Lifetime)
-	post, err := r.snowflakeAccess(w, r.cfg.Sites)
-	if err != nil {
-		return err
-	}
+	surge := v.(*surgeAccess)
 	rows := []struct {
 		Name string
 		Box  stats.Box
 	}{
-		{"pre-September", stats.Summarize(pre)},
-		{"post-September", stats.Summarize(post)},
+		{"pre-September", stats.Summarize(surge.Pre)},
+		{"post-September", stats.Summarize(surge.Post)},
 	}
 	r.writeBoxes("Snowflake website access time before/after the surge (s)", rows)
-	if res, err := stats.PairedT(pre, post); err == nil {
+	if res, err := stats.PairedT(surge.Pre, surge.Post); err == nil {
 		fmt.Fprintf(r.out, "paired t (pre−post): t=%.2f P=%s CI=[%.2f, %.2f] mean-diff=%.2f\n\n",
 			res.T, pvalue(res.P), res.CILower, res.CIUpper, res.MeanDiff)
 	}
@@ -570,37 +679,59 @@ func (r *Runner) runFig11() error {
 	return nil
 }
 
+// labeledSamples is one labeled sample vector of a world-task result.
+type labeledSamples struct {
+	Label string
+	Xs    []float64
+}
+
+// fig12Task submits the monthly-monitoring world: the surge phases
+// stepped in sequence on one snowflake deployment.
+func (r *Runner) fig12Task() *sim.Future[any] {
+	return r.task("fig12", func() (any, error) {
+		w, err := testbed.New(r.manualLoadOptions(streamFig12))
+		if err != nil {
+			return nil, err
+		}
+		d, err := w.Deployment("snowflake")
+		if err != nil {
+			return nil, err
+		}
+		n := r.cfg.Sites / 2
+		if n < 4 {
+			n = 4
+		}
+		var series []labeledSamples
+		for _, lv := range surgePhases {
+			if lv.Label == "post-Sept-2022" {
+				continue // fig12 shows pre + the monthly series
+			}
+			d.Snowflake().SetLoad(lv.Util, lv.Lifetime)
+			xs, err := r.snowflakeAccess(w, n)
+			if err != nil {
+				return nil, err
+			}
+			series = append(series, labeledSamples{Label: lv.Label, Xs: xs})
+		}
+		return series, nil
+	})
+}
+
 // runFig12 prints the post-September monthly monitoring boxes.
 func (r *Runner) runFig12() error {
-	w, err := testbed.New(r.manualLoadOptions(3100))
+	v, err := r.fig12Task().Wait()
 	if err != nil {
 		return err
-	}
-	d, err := w.Deployment("snowflake")
-	if err != nil {
-		return err
-	}
-	n := r.cfg.Sites / 2
-	if n < 4 {
-		n = 4
 	}
 	var rows []struct {
 		Name string
 		Box  stats.Box
 	}
-	for _, lv := range surgePhases {
-		if lv.Label == "post-Sept-2022" {
-			continue // fig12 shows pre + the monthly series
-		}
-		d.Snowflake().SetLoad(lv.Util, lv.Lifetime)
-		xs, err := r.snowflakeAccess(w, n)
-		if err != nil {
-			return err
-		}
+	for _, s := range v.([]labeledSamples) {
 		rows = append(rows, struct {
 			Name string
 			Box  stats.Box
-		}{lv.Label, stats.Summarize(xs)})
+		}{s.Label, stats.Summarize(s.Xs)})
 	}
 	r.writeBoxes("Snowflake monthly website access time (s)", rows)
 	return nil

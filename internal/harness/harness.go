@@ -2,11 +2,22 @@
 // worlds, drives the measurement campaigns (curl, selenium, speed index,
 // bulk files, locations, load scenarios), applies the statistics, and
 // prints each table and figure of the evaluation section.
+//
+// Execution is sharded by world (see internal/sim): an experiment
+// decomposes into independent world tasks — one per campaign world,
+// per sweep scenario cell, per client location — submitted to a shard
+// executor that runs up to Config.Jobs of them on real OS parallelism.
+// Each task builds its own virtual clock, so intra-world behaviour is
+// bit-identical to sequential execution, and reports are assembled in
+// canonical order after join, never in completion order: the same seed
+// produces byte-identical reports at any -jobs value.
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -14,6 +25,7 @@ import (
 	"ptperf/internal/censor"
 	"ptperf/internal/netem"
 	"ptperf/internal/pt"
+	"ptperf/internal/sim"
 	"ptperf/internal/testbed"
 	"ptperf/internal/web"
 )
@@ -23,8 +35,6 @@ import (
 type Config struct {
 	// Seed drives the whole campaign deterministically.
 	Seed int64
-	// TimeScale is real seconds per virtual second.
-	TimeScale float64
 	// ByteScale scales sizes, rates and caps together (see testbed).
 	ByteScale float64
 	// Sites is the number of sites measured per catalog.
@@ -42,7 +52,14 @@ type Config struct {
 	// experiments on unpoliced networks; the scenario:<name> and sweep
 	// experiments select their scenarios themselves.
 	Scenario string
-	// Sequential disables the per-transport parallelism.
+	// Jobs bounds how many independent world tasks run concurrently on
+	// OS threads (0 = runtime.GOMAXPROCS(0), 1 = fully sequential).
+	// Reports are byte-identical for any value; Jobs trades memory for
+	// wall-clock time only.
+	Jobs int
+	// Sequential disables the per-transport parallelism inside one
+	// world (simulation goroutines on that world's clock). It does not
+	// affect Jobs, which parallelizes across worlds.
 	Sequential bool
 	// Plot adds ASCII box plots and ECDF curves under the tables,
 	// mirroring the paper's figure shapes.
@@ -52,9 +69,6 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
-	}
-	if c.TimeScale <= 0 {
-		c.TimeScale = 0.004
 	}
 	if c.ByteScale <= 0 {
 		c.ByteScale = 0.125
@@ -74,26 +88,54 @@ func (c Config) withDefaults() Config {
 	if len(c.Transports) == 0 {
 		c.Transports = append([]string{"tor"}, pt.Names()...)
 	}
+	if c.Jobs <= 0 {
+		c.Jobs = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
 // Runner executes experiments and writes reports.
 type Runner struct {
-	cfg Config
-	out io.Writer
+	cfg  Config
+	out  io.Writer
+	exec *sim.Executor
 
 	mu    sync.Mutex
-	world *testbed.World
-	cache map[string]any
+	tasks map[string]*sim.Future[any]
 }
 
 // New creates a Runner writing its reports to out.
 func New(cfg Config, out io.Writer) *Runner {
-	return &Runner{cfg: cfg.withDefaults(), out: out, cache: make(map[string]any)}
+	c := cfg.withDefaults()
+	return &Runner{
+		cfg:   c,
+		out:   out,
+		exec:  sim.NewExecutor(c.Jobs),
+		tasks: make(map[string]*sim.Future[any]),
+	}
 }
 
 // Config returns the effective (defaulted) configuration.
 func (r *Runner) Config() Config { return r.cfg }
+
+// task submits (once) the keyed world task fn on the shard executor and
+// returns its future; later calls with the same key return the same
+// future. This is the Runner's memoization: experiments submit every
+// world they need up front (prefetch), then join and render in
+// canonical order, so reports never depend on completion order. Task
+// bodies must follow the sim package's determinism contract — build
+// their own world, return values, never write to r.out, and never wait
+// on another task's future (a full executor would deadlock).
+func (r *Runner) task(key string, fn func() (any, error)) *sim.Future[any] {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.tasks[key]; ok {
+		return f
+	}
+	f := sim.Submit(r.exec, fn)
+	r.tasks[key] = f
+	return f
+}
 
 // Experiment describes one runnable artifact reproduction.
 type Experiment struct {
@@ -106,6 +148,10 @@ type Experiment struct {
 	// Optional experiments (the censor scenarios and the sweep) go
 	// beyond the paper's artifacts and are excluded from "all".
 	Optional bool
+	// prefetch submits the experiment's world tasks without waiting,
+	// so "all" overlaps every experiment's simulation work across the
+	// executor while still rendering in paper order.
+	prefetch func(*Runner)
 	run      func(*Runner) error
 }
 
@@ -115,24 +161,24 @@ func Experiments() []Experiment {
 	exps := []Experiment{
 		{ID: "table1", Artifact: "Table 1", Title: "measurement campaign overview", run: (*Runner).runTable1},
 		{ID: "table2", Artifact: "Table 2", Title: "28 candidate transports at a glance", run: (*Runner).runTable2},
-		{ID: "fig2a", Artifact: "Figure 2a", Title: "website access time, curl", run: (*Runner).runFig2a},
-		{ID: "fig2b", Artifact: "Figure 2b", Title: "website access time, selenium", run: (*Runner).runFig2b},
-		{ID: "fig3", Artifact: "Figure 3a/3b", Title: "fixed-circuit comparison and ECDF", run: (*Runner).runFig3},
-		{ID: "fig4", Artifact: "Figure 4", Title: "fixed guard, variable middle/exit", run: (*Runner).runFig4},
-		{ID: "fig5", Artifact: "Figure 5", Title: "file download time by size", run: (*Runner).runFig5},
-		{ID: "fig6", Artifact: "Figure 6", Title: "time to first byte ECDF", run: (*Runner).runFig6},
-		{ID: "fig7", Artifact: "Figure 7", Title: "client-location variation", run: (*Runner).runFig7},
-		{ID: "fig8", Artifact: "Figure 8a/8b", Title: "download reliability", run: (*Runner).runFig8},
-		{ID: "fig9", Artifact: "Figure 9", Title: "PT overhead vs vanilla Tor", run: (*Runner).runFig9},
-		{ID: "fig10", Artifact: "Figure 10a/10b", Title: "snowflake under load", run: (*Runner).runFig10},
-		{ID: "fig11", Artifact: "Figure 11", Title: "speed index", run: (*Runner).runFig11},
-		{ID: "fig12", Artifact: "Figure 12", Title: "snowflake post-September months", run: (*Runner).runFig12},
-		{ID: "medium", Artifact: "Section 4.7", Title: "wired vs wireless access medium", run: (*Runner).runMedium},
-		{ID: "table3", Artifact: "Tables 3–4", Title: "paired t-tests, curl access", run: (*Runner).runTables34},
-		{ID: "table5", Artifact: "Tables 5–6", Title: "paired t-tests, selenium access", run: (*Runner).runTables56},
-		{ID: "table7", Artifact: "Table 7", Title: "paired t-tests, file download", run: (*Runner).runTable7},
-		{ID: "table8", Artifact: "Tables 8–9", Title: "paired t-tests, speed index", run: (*Runner).runTables89},
-		{ID: "table10", Artifact: "Table 10", Title: "paired t-tests, PT categories", run: (*Runner).runTable10},
+		{ID: "fig2a", Artifact: "Figure 2a", Title: "website access time, curl", prefetch: prefetchCurl, run: (*Runner).runFig2a},
+		{ID: "fig2b", Artifact: "Figure 2b", Title: "website access time, selenium", prefetch: prefetchSelenium, run: (*Runner).runFig2b},
+		{ID: "fig3", Artifact: "Figure 3a/3b", Title: "fixed-circuit comparison and ECDF", prefetch: func(r *Runner) { r.fig3Task() }, run: (*Runner).runFig3},
+		{ID: "fig4", Artifact: "Figure 4", Title: "fixed guard, variable middle/exit", prefetch: func(r *Runner) { r.fig4Task() }, run: (*Runner).runFig4},
+		{ID: "fig5", Artifact: "Figure 5", Title: "file download time by size", prefetch: prefetchFiles, run: (*Runner).runFig5},
+		{ID: "fig6", Artifact: "Figure 6", Title: "time to first byte ECDF", prefetch: prefetchCurl, run: (*Runner).runFig6},
+		{ID: "fig7", Artifact: "Figure 7", Title: "client-location variation", prefetch: prefetchFig7, run: (*Runner).runFig7},
+		{ID: "fig8", Artifact: "Figure 8a/8b", Title: "download reliability", prefetch: prefetchFiles, run: (*Runner).runFig8},
+		{ID: "fig9", Artifact: "Figure 9", Title: "PT overhead vs vanilla Tor", prefetch: func(r *Runner) { r.fig9Task() }, run: (*Runner).runFig9},
+		{ID: "fig10", Artifact: "Figure 10a/10b", Title: "snowflake under load", prefetch: func(r *Runner) { r.fig10Task() }, run: (*Runner).runFig10},
+		{ID: "fig11", Artifact: "Figure 11", Title: "speed index", prefetch: prefetchSelenium, run: (*Runner).runFig11},
+		{ID: "fig12", Artifact: "Figure 12", Title: "snowflake post-September months", prefetch: func(r *Runner) { r.fig12Task() }, run: (*Runner).runFig12},
+		{ID: "medium", Artifact: "Section 4.7", Title: "wired vs wireless access medium", prefetch: prefetchMedium, run: (*Runner).runMedium},
+		{ID: "table3", Artifact: "Tables 3–4", Title: "paired t-tests, curl access", prefetch: prefetchCurl, run: (*Runner).runTables34},
+		{ID: "table5", Artifact: "Tables 5–6", Title: "paired t-tests, selenium access", prefetch: prefetchSelenium, run: (*Runner).runTables56},
+		{ID: "table7", Artifact: "Table 7", Title: "paired t-tests, file download", prefetch: prefetchFiles, run: (*Runner).runTable7},
+		{ID: "table8", Artifact: "Tables 8–9", Title: "paired t-tests, speed index", prefetch: prefetchSelenium, run: (*Runner).runTables89},
+		{ID: "table10", Artifact: "Table 10", Title: "paired t-tests, PT categories", prefetch: prefetchCurl, run: (*Runner).runTable10},
 	}
 	for _, name := range censor.Names() {
 		name := name
@@ -142,6 +188,7 @@ func Experiments() []Experiment {
 			Artifact: "Censor layer",
 			Title:    sc.Description,
 			Optional: true,
+			prefetch: func(r *Runner) { r.scenarioTask(name) },
 			run:      func(r *Runner) error { return r.runScenario(name) },
 		})
 	}
@@ -150,16 +197,30 @@ func Experiments() []Experiment {
 		Artifact: "Censor layer",
 		Title:    "scenario sweep: {transports} × {scenarios} vs the clean baseline",
 		Optional: true,
+		prefetch: prefetchSweep,
 		run:      (*Runner).runSweep,
 	})
 	return exps
 }
 
+func prefetchCurl(r *Runner)     { r.curlTask() }
+func prefetchSelenium(r *Runner) { r.seleniumTask() }
+func prefetchFiles(r *Runner)    { r.filesTask() }
+
 // Run executes one experiment by ID ("all" runs every paper artifact;
 // the scenario experiments and the sweep run by explicit ID).
 func (r *Runner) Run(id string) error {
 	if id == "all" {
-		for _, e := range Experiments() {
+		exps := Experiments()
+		// Submit every experiment's world tasks before rendering any:
+		// the executor keeps all cores busy while the reports are
+		// still written strictly in paper order.
+		for _, e := range exps {
+			if !e.Optional && e.prefetch != nil {
+				e.prefetch(r)
+			}
+		}
+		for _, e := range exps {
 			if e.Optional {
 				continue
 			}
@@ -178,25 +239,32 @@ func (r *Runner) Run(id string) error {
 	return fmt.Errorf("harness: unknown experiment %q", id)
 }
 
-// World returns the shared default world (client in Toronto, wired).
-func (r *Runner) World() (*testbed.World, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.world != nil {
-		return r.world, nil
-	}
-	w, err := testbed.New(r.worldOptions(0))
-	if err != nil {
-		return nil, err
-	}
-	r.world = w
-	return w, nil
-}
+// Seed streams. Every world task derives its Options.Seed from
+// sim.DeriveSeed(cfg.Seed, stream): distinct streams are statistically
+// independent, equal streams rebuild identical worlds. The campaign
+// worlds (curl, selenium, files) share streamCampaign so the three
+// paper campaigns measure the same topology, and every sweep cell
+// shares streamScenario so the only difference between scenario
+// columns is the interference itself.
+const (
+	streamCampaign = 0
+	streamFig3     = 1000
+	streamFig4     = 1100
+	streamFig7     = 1200 // path element 2: location index
+	streamFig9     = 2000
+	streamFig10    = 3000
+	streamFig12    = 3100
+	streamMedium   = 4000 // path element 2: medium index
+	streamScenario = 5000
+)
 
-func (r *Runner) worldOptions(extraSeed int64) testbed.Options {
+// worldOptions builds one world task's Options on the given seed
+// stream. Per-cell indices (fig7's location, medium's access medium)
+// go in as further path elements — never added into the stream id,
+// which would reintroduce the additive collisions DeriveSeed removes.
+func (r *Runner) worldOptions(stream ...int64) testbed.Options {
 	return testbed.Options{
-		Seed:      r.cfg.Seed + extraSeed,
-		TimeScale: r.cfg.TimeScale,
+		Seed:      sim.DeriveSeed(r.cfg.Seed, stream...),
 		ByteScale: r.cfg.ByteScale,
 		TrancoN:   r.cfg.Sites,
 		CBLN:      r.cfg.Sites,
@@ -232,7 +300,10 @@ func (r *Runner) forEachMethod(w *testbed.World, methods []string, fn func(name 
 
 // forEachMethodN bounds the concurrency explicitly; bulk campaigns use a
 // low bound so simultaneous downloads do not contend on the shared relay
-// fleet in a way the paper's time-gapped measurements never did.
+// fleet in a way the paper's time-gapped measurements never did. All
+// per-method errors are aggregated (errors.Join); failed methods leave
+// no entry in the result map. Error order is deterministic: the
+// per-method goroutines finish in virtual-time order.
 func (r *Runner) forEachMethodN(w *testbed.World, methods []string, limit int, fn func(name string) (any, error)) (map[string]any, error) {
 	if r.cfg.Sequential || limit < 1 {
 		limit = 1
@@ -240,7 +311,7 @@ func (r *Runner) forEachMethodN(w *testbed.World, methods []string, limit int, f
 	clock := w.Net.Clock()
 	out := make(map[string]any, len(methods))
 	var mu sync.Mutex
-	var firstErr error
+	var errs []error
 	wg := netem.NewWaitGroup(clock)
 	sem := netem.NewChan[struct{}](clock, limit)
 	for _, name := range methods {
@@ -253,14 +324,15 @@ func (r *Runner) forEachMethodN(w *testbed.World, methods []string, limit int, f
 			v, err := fn(name)
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("%s: %w", name, err)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("%s: %w", name, err))
+				return
 			}
 			out[name] = v
 		})
 	}
 	wg.Wait()
-	return out, firstErr
+	return out, errors.Join(errs...)
 }
 
 func (r *Runner) parallelism() int {

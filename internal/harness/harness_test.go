@@ -10,7 +10,6 @@ import (
 func tinyConfig() Config {
 	return Config{
 		Seed:         2,
-		TimeScale:    0.002,
 		ByteScale:    0.06,
 		Sites:        3,
 		Repeats:      1,
@@ -140,6 +139,9 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if len(c.FileSizesMB) != 5 {
 		t.Fatalf("file sizes: %v", c.FileSizesMB)
+	}
+	if c.Jobs < 1 {
+		t.Fatalf("Jobs must default to GOMAXPROCS, got %d", c.Jobs)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"ptperf/internal/censor"
 	"ptperf/internal/fetch"
+	"ptperf/internal/sim"
 	"ptperf/internal/stats"
 	"ptperf/internal/testbed"
 )
@@ -18,9 +19,11 @@ import (
 // built from the same seed, so the only difference between columns is
 // the interference itself — which is what makes the paired comparisons
 // meaningful.
-
-// scenarioSeedOffset separates sweep worlds from the figure worlds.
-const scenarioSeedOffset = 5000
+//
+// Each scenario cell is one independent world task: the sweep submits
+// every cell to the shard executor up front and joins them in canonical
+// scenario order, so -jobs N runs the whole matrix N worlds at a time
+// with byte-identical reports.
 
 // scenarioResult holds one method's access outcomes under one scenario.
 // Times is aligned by site index (failures recorded as the page
@@ -30,6 +33,12 @@ type scenarioResult struct {
 	Times  []float64
 	OK     int
 	Failed int
+}
+
+// scenarioCell is one sweep cell's world-task result.
+type scenarioCell struct {
+	Data  map[string]*scenarioResult
+	Stats censor.Stats
 }
 
 // sweepScenarios orders the sweep: the clean baseline first, then the
@@ -51,10 +60,10 @@ func sweepScenarios() []string {
 }
 
 // scenarioAccess measures website access for every configured transport
-// under one named scenario. All scenarios share one world seed, so
-// topology, catalogs and relay draws are identical across the sweep.
+// under one named scenario. All scenarios share one world seed stream,
+// so topology, catalogs and relay draws are identical across the sweep.
 func (r *Runner) scenarioAccess(name string) (map[string]*scenarioResult, censor.Stats, error) {
-	opts := r.worldOptions(scenarioSeedOffset)
+	opts := r.worldOptions(streamScenario)
 	opts.Scenario = name
 	w, err := testbed.New(opts)
 	if err != nil {
@@ -81,7 +90,7 @@ func (r *Runner) scenarioAccess(name string) (map[string]*scenarioResult, censor
 			res.Times = append(res.Times, seconds(got.Total))
 			res.OK++
 		}
-		// Park the transport's tunnels (see cachedAccess).
+		// Park the transport's tunnels (see measureAccess).
 		d.FreshCircuit()
 		return res, nil
 	})
@@ -99,6 +108,24 @@ func (r *Runner) scenarioAccess(name string) (map[string]*scenarioResult, censor
 		st = w.Censor.Stats()
 	}
 	return out, st, nil
+}
+
+// scenarioTask submits (once) the world task of one scenario cell.
+func (r *Runner) scenarioTask(name string) *sim.Future[any] {
+	return r.task("scenario:"+name, func() (any, error) {
+		data, st, err := r.scenarioAccess(name)
+		if err != nil {
+			return nil, err
+		}
+		return &scenarioCell{Data: data, Stats: st}, nil
+	})
+}
+
+// prefetchSweep submits every sweep cell.
+func prefetchSweep(r *Runner) {
+	for _, name := range sweepScenarios() {
+		r.scenarioTask(name)
+	}
 }
 
 // writeScenarioReport prints one scenario's boxes, reliability split and
@@ -147,28 +174,33 @@ func (r *Runner) runScenario(name string) error {
 	if _, err := censor.Lookup(name); err != nil {
 		return err
 	}
-	data, st, err := r.scenarioAccess(name)
+	v, err := r.scenarioTask(name).Wait()
 	if err != nil {
 		return err
 	}
-	r.writeScenarioReport(name, data, st)
+	cell := v.(*scenarioCell)
+	r.writeScenarioReport(name, cell.Data, cell.Stats)
 	return nil
 }
 
 // runSweep crosses {transports} × {scenarios}: per-scenario reports plus
-// paired t-tests of every transport against its clean baseline.
+// paired t-tests of every transport against its clean baseline. All
+// cells run concurrently on the shard executor; reports join in
+// canonical scenario order.
 func (r *Runner) runSweep() error {
 	names := sweepScenarios()
 	fmt.Fprintf(r.out, "Scenario sweep: %d transports × %d scenarios (same world seed per scenario)\n\n",
 		len(r.cfg.Transports), len(names))
+	prefetchSweep(r)
 	all := make(map[string]map[string]*scenarioResult, len(names))
 	for _, name := range names {
-		data, st, err := r.scenarioAccess(name)
+		v, err := r.scenarioTask(name).Wait()
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w", name, err)
 		}
-		all[name] = data
-		r.writeScenarioReport(name, data, st)
+		cell := v.(*scenarioCell)
+		all[name] = cell.Data
+		r.writeScenarioReport(name, cell.Data, cell.Stats)
 	}
 
 	clean, ok := all["clean"]

@@ -40,6 +40,26 @@ func TestSweepDeterminism(t *testing.T) {
 	}
 }
 
+// TestSweepJobsEquivalence pins the acceptance contract of the shard
+// executor on the sweep path: every scenario cell is an independent
+// world task, so running the matrix one cell at a time (-jobs 1) and
+// four cells at a time (-jobs 4) must produce byte-identical reports.
+func TestSweepJobsEquivalence(t *testing.T) {
+	run := func(jobs int) string {
+		cfg := sweepConfig(11)
+		cfg.Jobs = jobs
+		var buf bytes.Buffer
+		r := New(cfg, &buf)
+		if err := r.Run("sweep"); err != nil {
+			t.Fatalf("sweep (jobs=%d): %v", jobs, err)
+		}
+		return buf.String()
+	}
+	if seq, par := run(1), run(4); seq != par {
+		t.Fatalf("sweep reports differ between jobs=1 and jobs=4:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s", seq, par)
+	}
+}
+
 // TestScenariosShapeOutcomes asserts the acceptance behaviors: the
 // throttle surge measurably degrades access time against the clean
 // baseline, and bridge blocking produces failure accounting (blocked

@@ -17,9 +17,8 @@ func TestPaperShapeHolds(t *testing.T) {
 	}
 	cfg := Config{
 		Seed:         3,
-		TimeScale:    0.002,
 		ByteScale:    0.1,
-		Sites:        6,
+		Sites:        8,
 		Repeats:      1,
 		FileAttempts: 2,
 		FileSizesMB:  []int{20, 50},

@@ -1,0 +1,37 @@
+package sim
+
+// Seed streams. Every world task derives its world seed from the
+// campaign seed plus a stream path via DeriveSeed. The old additive
+// derivation (Seed + extraSeed) collided trivially: campaign seed 1 at
+// stream 1000 produced the same world as campaign seed 1001 at stream
+// 0, so neighbouring campaign seeds silently shared worlds across
+// experiments. splitmix64's finalizer decorrelates every (seed, path)
+// pair instead.
+
+// splitmix64Gamma is the Weyl-sequence increment of splitmix64.
+const splitmix64Gamma = 0x9e3779b97f4a7c15
+
+// mix64 is the splitmix64 output finalizer: a bijective avalanche over
+// 64 bits, so distinct inputs never collide and near-equal inputs
+// produce uncorrelated outputs.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed derives the seed of one task stream from a root seed and a
+// stream path (experiment id, cell index, repeat, ...). Equal
+// (root, path) pairs always derive the same seed; any change to the
+// root or any path element yields an independent stream. The result is
+// never 0, so it survives "0 means default" seed plumbing.
+func DeriveSeed(root int64, path ...int64) int64 {
+	x := mix64(uint64(root) + splitmix64Gamma)
+	for _, p := range path {
+		x = mix64(x + uint64(p)*splitmix64Gamma + splitmix64Gamma)
+	}
+	if x == 0 {
+		x = splitmix64Gamma
+	}
+	return int64(x)
+}

@@ -2,6 +2,15 @@
 // internet, a volunteer relay fleet, the web origin, and per-transport
 // deployments wired according to the paper's three integration sets
 // (§4.1). The harness package runs the paper's experiments on top of it.
+//
+// Worlds are shard-safe: a World owns every piece of mutable state it
+// touches (network, clock, directory, RNGs, deployments), and this
+// package's package-level variables are read-only tables. Independent
+// Worlds may therefore be built and driven concurrently from different
+// OS goroutines — the unit of parallelism of the internal/sim shard
+// executor. The goroutine that calls New becomes the world's scheduler
+// driver and must stay the one interacting with it (or hand off via
+// the world's own simulation goroutines).
 package testbed
 
 import (
@@ -21,8 +30,6 @@ import (
 type Options struct {
 	// Seed makes the world deterministic.
 	Seed int64
-	// TimeScale is real seconds per virtual second (netem default if 0).
-	TimeScale float64
 	// ByteScale scales every byte quantity — page and file sizes, link
 	// rates, and transport byte caps — preserving durations while
 	// letting the campaign move fewer real bytes. 1 is full fidelity.
@@ -126,7 +133,7 @@ type World struct {
 // New builds a world.
 func New(opts Options) (*World, error) {
 	o := opts.withDefaults()
-	n := netem.New(netem.WithTimeScale(o.TimeScale), netem.WithSeed(o.Seed))
+	n := netem.New(netem.WithSeed(o.Seed))
 	w := &World{
 		Opts: o,
 		Net:  n,

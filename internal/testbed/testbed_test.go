@@ -12,7 +12,6 @@ func smallWorld(t *testing.T, seed int64) *World {
 	t.Helper()
 	w, err := New(Options{
 		Seed:      seed,
-		TimeScale: 0.002,
 		ByteScale: 0.1,
 		Guards:    2, Middles: 2, Exits: 2,
 		TrancoN: 4, CBLN: 4,

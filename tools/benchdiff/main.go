@@ -1,0 +1,146 @@
+// Command benchdiff compares a CI benchmark run (BENCH_results.json)
+// against the committed BENCH_baseline.json and fails on ns/op
+// regressions.
+//
+// Both files hold one {"BenchmarkName": ns_per_op} object, as rendered
+// by the CI workflow's awk step. Because baseline and result often come
+// from different hardware, raw ratios are meaningless on their own:
+// benchdiff computes each benchmark's result/baseline ratio, takes the
+// MINIMUM ratio as the machine-speed factor (the least-slowed benchmark
+// bounds how much of the slowdown is hardware), and flags benchmarks
+// whose ratio exceeds that floor by more than -threshold. Unlike a
+// median, the minimum still catches a regression that hits most of the
+// suite at once — only a perfectly uniform slowdown across every
+// benchmark is indistinguishable from slower hardware, which no
+// relative scheme can separate without pinned runners. The flip side:
+// a genuine single-benchmark improvement lowers the floor and flags
+// the rest, so a PR that speeds a benchmark up must regenerate
+// BENCH_baseline.json in the same change (false red, self-correcting —
+// preferred over the false green a median gives broad slowdowns).
+//
+// BenchmarkSweepParallel is excluded from both the floor and the gate:
+// its ns/op scales with the runner's core count by design, so its
+// ratio says nothing about code regressions. Its regression detection
+// is the speedup assertion below, computed entirely within one run.
+//
+// With -min-sweep-speedup N it additionally asserts the shard
+// executor's win: BenchmarkScenarioSweep (sequential, -jobs 1) must be
+// at least N times the ns/op of BenchmarkSweepParallel (all cores) in
+// the results file. CI passes this only on runners with enough cores.
+//
+// Usage:
+//
+//	go run ./tools/benchdiff -baseline BENCH_baseline.json -results BENCH_results.json -threshold 0.25
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline {name: ns/op}")
+		resultsPath  = flag.String("results", "BENCH_results.json", "fresh results {name: ns/op}")
+		threshold    = flag.Float64("threshold", 0.25, "max allowed slowdown relative to the suite's minimum-ratio floor")
+		minSpeedup   = flag.Float64("min-sweep-speedup", 0, "if > 0, require ScenarioSweep/SweepParallel >= this in results")
+	)
+	flag.Parse()
+
+	base, err := readNsOp(*baselinePath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res, err := readNsOp(*resultsPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	type row struct {
+		name       string
+		base, res  float64
+		ratio      float64
+		normalized float64
+	}
+	var rows []row
+	for name, b := range base {
+		if name == parName {
+			continue // core-count-dependent by design; gated by the speedup check
+		}
+		r, ok := res[name]
+		if !ok || b <= 0 {
+			continue // dropped or new benchmarks are not regressions
+		}
+		rows = append(rows, row{name: name, base: b, res: r, ratio: r / b})
+	}
+	if len(rows) == 0 {
+		fatalf("no benchmarks in common between %s and %s", *baselinePath, *resultsPath)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+
+	floor := rows[0].ratio
+	for _, r := range rows[1:] {
+		if r.ratio < floor {
+			floor = r.ratio
+		}
+	}
+	if floor <= 0 {
+		fatalf("non-positive ratio floor %.3f", floor)
+	}
+
+	failed := false
+	fmt.Printf("machine-speed factor (minimum result/baseline ratio): %.3f\n", floor)
+	fmt.Printf("%-40s %14s %14s %8s %10s\n", "benchmark", "baseline ns/op", "result ns/op", "ratio", "vs floor")
+	for i := range rows {
+		rows[i].normalized = rows[i].ratio / floor
+		verdict := "ok"
+		if rows[i].normalized > 1+*threshold {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s %14.0f %14.0f %8.3f %9.3fx %s\n",
+			rows[i].name, rows[i].base, rows[i].res, rows[i].ratio, rows[i].normalized, verdict)
+	}
+
+	if seq, par := res[seqName], res[parName]; seq > 0 && par > 0 {
+		speedup := seq / par
+		fmt.Printf("\nsweep parallel speedup (%s / %s): %.2fx\n", seqName, parName, speedup)
+		if *minSpeedup > 0 && speedup < *minSpeedup {
+			fmt.Printf("FAIL: sweep speedup %.2fx below required %.2fx\n", speedup, *minSpeedup)
+			failed = true
+		}
+	} else if *minSpeedup > 0 {
+		fmt.Printf("FAIL: -min-sweep-speedup set but %s/%s missing from results\n", seqName, parName)
+		failed = true
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("\nno regressions beyond %.0f%% of the suite's minimum-ratio floor\n", *threshold*100)
+}
+
+// seqName/parName are the sweep benchmark pair: parName is excluded
+// from the ratio gate (ns/op scales with core count) and instead gated
+// by -min-sweep-speedup against seqName from the same run.
+const seqName, parName = "BenchmarkScenarioSweep", "BenchmarkSweepParallel"
+
+func readNsOp(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}
