@@ -1,0 +1,107 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ptperf/internal/simtest"
+)
+
+// runFuzz implements `ptperf fuzz`: the simulation-torture CLI. It
+// generates -n randomized worlds from -seed, tortures each under the
+// invariant suite on up to -jobs OS threads, shrinks any failure to a
+// minimal world, and prints its one-line repro seed. A failing run
+// exits 1; commit the repro line to
+// internal/simtest/testdata/corpus/seeds.txt once the cause is fixed.
+func runFuzz(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ptperf fuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		n        = fs.Int("n", 100, "number of randomized worlds to torture")
+		seed     = fs.Int64("seed", 1, "root seed; world i is derived from (seed, i)")
+		jobs     = fs.Int("jobs", 0, "worlds checked concurrently (0 = all cores); the verdict is identical for any value")
+		budget   = fs.Int("shrink-budget", 0, "max candidate worlds per failure shrink (0 = default)")
+		reproOut = fs.String("repro-out", "", "write failing repro lines to this file (CI uploads it as an artifact)")
+		replay   = fs.String("replay", "", "replay a repro line (quote the whole line) or a corpus file path instead of generating worlds")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	if *replay != "" {
+		return runReplay(*replay, stdout, stderr)
+	}
+	if *n < 1 {
+		fmt.Fprintln(stderr, "ptperf fuzz: -n must be >= 1")
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "fuzz: %d worlds from seed %d\n", *n, *seed)
+	res := simtest.Fuzz(simtest.Config{
+		N:            *n,
+		Seed:         *seed,
+		Jobs:         *jobs,
+		Out:          stdout,
+		ShrinkBudget: *budget,
+	})
+	if len(res.Failures) == 0 {
+		fmt.Fprintf(stdout, "fuzz: %d worlds, all invariants hold (digest %s)\n", res.Worlds, res.Digest[:16])
+		return 0
+	}
+
+	if *reproOut != "" {
+		f, err := os.Create(*reproOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "ptperf fuzz: %v\n", err)
+		} else {
+			for _, fail := range res.Failures {
+				if fail.MinErr == nil {
+					// Not a reproduction — record the fact, never a
+					// line that would replay green from the corpus.
+					fmt.Fprintf(f, "# %s: failure did not reproduce under shrink: %v\n", fail.Spec.ID(), fail.Err)
+					continue
+				}
+				fmt.Fprintln(f, fail.Min.Repro())
+			}
+			f.Close()
+			fmt.Fprintf(stdout, "fuzz: repro seeds written to %s\n", *reproOut)
+		}
+	}
+	fmt.Fprintf(stderr, "ptperf fuzz: %d of %d worlds violated invariants\n", len(res.Failures), res.Worlds)
+	return 1
+}
+
+// runReplay re-runs one repro line, or every line of a corpus file.
+func runReplay(arg string, stdout, stderr io.Writer) int {
+	var specs []simtest.Spec
+	if st, err := os.Stat(arg); err == nil && !st.IsDir() {
+		specs, err = simtest.LoadCorpusFile(arg)
+		if err != nil {
+			fmt.Fprintf(stderr, "ptperf fuzz: %v\n", err)
+			return 2
+		}
+	} else {
+		spec, err := simtest.ParseRepro(arg)
+		if err != nil {
+			fmt.Fprintf(stderr, "ptperf fuzz: %v\n", err)
+			return 2
+		}
+		specs = []simtest.Spec{spec}
+	}
+	code := 0
+	for _, spec := range specs {
+		if err := simtest.Check(spec); err != nil {
+			fmt.Fprintf(stdout, "FAIL %s\n  %v\n", spec.ID(), err)
+			code = 1
+		} else {
+			fmt.Fprintf(stdout, "ok   %s\n", spec.ID())
+		}
+	}
+	return code
+}

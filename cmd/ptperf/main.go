@@ -16,12 +16,22 @@
 //	ptperf -exp sweep                            {transports} × {scenarios}
 //	ptperf -exp fig5 -scenario lossy-path        any artifact under a scenario
 //
+// The simulation-torture subsystem (internal/simtest) fuzzes the whole
+// substrate: randomized worlds — random transport subsets, composed
+// censor scenarios, topology draws — each run under cross-cutting
+// invariants (same-seed determinism, byte conservation, censor counter
+// accounting, leak steady-state, report shape), with failures shrunk to
+// a one-line repro seed:
+//
+//	ptperf fuzz -n 100 -seed 1                   torture 100 random worlds
+//	ptperf fuzz -n 25 -jobs 4 -repro-out f.txt   bounded CI smoke
+//
 // Campaigns are sharded by world (internal/sim): independent simulated
-// worlds — sweep cells, experiment worlds, client locations — run
-// concurrently on up to -jobs OS threads (default: all cores). Each
-// world keeps its own single-token virtual clock, so reports are
-// byte-identical for any -jobs value; -jobs 1 reproduces fully
-// sequential execution.
+// worlds — sweep cells, experiment worlds, client locations, fuzz
+// worlds — run concurrently on up to -jobs OS threads (default: all
+// cores). Each world keeps its own single-token virtual clock, so
+// reports are byte-identical for any -jobs value; -jobs 1 reproduces
+// fully sequential execution.
 //
 // Scenario names come from the internal/censor registry (clean,
 // throttle-surge, lossy-path, bridge-block, snowflake-surge,
@@ -33,8 +43,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -45,40 +57,58 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, dispatches the fuzz
+// subcommand, and runs experiments, returning the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "fuzz" {
+		return runFuzz(args[1:], stdout, stderr)
+	}
+
+	fs := flag.NewFlagSet("ptperf", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list      = flag.Bool("list", false, "list experiments and exit")
-		exp       = flag.String("exp", "all", "experiment id to run (see -list), or 'all'")
-		seed      = flag.Int64("seed", 1, "campaign seed")
-		sites     = flag.Int("sites", 12, "sites measured per catalog (Tranco and CBL)")
-		repeats   = flag.Int("repeats", 2, "accesses per site (the paper uses 5)")
-		attempts  = flag.Int("attempts", 2, "download attempts per file size")
-		sizes     = flag.String("sizes", "", "comma-separated file sizes in MB (default 5,10,20,50,100)")
-		timeScale = flag.Float64("timescale", 0, "deprecated no-op: the discrete-event clock always runs at CPU speed")
-		byteScale = flag.Float64("bytescale", 0.125, "byte-quantity scale (sizes, rates and caps together)")
-		pts       = flag.String("transports", "", "comma-separated methods (default: tor plus all 12 PTs)")
-		scenario  = flag.String("scenario", "", "censor scenario every experiment world is built under (see -list; default: no interference)")
-		jobs      = flag.Int("jobs", 0, "independent simulated worlds run concurrently (0 = all cores); reports are byte-identical for any value")
-		seq       = flag.Bool("sequential", false, "measure transports one at a time within each world")
-		plotFlag  = flag.Bool("plot", true, "render ASCII box plots and ECDF curves under the tables")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		exp       = fs.String("exp", "all", "experiment id to run (see -list), or 'all'")
+		seed      = fs.Int64("seed", 1, "campaign seed")
+		sites     = fs.Int("sites", 12, "sites measured per catalog (Tranco and CBL)")
+		repeats   = fs.Int("repeats", 2, "accesses per site (the paper uses 5)")
+		attempts  = fs.Int("attempts", 2, "download attempts per file size")
+		sizes     = fs.String("sizes", "", "comma-separated file sizes in MB (default 5,10,20,50,100)")
+		timeScale = fs.Float64("timescale", 0, "deprecated no-op: the discrete-event clock always runs at CPU speed")
+		byteScale = fs.Float64("bytescale", 0.125, "byte-quantity scale (sizes, rates and caps together)")
+		pts       = fs.String("transports", "", "comma-separated methods (default: tor plus all 12 PTs)")
+		scenario  = fs.String("scenario", "", "censor scenario every experiment world is built under (see -list; default: no interference)")
+		jobs      = fs.Int("jobs", 0, "independent simulated worlds run concurrently (0 = all cores); reports are byte-identical for any value")
+		seq       = fs.Bool("sequential", false, "measure transports one at a time within each world")
+		plotFlag  = fs.Bool("plot", true, "render ASCII box plots and ECDF curves under the tables")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
-		fmt.Println("Experiments (paper artifact — description):")
+		fmt.Fprintln(stdout, "Experiments (paper artifact — description):")
 		for _, e := range harness.Experiments() {
-			fmt.Printf("  %-24s %-14s %s\n", e.ID, e.Artifact, e.Title)
+			fmt.Fprintf(stdout, "  %-24s %-14s %s\n", e.ID, e.Artifact, e.Title)
 		}
-		fmt.Println("\nCensor scenarios (for -scenario and the sweep):")
+		fmt.Fprintln(stdout, "\nCensor scenarios (for -scenario and the sweep):")
 		for _, name := range censor.Names() {
 			sc, _ := censor.Lookup(name)
-			fmt.Printf("  %-24s %s\n", name, sc.Description)
+			fmt.Fprintf(stdout, "  %-24s %s\n", name, sc.Description)
 		}
-		return
+		return 0
 	}
 
 	if *scenario != "" {
 		if _, err := censor.Lookup(*scenario); err != nil {
-			fatalf("%v", err)
+			fmt.Fprintf(stderr, "ptperf: %v\n", err)
+			return 1
 		}
 	}
 
@@ -99,7 +129,8 @@ func main() {
 		for _, s := range strings.Split(*sizes, ",") {
 			mb, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || mb <= 0 {
-				fatalf("bad -sizes entry %q", s)
+				fmt.Fprintf(stderr, "ptperf: bad -sizes entry %q\n", s)
+				return 1
 			}
 			cfg.FileSizesMB = append(cfg.FileSizesMB, mb)
 		}
@@ -112,13 +143,10 @@ func main() {
 		}
 	}
 
-	r := harness.New(cfg, os.Stdout)
+	r := harness.New(cfg, stdout)
 	if err := r.Run(*exp); err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "ptperf: %v\n", err)
+		return 1
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "ptperf: "+format+"\n", args...)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestUnknownExperimentListsRegistry pins the CLI contract: a typo'd
+// -exp fails with the experiment registry in the error, so the user
+// never needs a second invocation to find the right id.
+func TestUnknownExperimentListsRegistry(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "fig99"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, `unknown experiment "fig99"`) {
+		t.Errorf("error does not name the bad experiment: %q", msg)
+	}
+	for _, id := range []string{"fig2a", "fig5", "table1", "sweep", "scenario:throttle-surge"} {
+		if !strings.Contains(msg, id) {
+			t.Errorf("error does not list experiment %q: %q", id, msg)
+		}
+	}
+}
+
+// TestUnknownScenarioListsRegistry does the same for -scenario.
+func TestUnknownScenarioListsRegistry(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "fig2a", "-scenario", "weathergeddon"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, `unknown scenario "weathergeddon"`) {
+		t.Errorf("error does not name the bad scenario: %q", msg)
+	}
+	for _, name := range []string{"clean", "throttle-surge", "lossy-path", "bridge-block"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error does not list scenario %q: %q", name, msg)
+		}
+	}
+}
+
+// TestTimescaleStaysParseOnlyNoOp: the retired -timescale flag must
+// parse (old scripts keep working) and change nothing.
+func TestTimescaleStaysParseOnlyNoOp(t *testing.T) {
+	var a, b, errb bytes.Buffer
+	if code := run([]string{"-timescale", "0.25", "-list"}, &a, &errb); code != 0 {
+		t.Fatalf("-timescale rejected: exit %d, stderr %q", code, errb.String())
+	}
+	if code := run([]string{"-list"}, &b, &errb); code != 0 {
+		t.Fatalf("-list failed: exit %d", code)
+	}
+	if a.String() != b.String() {
+		t.Error("-timescale changed the -list output")
+	}
+}
+
+// TestListShowsExperimentsAndScenarios pins the -list shape both other
+// tests' registry errors point users at.
+func TestListShowsExperimentsAndScenarios(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	for _, want := range []string{"fig2a", "Figure 2a", "snowflake-surge", "Censor scenarios"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+// TestHelpExitsZero: -h is a request, not an error, for both the main
+// command and the fuzz subcommand.
+func TestHelpExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Errorf("ptperf -h exit = %d, want 0", code)
+	}
+	if code := run([]string{"fuzz", "-h"}, &out, &errb); code != 0 {
+		t.Errorf("ptperf fuzz -h exit = %d, want 0", code)
+	}
+}
+
+// TestBadSizesRejected covers the -sizes parse error path.
+func TestBadSizesRejected(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-sizes", "5,potato"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "bad -sizes") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+// TestFuzzSubcommandSmoke runs a two-world torture through the real CLI
+// path, plus a single-line replay.
+func TestFuzzSubcommandSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-world test")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"fuzz", "-n", "2", "-seed", "2"}, &out, &errb); code != 0 {
+		t.Fatalf("fuzz exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "all invariants hold") {
+		t.Errorf("fuzz output missing verdict: %q", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	line := "simtest-v1 root=2 index=0"
+	if code := run([]string{"fuzz", "-replay", line}, &out, &errb); code != 0 {
+		t.Fatalf("replay exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"fuzz", "-replay", "simtest-nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("bad replay line: exit %d, want 2", code)
+	}
+}

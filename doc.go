@@ -31,4 +31,16 @@
 // "ptperf -exp sweep" for the matrix; see DESIGN.md's "Censor &
 // scenario layer" for the interception architecture and determinism
 // rules.
+//
+// The contracts above are enforced at scale by internal/simtest, the
+// simulation-torture subsystem: "ptperf fuzz -n N -seed S" generates N
+// randomized worlds (random transport subsets, composed censor
+// scenarios within paper-scale bounds, random topologies) and holds
+// each to cross-cutting invariants — same-seed byte-identical reports,
+// -jobs-independent digests, byte conservation across netem pipes,
+// censor counter accounting, virtual-clock monotonicity, and no leaked
+// flows or goroutines after teardown. Failures shrink to a minimal
+// world with a one-line repro seed; fixed seeds are committed to
+// internal/simtest/testdata/corpus and replayed by TestCorpusSeeds.
+// See DESIGN.md's "Simulation torture & invariants".
 package ptperf

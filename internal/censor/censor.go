@@ -39,6 +39,17 @@ type Stats struct {
 	ThrottledSegments int
 }
 
+// statsFault, when non-nil, mutates every Stats snapshot before it is
+// returned. It exists solely so the simulation-torture suite
+// (internal/simtest) can prove its invariant checkers catch a
+// miscounting censor: production code must never set it.
+var statsFault func(*Stats)
+
+// SetStatsFault installs (or, with nil, removes) the test-only counter
+// fault. Set it before any concurrent worlds start and remove it after
+// they finish; the hook itself is not synchronized.
+func SetStatsFault(f func(*Stats)) { statsFault = f }
+
 // Censor applies one scenario to one network. It implements
 // netem.Policy; construct it with Attach.
 type Censor struct {
@@ -100,8 +111,12 @@ func (c *Censor) Scenario() Scenario { return c.sc }
 // Stats returns a snapshot of the interference counters.
 func (c *Censor) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	s := c.stats
+	c.mu.Unlock()
+	if statsFault != nil {
+		statsFault(&s)
+	}
+	return s
 }
 
 // BindLoad connects the endpoint-weather timeline to a pool controller

@@ -19,6 +19,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -230,13 +231,18 @@ func (r *Runner) Run(id string) error {
 		}
 		return nil
 	}
-	for _, e := range Experiments() {
+	exps := Experiments()
+	for _, e := range exps {
 		if e.ID == id {
 			fmt.Fprintf(r.out, "\n=== %s — %s (%s) ===\n", e.ID, e.Title, e.Artifact)
 			return e.run(r)
 		}
 	}
-	return fmt.Errorf("harness: unknown experiment %q", id)
+	ids := make([]string, 0, len(exps))
+	for _, e := range exps {
+		ids = append(ids, e.ID)
+	}
+	return fmt.Errorf("harness: unknown experiment %q (have all, %s)", id, strings.Join(ids, ", "))
 }
 
 // Seed streams. Every world task derives its Options.Seed from

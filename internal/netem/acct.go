@@ -1,0 +1,230 @@
+package netem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the link-layer accounting substrate the simulation-torture
+// suite (internal/simtest) audits worlds with. Every network keeps an
+// Acct that counts dials, flows and the bytes entering and leaving its
+// pipes; a Snapshot taken at a quiescent point must satisfy byte
+// conservation — everything written into the network was delivered,
+// dropped at a reader close, or is still buffered in flight. The
+// buffered term is summed independently from the live pipes, so the
+// counters and the pipe state cross-check each other: any code path
+// that loses or double-counts a segment breaks the equation.
+
+// Acct aggregates one network's link-layer counters. All fields are
+// updated from simulation goroutines; Snapshot is consistent when taken
+// while the simulation is quiescent (every other simulation goroutine
+// parked), which is how the invariant checkers use it.
+type Acct struct {
+	dials            atomic.Int64
+	dialsRefused     atomic.Int64
+	connsOpened      atomic.Int64
+	connsClosed      atomic.Int64
+	segmentsSent     atomic.Int64
+	segmentsFiltered atomic.Int64
+	bytesSent        atomic.Int64
+	bytesDelivered   atomic.Int64
+	bytesDropped     atomic.Int64
+
+	mu    sync.Mutex
+	pipes []*pipe
+	conns []*Conn
+}
+
+// AcctSnapshot is a point-in-time copy of a network's accounting.
+type AcctSnapshot struct {
+	// Dials counts connection attempts that resolved an address and a
+	// listener (i.e. reached the policy/establishment phase).
+	Dials int64
+	// DialsRefused counts dials refused by the installed policy.
+	DialsRefused int64
+	// ConnsOpened counts established conn endpoints (two per flow).
+	ConnsOpened int64
+	// ConnsClosed counts conn endpoints closed or aborted.
+	ConnsClosed int64
+	// SegmentsSent counts segments accepted into pipes.
+	SegmentsSent int64
+	// SegmentsFiltered counts policy FilterSegment consultations.
+	SegmentsFiltered int64
+	// BytesSent counts payload bytes accepted into pipes.
+	BytesSent int64
+	// BytesDelivered counts payload bytes read out of pipes.
+	BytesDelivered int64
+	// BytesDropped counts buffered bytes discarded by reader closes.
+	BytesDropped int64
+	// BytesBuffered sums the live pipes' in-flight bytes. It is computed
+	// from the pipes themselves, not derived from the other counters —
+	// that independence is what makes ConservationErr a real check.
+	BytesBuffered int64
+}
+
+// nil-safe counter helpers: conns built outside a network carry no Acct.
+
+func (a *Acct) addDial(refused bool) {
+	if a == nil {
+		return
+	}
+	a.dials.Add(1)
+	if refused {
+		a.dialsRefused.Add(1)
+	}
+}
+
+func (a *Acct) addConnsOpened(n int64) {
+	if a != nil {
+		a.connsOpened.Add(n)
+	}
+}
+
+func (a *Acct) addConnClosed() {
+	if a != nil {
+		a.connsClosed.Add(1)
+	}
+}
+
+func (a *Acct) addSegmentFiltered() {
+	if a != nil {
+		a.segmentsFiltered.Add(1)
+	}
+}
+
+func (a *Acct) addSent(n int) {
+	if a != nil {
+		a.segmentsSent.Add(1)
+		a.bytesSent.Add(int64(n))
+	}
+}
+
+func (a *Acct) addDelivered(n int) {
+	if a != nil {
+		a.bytesDelivered.Add(int64(n))
+	}
+}
+
+func (a *Acct) addDropped(n int) {
+	if a != nil && n > 0 {
+		a.bytesDropped.Add(int64(n))
+	}
+}
+
+// registerConn adds a conn to the leak-diagnostic registry. The
+// registry self-prunes once closed conns dominate (same scheme as the
+// censor's flow registry), so a long campaign holds O(live), not
+// O(ever-created), conns.
+func (a *Acct) registerConn(c *Conn) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if len(a.conns) >= 64 && len(a.conns)%64 == 0 {
+		live := a.conns[:0]
+		for _, cn := range a.conns {
+			if !cn.Closed() {
+				live = append(live, cn)
+			}
+		}
+		for i := len(live); i < len(a.conns); i++ {
+			a.conns[i] = nil
+		}
+		a.conns = live
+	}
+	a.conns = append(a.conns, c)
+	a.mu.Unlock()
+}
+
+// OpenConnAddrs lists the "local→remote" endpoints of every conn not
+// yet closed, in creation order — the leak checkers' diagnostic for
+// naming exactly which flows outlived a campaign.
+func (a *Acct) OpenConnAddrs() []string {
+	a.mu.Lock()
+	conns := a.conns
+	a.mu.Unlock()
+	var out []string
+	for _, c := range conns {
+		if !c.Closed() {
+			out = append(out, c.local.host+"→"+c.remote.host)
+		}
+	}
+	return out
+}
+
+// registerPipe adds a pipe to the registry the buffered sum walks.
+// Pipes whose reader has closed are pruned on the same cadence as the
+// conn registry: their buffered count is zero and can never grow again,
+// so dropping them changes no snapshot.
+func (a *Acct) registerPipe(p *pipe) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if len(a.pipes) >= 64 && len(a.pipes)%64 == 0 {
+		live := a.pipes[:0]
+		for _, lp := range a.pipes {
+			if !lp.readerClosed() {
+				live = append(live, lp)
+			}
+		}
+		for i := len(live); i < len(a.pipes); i++ {
+			a.pipes[i] = nil
+		}
+		a.pipes = live
+	}
+	a.pipes = append(a.pipes, p)
+	a.mu.Unlock()
+}
+
+// Snapshot copies the counters and sums the live pipes' buffered bytes.
+// Call it from the driver goroutine at a quiescent point (no other
+// simulation goroutine running) for a consistent view.
+func (a *Acct) Snapshot() AcctSnapshot {
+	s := AcctSnapshot{
+		Dials:            a.dials.Load(),
+		DialsRefused:     a.dialsRefused.Load(),
+		ConnsOpened:      a.connsOpened.Load(),
+		ConnsClosed:      a.connsClosed.Load(),
+		SegmentsSent:     a.segmentsSent.Load(),
+		SegmentsFiltered: a.segmentsFiltered.Load(),
+		BytesSent:        a.bytesSent.Load(),
+		BytesDelivered:   a.bytesDelivered.Load(),
+		BytesDropped:     a.bytesDropped.Load(),
+	}
+	a.mu.Lock()
+	pipes := a.pipes
+	a.mu.Unlock()
+	for _, p := range pipes {
+		p.mu.Lock()
+		s.BytesBuffered += int64(p.buffered)
+		p.mu.Unlock()
+	}
+	return s
+}
+
+// OpenConns reports flows opened and not yet closed.
+func (s AcctSnapshot) OpenConns() int64 { return s.ConnsOpened - s.ConnsClosed }
+
+// ConservationErr checks the snapshot's byte- and flow-conservation
+// equations, returning a descriptive error on the first violation.
+func (s AcctSnapshot) ConservationErr() error {
+	if got := s.BytesDelivered + s.BytesDropped + s.BytesBuffered; got != s.BytesSent {
+		return fmt.Errorf("netem: byte conservation violated: sent=%d but delivered=%d + dropped=%d + buffered=%d = %d",
+			s.BytesSent, s.BytesDelivered, s.BytesDropped, s.BytesBuffered, got)
+	}
+	if s.ConnsClosed > s.ConnsOpened {
+		return fmt.Errorf("netem: flow accounting violated: closed=%d > opened=%d", s.ConnsClosed, s.ConnsOpened)
+	}
+	if s.DialsRefused > s.Dials {
+		return fmt.Errorf("netem: dial accounting violated: refused=%d > dials=%d", s.DialsRefused, s.Dials)
+	}
+	if s.BytesSent < 0 || s.BytesDelivered < 0 || s.BytesDropped < 0 || s.BytesBuffered < 0 {
+		return fmt.Errorf("netem: negative byte counter: %+v", s)
+	}
+	return nil
+}
+
+// Acct returns the network's accounting.
+func (n *Network) Acct() *Acct { return &n.acct }

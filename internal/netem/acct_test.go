@@ -1,0 +1,122 @@
+package netem
+
+import (
+	"io"
+	"testing"
+)
+
+// TestAcctByteConservation drives a transfer (including an aborted one,
+// which drops buffered bytes) and checks the conservation equation the
+// simulation-torture suite audits every fuzzed world with.
+func TestAcctByteConservation(t *testing.T) {
+	n := New(WithSeed(3))
+	a := n.MustAddHost(HostConfig{Name: "a"})
+	b := n.MustAddHost(HostConfig{Name: "b"})
+	l, err := b.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const msg = 64 << 10
+	n.Go(func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			n.Go(func() {
+				// First conn: echo everything. Later conns: read a
+				// little, then abort mid-stream to strand buffered
+				// bytes on both pipes.
+				buf := make([]byte, 4096)
+				nr, _ := c.Read(buf)
+				c.Write(buf[:nr])
+				if _, err := io.ReadFull(c, make([]byte, msg-nr)); err == nil {
+					c.Close()
+				}
+			})
+		}
+	})
+
+	// A clean round trip.
+	c1, err := a.Dial("b:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, msg)
+	if _, err := c1.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c1, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	// An aborted transfer: bytes in flight when the dialer aborts must
+	// show up as dropped, not vanish.
+	c2, err := a.Dial("b:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Write(payload)
+	c2.(*Conn).Abort()
+
+	// Quiesce: let the acceptor goroutines observe the close.
+	n.Clock().Sleep(5e9)
+	l.Close()
+	n.Clock().Sleep(1e9)
+
+	s := n.Acct().Snapshot()
+	if err := s.ConservationErr(); err != nil {
+		t.Fatalf("conservation: %v (snapshot %+v)", err, s)
+	}
+	if s.Dials != 2 || s.DialsRefused != 0 {
+		t.Errorf("dials = %d (refused %d), want 2 (0)", s.Dials, s.DialsRefused)
+	}
+	if s.ConnsOpened != 4 {
+		t.Errorf("conns opened = %d, want 4 endpoints", s.ConnsOpened)
+	}
+	if s.BytesSent == 0 || s.BytesDelivered == 0 {
+		t.Errorf("no bytes accounted: %+v", s)
+	}
+	if s.BytesDropped == 0 {
+		t.Errorf("aborted transfer should strand dropped bytes: %+v", s)
+	}
+}
+
+// TestAcctSegmentsFiltered checks that the policy-consultation counter
+// bounds every per-segment censor counter: it only moves when a policy
+// is installed.
+func TestAcctSegmentsFiltered(t *testing.T) {
+	n := New(WithSeed(4))
+	a := n.MustAddHost(HostConfig{Name: "a"})
+	b := n.MustAddHost(HostConfig{Name: "b"})
+	l, _ := b.Listen(80)
+	n.Go(func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, c)
+	})
+	c, err := a.Dial("b:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write(make([]byte, 1024))
+	if got := n.Acct().Snapshot().SegmentsFiltered; got != 0 {
+		t.Errorf("segments filtered without a policy: %d", got)
+	}
+	n.SetPolicy(passPolicy{})
+	c.Write(make([]byte, 1024))
+	if got := n.Acct().Snapshot().SegmentsFiltered; got != 1 {
+		t.Errorf("segments filtered = %d, want 1", got)
+	}
+	c.Close()
+}
+
+type passPolicy struct{}
+
+func (passPolicy) FilterDial(src, dst string) error    { return nil }
+func (passPolicy) ConnOpened(*Conn)                    {}
+func (passPolicy) FilterSegment(f Flow, n int) Verdict { return Verdict{} }

@@ -105,14 +105,18 @@ func (b *Bucket) Reload(capacity, utilization float64) {
 // Reserve books n bytes of transmission starting no earlier than now and
 // returns the virtual time at which the last byte has been serialized.
 func (b *Bucket) Reserve(now time.Duration, n int) time.Duration {
-	if n <= 0 {
-		return now
-	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	start := now
 	if b.free > start {
 		start = b.free
+	}
+	if n <= 0 {
+		// A zero-byte reservation transmits nothing but still queues
+		// behind the link's backlog: returning `now` would let it
+		// finish before segments reserved earlier, breaking arrival
+		// monotonicity (TestBucketMonotonic's 0x0 draws).
+		return start
 	}
 	tx := time.Duration(float64(n) / b.rate * float64(time.Second))
 	b.free = start + tx

@@ -49,18 +49,27 @@ type Conn struct {
 
 	closeOnce sync.Once
 	closed    atomic.Bool
+	// acctOnce counts the flow's closure exactly once across Close and
+	// Abort (which deliberately bypasses closeOnce).
+	acctOnce sync.Once
 }
 
 // newConnPair wires two conns back to back. aOut shapes a→b traffic and
 // bOut shapes b→a traffic.
 func newConnPair(n *Network, aAddr, bAddr Addr, aOut, bOut shape, seed int64) (*Conn, *Conn) {
 	clock := n.clock
-	ab := newPipe(clock, 0)
-	ba := newPipe(clock, 0)
+	acct := &n.acct
+	// Both endpoints count: each closes independently, so ConnsOpened
+	// and ConnsClosed balance per conn, not per pair.
+	acct.addConnsOpened(2)
+	ab := newPipe(clock, 0, acct)
+	ba := newPipe(clock, 0, acct)
 	a := &Conn{net: n, local: aAddr, remote: bAddr, tx: ab, rx: ba, out: aOut,
 		rng: rand.New(rand.NewSource(seed)), wmu: NewMutex(clock)}
 	b := &Conn{net: n, local: bAddr, remote: aAddr, tx: ba, rx: ab, out: bOut,
 		rng: rand.New(rand.NewSource(seed + 1)), wmu: NewMutex(clock)}
+	acct.registerConn(a)
+	acct.registerConn(b)
 	return a, b
 }
 
@@ -109,6 +118,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 		var censored time.Duration
 		var shaper *Bucket
 		if pol != nil {
+			c.acct().addSegmentFiltered()
 			v := pol.FilterSegment(Flow{Src: c.local.host, Dst: c.remote.host}, n)
 			if v.Action == Reset {
 				c.Abort()
@@ -146,6 +156,15 @@ func (c *Conn) policy() Policy {
 	return c.net.policy.get()
 }
 
+// acct returns the network's accounting, or nil for conns built outside
+// a network.
+func (c *Conn) acct() *Acct {
+	if c.net == nil {
+		return nil
+	}
+	return &c.net.acct
+}
+
 // extraDelay draws the per-segment jitter and loss penalty.
 func (c *Conn) extraDelay() time.Duration {
 	if c.out.jitter <= 0 && c.out.loss <= 0 {
@@ -169,6 +188,7 @@ func (c *Conn) Close() error {
 		c.closed.Store(true)
 		c.tx.closeWrite()
 		c.rx.closeRead()
+		c.acctOnce.Do(func() { c.acct().addConnClosed() })
 	})
 	return nil
 }
@@ -187,6 +207,7 @@ func (c *Conn) Abort() {
 	c.tx.closeWrite()
 	c.tx.closeRead()
 	c.rx.closeRead()
+	c.acctOnce.Do(func() { c.acct().addConnClosed() })
 }
 
 // Closed reports whether Close or Abort has been called; policies use

@@ -156,10 +156,12 @@ func (h *Host) Dial(address string) (net.Conn, error) {
 			// A censored dial still costs a round trip: the SYN travels
 			// to the interception point and the injected refusal (or
 			// the black-holed SYN's RST) travels back.
+			h.net.acct.addDial(true)
 			h.net.clock.Sleep(rtt)
 			return nil, err
 		}
 	}
+	h.net.acct.addDial(false)
 	seed := h.net.nextSeed()
 	cc, sc := newConnPair(h.net, localAddr, remoteAddr, out, in, seed)
 
@@ -168,6 +170,10 @@ func (h *Host) Dial(address string) (net.Conn, error) {
 	h.net.clock.Go(func() {
 		h.net.clock.Sleep(out.delay)
 		if err := l.deliver(sc); err != nil {
+			// Abort both endpoints: the server side was never accepted,
+			// and leaving it half-open would count as a live flow in
+			// the accounting forever.
+			sc.Abort()
 			cc.Abort()
 		}
 	})

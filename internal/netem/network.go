@@ -23,6 +23,7 @@ type Network struct {
 
 	connSeq atomic.Int64
 	policy  policyHolder
+	acct    Acct
 }
 
 // Option configures a Network.

@@ -69,6 +69,7 @@ func putSegBuf(base *[]byte) {
 // deadlines it is waiting for.
 type pipe struct {
 	clock *Clock
+	acct  *Acct // network accounting, nil for pipes outside a network
 
 	mu       sync.Mutex
 	cond     *Cond
@@ -79,12 +80,13 @@ type pipe struct {
 	rclosed  bool // reader has closed; writes fail
 }
 
-func newPipe(clock *Clock, maxBuf int) *pipe {
+func newPipe(clock *Clock, maxBuf int, acct *Acct) *pipe {
 	if maxBuf <= 0 {
 		maxBuf = 256 << 10
 	}
-	p := &pipe{clock: clock, maxBuf: maxBuf}
+	p := &pipe{clock: clock, acct: acct, maxBuf: maxBuf}
 	p.cond = NewCond(clock, &p.mu)
+	acct.registerPipe(p)
 	return p
 }
 
@@ -123,6 +125,7 @@ func (p *pipe) push(data []byte, base *[]byte, arrival time.Duration, deadline t
 	}
 	p.segs = append(p.segs, seg{data: data, base: base, at: arrival})
 	p.buffered += len(data)
+	p.acct.addSent(len(data))
 	// Wake a parked reader at the segment's arrival, not now: waking it
 	// at push time would only make it re-park until the data has
 	// propagated.
@@ -154,6 +157,7 @@ func (p *pipe) pop(buf []byte, deadline time.Time) (int, error) {
 					s.data = s.data[n:]
 				}
 				p.buffered -= n
+				p.acct.addDelivered(n)
 				p.cond.Broadcast()
 				return n, nil
 			}
@@ -180,6 +184,14 @@ func (p *pipe) pop(buf []byte, deadline time.Time) (int, error) {
 	}
 }
 
+// readerClosed reports whether the reader side has closed (the pipe's
+// buffered count is zero forever); the accounting registry prunes on it.
+func (p *pipe) readerClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rclosed
+}
+
 // closeWrite marks the writer side closed; the reader drains then gets EOF.
 func (p *pipe) closeWrite() {
 	p.mu.Lock()
@@ -197,6 +209,7 @@ func (p *pipe) closeRead() {
 		putSegBuf(p.segs[i].base)
 	}
 	p.segs = nil
+	p.acct.addDropped(p.buffered)
 	p.buffered = 0
 	p.mu.Unlock()
 	p.cond.Broadcast()

@@ -146,6 +146,16 @@ func (c *Clock) Now() time.Duration {
 	return time.Duration(c.now.Load())
 }
 
+// Registered reports the number of live simulation goroutines (including
+// the driver). The invariant suite samples it at quiescent points to
+// detect goroutine leaks: a campaign that spawns per-transfer goroutines
+// must see them exit once its conns are closed and drained.
+func (c *Clock) Registered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.registered
+}
+
 // nowLocked reads the virtual time with the scheduler lock held.
 func (c *Clock) nowLocked() time.Duration { return time.Duration(c.now.Load()) }
 

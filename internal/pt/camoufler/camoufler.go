@@ -26,6 +26,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -146,6 +147,10 @@ type account struct {
 	// deliver is the inbound queue: messages wait out the provider's
 	// delivery latency here, pipelined but FIFO.
 	deliver *netem.Chan[delivery]
+	// contacts are accounts this one exchanged messages with; they get
+	// an unavailable-presence notification when it disconnects.
+	// Guarded by the server mutex.
+	contacts map[string]bool
 }
 
 // delivery is one queued message with its delivery due time.
@@ -156,6 +161,11 @@ type delivery struct {
 	at      time.Duration
 	stop    bool
 }
+
+// presenceGoneSeq marks an unavailable-presence notification from the
+// provider. Data messages use seq ≥ 1 and the login frame seq 0, so the
+// value can never collide with a tunnel sequence number.
+const presenceGoneSeq = ^uint64(0)
 
 // StartIMServer runs the provider on host:port.
 func StartIMServer(host *netem.Host, port int, cfg Config) (*IMServer, error) {
@@ -200,7 +210,7 @@ func (s *IMServer) serveConn(c net.Conn) {
 		return
 	}
 	clock := s.net.Clock()
-	acct := &account{conn: c, deliver: netem.NewChan[delivery](clock, 512)}
+	acct := &account{conn: c, deliver: netem.NewChan[delivery](clock, 512), contacts: make(map[string]bool)}
 	clock.Go(func() {
 		// Pipelined FIFO delivery: each message waits out its due time.
 		for {
@@ -225,7 +235,25 @@ func (s *IMServer) serveConn(c net.Conn) {
 		if s.accounts[name] == acct {
 			delete(s.accounts, name)
 		}
+		// Unavailable presence: contacts still online learn the account
+		// went away, like an XMPP roster update — without it the proxy
+		// side of an abandoned session waits for messages forever.
+		contacts := make([]string, 0, len(acct.contacts))
+		for peer := range acct.contacts {
+			contacts = append(contacts, peer)
+		}
+		sort.Strings(contacts) // map order must not reach the scheduler
+		peers := make([]*account, 0, len(contacts))
+		for _, peer := range contacts {
+			if dst := s.accounts[peer]; dst != nil {
+				peers = append(peers, dst)
+			}
+		}
+		now := clock.Now()
 		s.mu.Unlock()
+		for _, dst := range peers {
+			dst.deliver.TrySend(delivery{from: name, seq: presenceGoneSeq, at: now + s.cfg.DeliveryDelay})
+		}
 		// Stop the delivery goroutine; late producers' TrySends fall
 		// into the buffer or are dropped.
 		acct.deliver.TrySend(delivery{stop: true})
@@ -248,6 +276,10 @@ func (s *IMServer) serveConn(c net.Conn) {
 		acct.sendFree += perMsg
 		dropped := s.cfg.LossProb > 0 && s.rng.Float64() < s.cfg.LossProb
 		dst := s.accounts[to]
+		if dst != nil {
+			acct.contacts[to] = true
+			dst.contacts[name] = true
+		}
 		s.mu.Unlock()
 
 		if wait > 0 {
@@ -301,8 +333,19 @@ func (ic *imConn) login() error {
 
 func (ic *imConn) recvLoop() {
 	for {
-		_, seq, payload, err := readMessage(ic.conn)
+		from, seq, payload, err := readMessage(ic.conn)
 		if err != nil {
+			ic.mu.Lock()
+			ic.closed = true
+			ic.cond.Broadcast()
+			ic.mu.Unlock()
+			return
+		}
+		if seq == presenceGoneSeq {
+			if from != ic.peer {
+				continue
+			}
+			// The peer account logged off: the tunnel is over.
 			ic.mu.Lock()
 			ic.closed = true
 			ic.cond.Broadcast()

@@ -47,6 +47,12 @@ const (
 	// lifetime (a cut just forces a fresh circuit), but bulk downloads
 	// exhaust it mid-file — the paper's §4.6 failure mode.
 	DefaultBudgetMedian = 6 << 20
+	// DefaultStaleness is how long the tunnel server keeps a session
+	// whose client has stopped querying before reaping it (mirroring
+	// meek-server's 120 s). It must comfortably exceed both the
+	// client's idle-poll ceiling (~1.5 s) and the worst queueing a live
+	// client's queries can suffer behind a censor throttle backlog.
+	DefaultStaleness = 120 * time.Second
 )
 
 // Config parameterizes the tunnel.
@@ -63,6 +69,8 @@ type Config struct {
 	// ResolverDelay is the recursive resolver's per-query processing
 	// time.
 	ResolverDelay time.Duration
+	// Staleness overrides DefaultStaleness.
+	Staleness time.Duration
 	// Seed drives identifiers and budget draws.
 	Seed int64
 }
@@ -82,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ResolverDelay <= 0 {
 		c.ResolverDelay = 4 * time.Millisecond
+	}
+	if c.Staleness <= 0 {
+		c.Staleness = DefaultStaleness
 	}
 	return c
 }
@@ -308,7 +319,10 @@ type serverSession struct {
 	upBuf   []byte
 	downBuf []byte
 	rseq    uint32
-	closed  bool
+	// lastSeen is the virtual time of the latest query; the reaper cuts
+	// sessions whose client stopped querying.
+	lastSeen time.Duration
+	closed   bool
 }
 
 func (s *Server) session(id string) *serverSession {
@@ -317,7 +331,7 @@ func (s *Server) session(id string) *serverSession {
 	if ss := s.sessions[id]; ss != nil {
 		return ss
 	}
-	ss := &serverSession{srv: s, upHeld: make(map[uint32][]byte)}
+	ss := &serverSession{srv: s, upHeld: make(map[uint32][]byte), lastSeen: s.clock.Now()}
 	ss.cond = netem.NewCond(s.clock, &ss.mu)
 	s.sessions[id] = ss
 	// The handler sees an ordinary stream; dnstt framing hides behind it.
@@ -330,7 +344,30 @@ func (s *Server) session(id string) *serverSession {
 		}
 		s.handle(target, conn)
 	})
+	s.clock.Go(func() { s.reapWhenStale(ss) })
 	return ss
+}
+
+// reapWhenStale cuts a session once its client has stopped querying for
+// a full staleness window, like dnstt's turbotunnel sessions expiring.
+// The EOF tears the spliced server-side chain down; without it a client
+// that vanishes leaks the whole chain forever.
+func (s *Server) reapWhenStale(ss *serverSession) {
+	for {
+		s.clock.Sleep(s.cfg.Staleness)
+		ss.mu.Lock()
+		if ss.closed {
+			ss.mu.Unlock()
+			return
+		}
+		if s.clock.Now()-ss.lastSeen >= s.cfg.Staleness {
+			ss.closed = true
+			ss.cond.Broadcast()
+			ss.mu.Unlock()
+			return
+		}
+		ss.mu.Unlock()
+	}
 }
 
 // serveResolverConn processes the per-session query pipe from the
@@ -349,6 +386,9 @@ func (s *Server) serveResolverConn(c net.Conn) {
 		qseq := binary.BigEndian.Uint32(q[sessionLen : sessionLen+4])
 		data := q[sessionLen+4:]
 		ss := s.session(sid)
+		ss.mu.Lock()
+		ss.lastSeen = s.clock.Now()
+		ss.mu.Unlock()
 		ss.acceptUpstream(qseq, data)
 
 		// Answer with up to RespCap downstream bytes.
@@ -368,6 +408,11 @@ func (ss *serverSession) acceptUpstream(qseq uint32, data []byte) {
 	}
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	if ss.closed {
+		// A straggler query after the session was reaped or closed:
+		// nobody will ever read these buffers, so do not grow them.
+		return
+	}
 	if len(data) > 0 {
 		if qseq == ss.upNext {
 			ss.upBuf = append(ss.upBuf, data...)

@@ -47,6 +47,13 @@ const (
 	// DefaultSessionBudgetMedian is the median of the lognormal bridge
 	// byte budget after which a session is cut.
 	DefaultSessionBudgetMedian = 3 << 20
+	// DefaultStaleness is how long the bridge keeps a session that has
+	// stopped polling before reaping it — meek-server's 120 s session
+	// staleness. It must comfortably exceed not just MaxPoll but the
+	// worst queueing a live client's polls can suffer behind a censor
+	// throttle backlog, or working-but-throttled tunnels get reaped
+	// mid-transfer.
+	DefaultStaleness = 120 * time.Second
 )
 
 // Config parameterizes meek.
@@ -62,6 +69,8 @@ type Config struct {
 	// SessionBudgetMedian overrides DefaultSessionBudgetMedian;
 	// negative disables the budget.
 	SessionBudgetMedian int64
+	// Staleness overrides DefaultStaleness.
+	Staleness time.Duration
 	// Seed drives randomized budgets.
 	Seed int64
 }
@@ -84,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SessionBudgetMedian == 0 {
 		c.SessionBudgetMedian = DefaultSessionBudgetMedian
+	}
+	if c.Staleness <= 0 {
+		c.Staleness = DefaultStaleness
 	}
 	return c
 }
@@ -235,8 +247,11 @@ type bridgeSession struct {
 	downBuf []byte
 	budget  int64
 	served  int64
-	closed  bool
-	gone    bool
+	// lastSeen is the virtual time of the session's latest poll; the
+	// reaper cuts sessions whose client stopped polling.
+	lastSeen time.Duration
+	closed   bool
+	gone     bool
 }
 
 // StartBridge runs the meek bridge on host:port.
@@ -281,8 +296,9 @@ func (b *Bridge) session(sid uint64) *bridgeSession {
 	if s := b.sessions[sid]; s != nil {
 		return s
 	}
-	s := &bridgeSession{budget: b.drawBudget()}
-	s.cond = netem.NewCond(b.host.Network().Clock(), &s.mu)
+	clock := b.host.Network().Clock()
+	s := &bridgeSession{budget: b.drawBudget(), lastSeen: clock.Now()}
+	s.cond = netem.NewCond(clock, &s.mu)
 	b.sessions[sid] = s
 	b.host.Network().Go(func() {
 		conn := &bridgeConn{s: s}
@@ -293,7 +309,34 @@ func (b *Bridge) session(sid uint64) *bridgeSession {
 		}
 		b.handle(target, conn)
 	})
+	b.host.Network().Go(func() { b.reapWhenStale(s) })
 	return s
+}
+
+// reapWhenStale cuts the session once its client has stopped polling
+// for a full staleness window, like meek-server expiring an abandoned
+// session. Marking it closed sends EOF into the handler's stream, which
+// tears the spliced Tor chain down; without this a client that vanishes
+// (crash, censor cut, parked circuit) leaks the whole server-side
+// circuit forever.
+func (b *Bridge) reapWhenStale(s *bridgeSession) {
+	clock := b.host.Network().Clock()
+	for {
+		clock.Sleep(b.cfg.Staleness)
+		s.mu.Lock()
+		if s.closed || s.gone {
+			s.mu.Unlock()
+			return
+		}
+		if clock.Now()-s.lastSeen >= b.cfg.Staleness {
+			s.closed = true
+			s.gone = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+	}
 }
 
 // drawBudget samples the lognormal session byte budget.
@@ -333,6 +376,7 @@ func (b *Bridge) serveFrontConn(c net.Conn) {
 		s := b.session(sid)
 
 		s.mu.Lock()
+		s.lastSeen = clock.Now()
 		gone := s.gone
 		if !gone {
 			if len(body) > 0 {

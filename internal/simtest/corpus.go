@@ -1,0 +1,172 @@
+package simtest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ptperf/internal/pt"
+)
+
+// The repro-line codec. A failing (possibly shrunken) world serializes
+// to one line:
+//
+//	simtest-v1 root=1 index=42 transports=obfs4,tor events=0,2 phases=1 sites=1 repeats=1
+//
+// Decoding regenerates the world from (root, index) — the generator is
+// deterministic — and then applies the shrink overrides: the exact
+// transport subset, the surviving generated-event indices, whether the
+// phase timeline is kept, and the campaign size. Lines from failed fuzz
+// runs are committed to testdata/corpus/seeds.txt and replayed forever
+// by TestCorpusSeeds.
+//
+// The format is tied to the generator: if Generate's draws change, a
+// line's indices select different events and the corpus must be
+// regenerated (the version tag exists so that is an explicit event, not
+// silent drift).
+
+// reproTag versions the repro-line format and the generator draws it
+// indexes into.
+const reproTag = "simtest-v1"
+
+// Repro serializes the spec as a one-line reproduction seed.
+func (s Spec) Repro() string {
+	events := make([]string, len(s.EventIdx))
+	for i, e := range s.EventIdx {
+		events[i] = strconv.Itoa(e)
+	}
+	phases := 0
+	if len(s.Scenario.Phases) > 0 {
+		phases = 1
+	}
+	return fmt.Sprintf("%s root=%d index=%d transports=%s events=%s phases=%d sites=%d repeats=%d",
+		reproTag, s.Root, s.Index, strings.Join(s.Transports, ","),
+		strings.Join(events, ","), phases, s.Sites, s.Repeats)
+}
+
+// ParseRepro decodes a repro line back into a runnable spec.
+func ParseRepro(line string) (Spec, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || fields[0] != reproTag {
+		return Spec{}, fmt.Errorf("simtest: repro line must start with %q: %q", reproTag, line)
+	}
+	kv := map[string]string{}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("simtest: bad repro field %q", f)
+		}
+		kv[k] = v
+	}
+	num := func(key string) (int64, error) {
+		v, ok := kv[key]
+		if !ok {
+			return 0, fmt.Errorf("simtest: repro line missing %s=", key)
+		}
+		return strconv.ParseInt(v, 10, 64)
+	}
+	root, err := num("root")
+	if err != nil {
+		return Spec{}, err
+	}
+	index, err := num("index")
+	if err != nil {
+		return Spec{}, err
+	}
+
+	s := Generate(root, index)
+
+	if v, ok := kv["transports"]; ok {
+		s.Transports = nil
+		if v != "" {
+			s.Transports = strings.Split(v, ",")
+		}
+		if len(s.Transports) == 0 {
+			return Spec{}, fmt.Errorf("simtest: repro line has no transports")
+		}
+		// A typo'd or renamed transport would otherwise replay as an
+		// all-timeout world that always passes — a corpus line that
+		// exercises nothing. Fail loudly instead, like the events
+		// index check below.
+		valid := map[string]bool{"tor": true}
+		for _, name := range pt.Names() {
+			valid[name] = true
+		}
+		for _, tr := range s.Transports {
+			if !valid[tr] {
+				return Spec{}, fmt.Errorf("simtest: repro transport %q not in the catalog (stale corpus line?)", tr)
+			}
+		}
+	}
+	if v, ok := kv["events"]; ok {
+		gen := s.Scenario.Events
+		s.Scenario.Events = nil
+		s.EventIdx = nil
+		if v != "" {
+			for _, f := range strings.Split(v, ",") {
+				i, err := strconv.Atoi(f)
+				if err != nil || i < 0 || i >= len(gen) {
+					return Spec{}, fmt.Errorf("simtest: repro event index %q outside the %d generated events (stale corpus line?)", f, len(gen))
+				}
+				s.Scenario.Events = append(s.Scenario.Events, gen[i])
+				s.EventIdx = append(s.EventIdx, i)
+			}
+		}
+	}
+	if v, ok := kv["phases"]; ok && v == "0" {
+		s.Scenario.Phases = nil
+	}
+	if _, ok := kv["sites"]; ok {
+		n, err := num("sites")
+		if err != nil || n < 1 {
+			return Spec{}, fmt.Errorf("simtest: bad sites in repro line")
+		}
+		s.Sites = int(n)
+	}
+	if _, ok := kv["repeats"]; ok {
+		n, err := num("repeats")
+		if err != nil || n < 1 {
+			return Spec{}, fmt.Errorf("simtest: bad repeats in repro line")
+		}
+		s.Repeats = int(n)
+	}
+	s.normalize()
+	return s, nil
+}
+
+// ReadCorpus parses a corpus stream: one repro line per non-blank,
+// non-comment line.
+func ReadCorpus(r io.Reader) ([]Spec, error) {
+	var out []Spec
+	sc := bufio.NewScanner(r)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		spec, err := ParseRepro(line)
+		if err != nil {
+			return nil, fmt.Errorf("corpus line %d: %w", ln, err)
+		}
+		out = append(out, spec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LoadCorpusFile reads a corpus file from disk.
+func LoadCorpusFile(path string) ([]Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCorpus(f)
+}

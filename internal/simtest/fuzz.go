@@ -1,0 +1,115 @@
+package simtest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"ptperf/internal/sim"
+)
+
+// Config sizes a fuzz run.
+type Config struct {
+	// N is the number of worlds to generate and torture.
+	N int
+	// Seed is the run's root seed; world i is Generate(Seed, i).
+	Seed int64
+	// Jobs bounds how many worlds run concurrently on the shard
+	// executor (0 = all cores). The result is byte-identical for any
+	// value — the fuzzer itself is held to the determinism contract it
+	// checks.
+	Jobs int
+	// Out receives progress lines and failure reports (nil = silent).
+	Out io.Writer
+	// ShrinkBudget bounds candidate worlds per failure shrink
+	// (0 = default).
+	ShrinkBudget int
+}
+
+// Failure is one world that violated an invariant, with its shrunken
+// minimal reproduction.
+type Failure struct {
+	// Spec is the originally generated failing world; Err its failure.
+	Spec Spec
+	Err  error
+	// Min is the smallest failing world the shrinker found; MinErr its
+	// failure; Trials the worlds the shrink ran.
+	Min    Spec
+	MinErr error
+	Trials int
+}
+
+// Result summarizes a fuzz run.
+type Result struct {
+	// Worlds is the number of worlds checked.
+	Worlds int
+	// Failures holds every invariant violation, shrunken.
+	Failures []Failure
+	// Digest fingerprints the run: a hash over every world's canonical
+	// report in index order. Two runs with the same (Seed, N) must
+	// produce equal digests at any Jobs value.
+	Digest string
+}
+
+// Fuzz generates cfg.N worlds from cfg.Seed and runs each under the
+// invariant suite, up to cfg.Jobs concurrently. Failures are shrunk
+// sequentially after all worlds join (shrinking runs worlds of its
+// own). The returned result is a pure function of (Seed, N).
+func Fuzz(cfg Config) Result {
+	out := cfg.Out
+	if out == nil {
+		out = io.Discard
+	}
+	type verdict struct {
+		report string
+		err    error
+	}
+	exec := sim.NewExecutor(cfg.Jobs)
+	specs := make([]Spec, cfg.N)
+	futs := make([]*sim.Future[verdict], cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		specs[i] = Generate(cfg.Seed, int64(i))
+		spec := specs[i]
+		futs[i] = sim.Submit(exec, func() (verdict, error) {
+			report, err := checkSpec(spec)
+			return verdict{report: report, err: err}, nil
+		})
+	}
+
+	res := Result{Worlds: cfg.N}
+	digest := sha256.New()
+	step := cfg.N / 10
+	if step < 1 {
+		step = 1
+	}
+	for i, f := range futs {
+		v, err := f.Wait()
+		if err != nil {
+			// A panic on the task goroutine: treat as a failed world.
+			v = verdict{err: fmt.Errorf("world task: %w", err)}
+		}
+		fmt.Fprintf(digest, "world %d\n%s", i, v.report)
+		if v.err != nil {
+			res.Failures = append(res.Failures, Failure{Spec: specs[i], Err: v.err})
+			fmt.Fprintf(out, "FAIL %s: %v\n", specs[i].ID(), v.err)
+		} else if (i+1)%step == 0 || i == cfg.N-1 {
+			fmt.Fprintf(out, "ok   %d/%d worlds\n", i+1, cfg.N)
+		}
+	}
+
+	for i := range res.Failures {
+		f := &res.Failures[i]
+		f.Min, f.MinErr, f.Trials = Shrink(f.Spec, cfg.ShrinkBudget)
+		if f.MinErr == nil {
+			// The failure did not reproduce on a fresh re-run (flaky
+			// harness state or an executor-level panic): say so loudly
+			// rather than emit a repro line that replays green.
+			fmt.Fprintf(out, "FAIL %s\n  original failure: %v\n  DID NOT REPRODUCE under shrink — no repro seed\n", f.Spec.ID(), f.Err)
+			continue
+		}
+		fmt.Fprint(out, FailureReport(f.Spec, f.Err, f.Min, f.MinErr, f.Trials))
+	}
+	res.Digest = hex.EncodeToString(digest.Sum(nil))
+	return res
+}

@@ -1,0 +1,198 @@
+package simtest
+
+import (
+	"fmt"
+
+	"ptperf/internal/censor"
+	"ptperf/internal/stats"
+)
+
+// This file is the invariant suite: every checker is a cross-cutting
+// property that must hold for EVERY world, whatever transports,
+// interference and topology it drew. A violation is a bug in the
+// simulation substrate (or a deliberately injected fault), never an
+// acceptable outcome of an adversarial scenario — scenarios are allowed
+// to fail every page load, but they are not allowed to lose bytes,
+// miscount interference, leak goroutines, or render differently on a
+// second identical run.
+
+// leakTolerance absorbs benign cross-sample wobble in the steady-state
+// leak checks: timer-driven endpoint churn (the snowflake volunteer
+// pool replaces proxies on exponential lifetimes) can catch the two
+// quiescent samples at slightly different pool states.
+const (
+	leakGoroutineTolerance = 4
+	leakConnTolerance      = 8
+)
+
+// invariant is one named cross-cutting property of a world outcome.
+type invariant struct {
+	name  string
+	check func(*Outcome) error
+}
+
+// invariants lists the suite in the order violations are reported.
+// Determinism (same seed ⇒ byte-identical report) is checked by
+// Check itself, which needs two outcomes.
+var invariants = []invariant{
+	{"scenario-bounds", checkScenarioBounds},
+	{"report-shape", checkReportShape},
+	{"clock-monotonic", checkClockMonotonic},
+	{"byte-conservation", checkByteConservation},
+	{"censor-accounting", checkCensorAccounting},
+	{"no-leaks", checkNoLeaks},
+}
+
+// checkScenarioBounds re-validates the world's generated scenario
+// against the paper-scale envelope: the generator and the shrinker must
+// never emit a rule outside it.
+func checkScenarioBounds(o *Outcome) error {
+	return censor.PaperBounds().Validate(o.Spec.Scenario)
+}
+
+// checkReportShape is the sanity oracle over the measured data: counts
+// consistent with the campaign size, times within [0, timeout], box
+// statistics ordered, ok/failed counts consistent with the campaign
+// size.
+func checkReportShape(o *Outcome) error {
+	// Methods holds the main pass only (the steady-state pass discards
+	// its results): Sites sites from each of the two catalogs, Repeats
+	// accesses each.
+	want := 2 * o.Spec.Sites * o.Spec.Repeats
+	for _, name := range o.orderedMethods() {
+		m, ok := o.Methods[name]
+		if !ok {
+			return fmt.Errorf("method %s missing from results", name)
+		}
+		if len(m.Times) != want {
+			return fmt.Errorf("%s: %d measurements, want %d", name, len(m.Times), want)
+		}
+		if m.OK < 0 || m.Failed < 0 || m.OK+m.Failed != len(m.Times) {
+			return fmt.Errorf("%s: ok=%d + failed=%d inconsistent with %d measurements", name, m.OK, m.Failed, len(m.Times))
+		}
+		for _, t := range m.Times {
+			if t < 0 || t > pageTimeout.Seconds() {
+				return fmt.Errorf("%s: access time %.3fs outside [0, %.0fs]", name, t, pageTimeout.Seconds())
+			}
+		}
+		box := stats.Summarize(m.Times)
+		if !(box.Min <= box.Q1 && box.Q1 <= box.Median && box.Median <= box.Q3 && box.Q3 <= box.Max) {
+			return fmt.Errorf("%s: box statistics unordered: %+v", name, box)
+		}
+	}
+	return nil
+}
+
+// checkClockMonotonic surfaces any backwards virtual-time observation
+// made while measuring; the final elapsed time must also be positive
+// (a campaign that consumed no virtual time measured nothing).
+func checkClockMonotonic(o *Outcome) error {
+	if o.ClockErr != nil {
+		return o.ClockErr
+	}
+	if o.Elapsed <= 0 {
+		return fmt.Errorf("campaign consumed no virtual time (elapsed %v)", o.Elapsed)
+	}
+	return nil
+}
+
+// checkByteConservation audits the netem accounting equation: every
+// byte written into the network was delivered, dropped at a reader
+// close, or is still buffered (summed independently from the live
+// pipes).
+func checkByteConservation(o *Outcome) error {
+	if err := o.Acct.ConservationErr(); err != nil {
+		return err
+	}
+	if o.Acct.SegmentsSent == 0 || o.Acct.BytesSent == 0 {
+		return fmt.Errorf("campaign moved no bytes (%d segments)", o.Acct.SegmentsSent)
+	}
+	return nil
+}
+
+// checkCensorAccounting cross-checks the censor's interference counters
+// against the link layer's: the censor cannot have throttled, reset or
+// lost more segments than the network consulted it on, and every
+// refused dial must be one the network actually refused.
+func checkCensorAccounting(o *Outcome) error {
+	st, a := o.Censor, o.Acct
+	if int64(st.ThrottledSegments) > a.SegmentsFiltered {
+		return fmt.Errorf("censor throttled %d segments but only %d were filtered", st.ThrottledSegments, a.SegmentsFiltered)
+	}
+	if int64(st.Resets) > a.SegmentsFiltered {
+		return fmt.Errorf("censor reset %d segments but only %d were filtered", st.Resets, a.SegmentsFiltered)
+	}
+	// Each loss rule can charge at most one event per filtered segment;
+	// with no loss rules the only correct count is zero.
+	lossRules := 0
+	for _, ev := range o.Spec.Scenario.Events {
+		if ev.Rule.Loss > 0 {
+			lossRules++
+		}
+	}
+	if int64(st.LossEvents) > a.SegmentsFiltered*int64(lossRules) {
+		return fmt.Errorf("censor counted %d loss events over %d filtered segments (%d loss rules)",
+			st.LossEvents, a.SegmentsFiltered, lossRules)
+	}
+	if int64(st.BlockedDials) != a.DialsRefused {
+		return fmt.Errorf("censor blocked %d dials but the network refused %d", st.BlockedDials, a.DialsRefused)
+	}
+	if int64(st.FlowsCut) > a.ConnsOpened {
+		return fmt.Errorf("censor cut %d flows but only %d conn endpoints ever opened", st.FlowsCut, a.ConnsOpened)
+	}
+	for _, n := range []int{st.BlockedDials, st.FlowsCut, st.Resets, st.LossEvents, st.ThrottledSegments} {
+		if n < 0 {
+			return fmt.Errorf("negative censor counter: %+v", st)
+		}
+	}
+	return nil
+}
+
+// checkNoLeaks compares the two quiescent samples: the steady-state
+// second pass must not have grown the world's goroutine or open-conn
+// population beyond churn tolerance — growth there means some per-access
+// resource survives its access.
+func checkNoLeaks(o *Outcome) error {
+	if d := o.Registered[1] - o.Registered[0]; d > leakGoroutineTolerance {
+		return fmt.Errorf("goroutine leak: %d registered after steady-state pass vs %d after campaign (+%d > %d)",
+			o.Registered[1], o.Registered[0], d, leakGoroutineTolerance)
+	}
+	if d := o.OpenConns[1] - o.OpenConns[0]; d > leakConnTolerance {
+		return fmt.Errorf("conn leak: %d open endpoints after steady-state pass vs %d after campaign (+%d > %d)",
+			o.OpenConns[1], o.OpenConns[0], d, leakConnTolerance)
+	}
+	return nil
+}
+
+// Check is the fuzzer's per-world verdict: build and run the world,
+// apply every invariant, and — only if those pass — run the world a
+// second time and require a byte-identical report (same-seed
+// determinism, which also subsumes wall-clock reads: real time cannot
+// repeat). The returned error carries the violated invariant's name.
+func Check(spec Spec) error {
+	_, err := checkSpec(spec)
+	return err
+}
+
+// checkSpec implements Check and additionally returns the first run's
+// canonical report (Fuzz hashes it into the run digest).
+func checkSpec(spec Spec) (string, error) {
+	a, err := Run(spec)
+	if err != nil {
+		return "", fmt.Errorf("invariant world-build: %w", err)
+	}
+	for _, inv := range invariants {
+		if err := inv.check(a); err != nil {
+			return a.Report, fmt.Errorf("invariant %s: %s: %w", inv.name, spec.ID(), err)
+		}
+	}
+	b, err := Run(spec)
+	if err != nil {
+		return a.Report, fmt.Errorf("invariant world-build (second run): %w", err)
+	}
+	if a.Report != b.Report {
+		return a.Report, fmt.Errorf("invariant determinism: %s: same seed produced different reports:\n--- first ---\n%s--- second ---\n%s",
+			spec.ID(), a.Report, b.Report)
+	}
+	return a.Report, nil
+}

@@ -1,0 +1,130 @@
+package simtest
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// The shrinker: given a world that violates an invariant, find a
+// smaller world that still violates one. Reductions are tried in
+// decreasing order of how much world they remove — bisect the
+// transport subset, drop scenario rules (and the phase timeline),
+// halve sites and repeats — and every accepted reduction restarts the
+// scan, so shrinking converges to a local minimum: a world where no
+// single reduction still fails. The shrunken spec remains expressible
+// as a repro line because every reduction only trims Transports,
+// EventIdx (with Scenario.Events in lockstep), Phases, Sites or
+// Repeats — the generated world's other draws are untouched.
+
+// defaultShrinkBudget bounds the total number of candidate worlds a
+// shrink may run; each candidate costs up to two world simulations.
+const defaultShrinkBudget = 48
+
+// reductions enumerates the next shrink candidates of a spec, largest
+// first. Every candidate is normalized so shrunken specs stay
+// canonically comparable to their repro-line round trips.
+func reductions(s Spec) []Spec {
+	var out []Spec
+	// Bisect the transport subset.
+	if n := len(s.Transports); n > 1 {
+		lo, hi := s.clone(), s.clone()
+		lo.Transports = append([]string(nil), s.Transports[:n/2]...)
+		hi.Transports = append([]string(nil), s.Transports[n/2:]...)
+		out = append(out, lo, hi)
+	}
+	// Drop one scenario rule at a time.
+	for i := range s.Scenario.Events {
+		c := s.clone()
+		c.Scenario.Events = append(c.Scenario.Events[:i:i], s.Scenario.Events[i+1:]...)
+		c.EventIdx = append(c.EventIdx[:i:i], s.EventIdx[i+1:]...)
+		out = append(out, c)
+	}
+	// Drop the endpoint-weather timeline.
+	if len(s.Scenario.Phases) > 0 {
+		c := s.clone()
+		c.Scenario.Phases = nil
+		out = append(out, c)
+	}
+	// Halve the campaign.
+	if s.Sites > 1 {
+		c := s.clone()
+		c.Sites = s.Sites / 2
+		out = append(out, c)
+	}
+	if s.Repeats > 1 {
+		c := s.clone()
+		c.Repeats = s.Repeats / 2
+		out = append(out, c)
+	}
+	for i := range out {
+		out[i].normalize()
+	}
+	return out
+}
+
+// clone deep-copies the spec's mutable slices so reductions never alias.
+func (s Spec) clone() Spec {
+	c := s
+	c.Transports = append([]string(nil), s.Transports...)
+	c.Scenario.Events = append(c.Scenario.Events[:0:0], s.Scenario.Events...)
+	c.Scenario.Phases = append(c.Scenario.Phases[:0:0], s.Scenario.Phases...)
+	c.EventIdx = append([]int(nil), s.EventIdx...)
+	return c
+}
+
+// checkRecover is Check with driver-goroutine panics converted to
+// errors, so a world that panics while being shrunk yields a failing
+// trial instead of killing the fuzz process before any repro line is
+// written. (Panics on simulation goroutines a world spawns still crash
+// the process, as they do everywhere in the simulation.)
+func checkRecover(spec Spec) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("invariant world-panic: %s: %v\n%s", spec.ID(), p, debug.Stack())
+		}
+	}()
+	return Check(spec)
+}
+
+// Shrink minimizes a failing spec. It re-derives the caller's observed
+// failure (so the final error matches the final world) and returns the
+// smallest failing spec found within the budget together with its
+// failure; trials counts the candidate worlds actually run. If the
+// failure does not reproduce, failure is nil and the caller must not
+// treat min as a reproduction. budget <= 0 means the default.
+func Shrink(spec Spec, budget int) (min Spec, failure error, trials int) {
+	if budget <= 0 {
+		budget = defaultShrinkBudget
+	}
+	cur := spec.clone()
+	curErr := checkRecover(cur)
+	if curErr == nil {
+		return cur, nil, 1
+	}
+	trials = 1
+	for {
+		improved := false
+		for _, cand := range reductions(cur) {
+			if trials >= budget {
+				return cur, curErr, trials
+			}
+			trials++
+			if err := checkRecover(cand); err != nil {
+				cur, curErr = cand, err
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return cur, curErr, trials
+		}
+	}
+}
+
+// FailureReport renders a shrink result for humans: the minimal world,
+// its repro line, and the invariant it violates.
+func FailureReport(orig Spec, origErr error, min Spec, minErr error, trials int) string {
+	return fmt.Sprintf(
+		"FAIL %s\n  original failure: %v\n  shrunk after %d trials to %s\n  shrunk failure: %v\n  repro: %s\n",
+		orig.ID(), origErr, trials, min.ID(), minErr, min.Repro())
+}

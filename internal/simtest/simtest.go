@@ -1,0 +1,358 @@
+// Package simtest is the simulation-torture subsystem: a property-based
+// fuzzer that generates randomized measurement worlds — a random
+// transport subset, a random composed censor scenario, random topology
+// knobs — and runs each one under a suite of cross-cutting invariant
+// checkers (same-seed determinism, byte conservation across netem
+// pipes, censor counter accounting, virtual-clock monotonicity, leak
+// steady-state, report-shape sanity). It is the FoundationDB-style
+// answer to a question every PR otherwise hand-waves: the determinism
+// and accounting contracts hold not just on the ~30 fixed worlds the
+// unit tests pin, but across thousands of points of the
+// {transport} × {scenario} × {topology} space.
+//
+// On a failure the fuzzer shrinks the world — bisect the transport
+// subset, drop scenario rules, halve sites and repeats — to a minimal
+// reproduction, and emits a one-line repro seed. Repro lines of past
+// failures are committed to testdata/corpus and replayed by
+// TestCorpusSeeds, so every fixed bug stays fixed.
+//
+// Entry points: Generate derives a world spec from a seeded splitmix64
+// stream, Check runs one spec under the full invariant suite, Fuzz
+// drives N specs across the shard executor, and `ptperf fuzz` is the
+// CLI face.
+package simtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ptperf/internal/censor"
+	"ptperf/internal/fetch"
+	"ptperf/internal/geo"
+	"ptperf/internal/netem"
+	"ptperf/internal/pt"
+	"ptperf/internal/sim"
+	"ptperf/internal/stats"
+	"ptperf/internal/testbed"
+)
+
+// pageTimeout mirrors the harness's 120 s page timeout; a failed access
+// is recorded as this duration, like the paper's campaigns did.
+const pageTimeout = 120 * time.Second
+
+// drainTime is the virtual settle time after parking a campaign:
+// in-flight segments arrive, loss penalties resolve, per-conn
+// goroutines observe their closes and exit, and the polling tunnels'
+// idle-session reapers (120 s staleness, checked on a 120 s cadence, so
+// worst-case ~240 s after the last poll) cut abandoned sessions.
+// Virtual seconds are nearly free: the clock jumps straight across
+// quiet stretches.
+const drainTime = 300 * time.Second
+
+// streamWorld is the seed-stream id simtest draws worlds from; it is
+// far from the harness's experiment streams so a fuzz run never
+// accidentally rebuilds a unit-test world.
+const streamWorld = 9000
+
+// Spec is one generated world: everything a fuzz case needs to rebuild
+// it exactly. A Spec is a pure function of (Root, Index) until the
+// shrinker trims Transports, Scenario events, Sites or Repeats — those
+// overrides are what the repro line records.
+type Spec struct {
+	// Root is the fuzz run's root seed; Index the world's position in
+	// the run. Together they derive every random draw below.
+	Root, Index int64
+	// Transports is the measured method subset ("tor" plus PT names).
+	Transports []string
+	// Scenario is the composed censor scenario the world runs under.
+	Scenario censor.Scenario
+	// EventIdx maps Scenario.Events back to the generated scenario's
+	// event indices (repro-line provenance across shrinks).
+	EventIdx []int
+	// Sites is the number of sites measured per catalog; Repeats the
+	// accesses per site.
+	Sites, Repeats int
+	// ByteScale is the world's byte-quantity scale.
+	ByteScale float64
+	// Location is the client city; Medium its access medium.
+	Location geo.Location
+	// Medium is the client's access medium (wired or wireless).
+	Medium geo.Medium
+	// Guards, Middles, Exits size the volunteer relay fleet.
+	Guards, Middles, Exits int
+}
+
+// Seed derives the world seed for this spec's testbed; shrinking leaves
+// it untouched so a shrunken world keeps the original's topology draws.
+func (s Spec) Seed() int64 {
+	return sim.DeriveSeed(s.Root, streamWorld, s.Index, 2)
+}
+
+// ID is the spec's short human-readable identity in logs.
+func (s Spec) ID() string {
+	return fmt.Sprintf("world %d/%#x (%d transports, %d rules, %d sites × %d)",
+		s.Index, uint64(s.Root), len(s.Transports), len(s.Scenario.Events), s.Sites, s.Repeats)
+}
+
+// normalize maps empty slices to nil so specs compare canonically
+// (reflect.DeepEqual in tests) however they were produced — generated,
+// shrunk, or decoded from a repro line.
+func (s *Spec) normalize() {
+	if len(s.Transports) == 0 {
+		s.Transports = nil
+	}
+	if len(s.Scenario.Events) == 0 {
+		s.Scenario.Events = nil
+	}
+	if len(s.Scenario.Phases) == 0 {
+		s.Scenario.Phases = nil
+	}
+	if len(s.EventIdx) == 0 {
+		s.EventIdx = nil
+	}
+}
+
+// Generate derives world Index of a fuzz run rooted at seed root. Equal
+// (root, index) pairs always generate the identical spec; neighbouring
+// indices draw from independent splitmix64 streams.
+func Generate(root, index int64) Spec {
+	rng := rand.New(rand.NewSource(sim.DeriveSeed(root, streamWorld, index, 0)))
+	s := Spec{Root: root, Index: index}
+
+	// Random transport subset: 1–3 methods from tor plus the catalog.
+	all := append([]string{"tor"}, pt.Names()...)
+	n := 1 + rng.Intn(3)
+	for _, k := range rng.Perm(len(all))[:n] {
+		s.Transports = append(s.Transports, all[k])
+	}
+	sort.Strings(s.Transports)
+
+	// Random composed scenario within paper-scale bounds.
+	s.Scenario = censor.RandomScenario(sim.DeriveSeed(root, streamWorld, index, 1), censor.PaperBounds())
+	s.EventIdx = make([]int, len(s.Scenario.Events))
+	for i := range s.EventIdx {
+		s.EventIdx[i] = i
+	}
+
+	// Random topology knobs.
+	s.Sites = 1 + rng.Intn(2)
+	s.Repeats = 1 + rng.Intn(2)
+	s.ByteScale = 0.04 + rng.Float64()*0.04
+	s.Location = geo.Clients[rng.Intn(len(geo.Clients))]
+	if rng.Intn(4) == 0 {
+		s.Medium = geo.Wireless
+	}
+	s.Guards = 2 + rng.Intn(3)
+	s.Middles = 2 + rng.Intn(3)
+	s.Exits = 2 + rng.Intn(3)
+	s.normalize()
+	return s
+}
+
+// methodResult is one transport's raw outcomes in one world.
+type methodResult struct {
+	Name   string
+	Times  []float64 // one entry per site access, timeouts included
+	OK     int
+	Failed int
+}
+
+// Outcome is everything one world run exposes to the invariant
+// checkers: the canonical report (the determinism comparand), the raw
+// per-method data, the censor and netem accounting, and the leak
+// samples taken at the two quiescent points.
+type Outcome struct {
+	Spec    Spec
+	Report  string
+	Methods map[string]*methodResult
+	Censor  censor.Stats
+	Acct    netem.AcctSnapshot
+	// Elapsed is the world's final virtual time.
+	Elapsed time.Duration
+	// Registered and OpenConns sample live goroutines / conn endpoints
+	// after the main campaign drain [0] and after the steady-state
+	// second pass drain [1]: growth between them is a per-campaign leak.
+	Registered [2]int
+	OpenConns  [2]int64
+	// ClockErr records a virtual-clock monotonicity violation observed
+	// while measuring.
+	ClockErr error
+}
+
+// Run builds the spec's world and executes its measurement campaign on
+// the calling goroutine (which becomes the world's scheduler driver,
+// per the sim task contract). The returned error covers world
+// construction only; invariant verdicts live in the Outcome.
+func Run(spec Spec) (*Outcome, error) {
+	sc := spec.Scenario
+	w, err := testbed.New(testbed.Options{
+		Seed:           spec.Seed(),
+		ByteScale:      spec.ByteScale,
+		ClientLocation: spec.Location,
+		Medium:         spec.Medium,
+		Guards:         spec.Guards,
+		Middles:        spec.Middles,
+		Exits:          spec.Exits,
+		TrancoN:        spec.Sites,
+		CBLN:           spec.Sites,
+		ScenarioSpec:   &sc,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("simtest: build %s: %w", spec.ID(), err)
+	}
+	out := &Outcome{Spec: spec}
+	clock := w.Net.Clock()
+
+	out.Methods = measure(w, spec, spec.Repeats, &out.ClockErr)
+	park(w, spec)
+	clock.Sleep(drainTime)
+	out.Registered[0] = clock.Registered()
+	out.OpenConns[0] = w.Net.Acct().Snapshot().OpenConns()
+
+	// Steady-state second pass: one access per method. A campaign that
+	// leaks goroutines or flows per access grows between the two
+	// samples; the world's standing infrastructure (relay accept loops,
+	// parked tunnels, proxy pools) is present in both and cancels out.
+	measure(w, spec, 1, &out.ClockErr)
+	park(w, spec)
+	clock.Sleep(drainTime)
+	out.Registered[1] = clock.Registered()
+	out.Acct = w.Net.Acct().Snapshot()
+	out.OpenConns[1] = out.Acct.OpenConns()
+
+	if w.Censor != nil {
+		out.Censor = w.Censor.Stats()
+	}
+	out.Elapsed = clock.Now()
+	out.Report = render(out)
+	return out, nil
+}
+
+// measure runs one access pass: every transport fetches every site
+// `repeats` times, transports in parallel as simulation goroutines on
+// the world's scheduler (deterministic interleaving at virtual-time
+// waits). Results are keyed by method; a monotonicity violation is
+// written to clockErr.
+func measure(w *testbed.World, spec Spec, repeats int, clockErr *error) map[string]*methodResult {
+	clock := w.Net.Clock()
+	type site struct{ path string }
+	var sites []site
+	for i := 0; i < spec.Sites && i < len(w.Tranco.Sites); i++ {
+		sites = append(sites, site{w.Tranco.Sites[i].Path})
+	}
+	for i := 0; i < spec.Sites && i < len(w.CBL.Sites); i++ {
+		sites = append(sites, site{w.CBL.Sites[i].Path})
+	}
+
+	// Exactly one simulation goroutine runs at a time, so a plain mutex
+	// never blocks here; it only orders the map writes (same pattern as
+	// the harness's forEachMethodN).
+	out := make(map[string]*methodResult, len(spec.Transports))
+	var mu sync.Mutex
+	wg := netem.NewWaitGroup(clock)
+	for _, name := range spec.Transports {
+		name := name
+		wg.Add(1)
+		clock.Go(func() {
+			defer wg.Done()
+			res := &methodResult{Name: name}
+			last := clock.Now()
+			record := func(sec float64, ok bool) {
+				res.Times = append(res.Times, sec)
+				if ok {
+					res.OK++
+				} else {
+					res.Failed++
+				}
+				if now := clock.Now(); now < last {
+					mu.Lock()
+					if *clockErr == nil {
+						*clockErr = fmt.Errorf("virtual clock moved backwards: %v after %v", now, last)
+					}
+					mu.Unlock()
+				} else {
+					last = now
+				}
+			}
+			d, err := w.Deployment(name)
+			if err != nil {
+				// A deployment that cannot build records every access
+				// as a timeout — the campaign shape stays intact.
+				for i := 0; i < len(sites)*repeats; i++ {
+					record(pageTimeout.Seconds(), false)
+				}
+				mu.Lock()
+				out[name] = res
+				mu.Unlock()
+				return
+			}
+			// A failed preheat is not fatal: under blocking scenarios
+			// the accesses themselves record the failure.
+			_ = d.Preheat()
+			c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: pageTimeout}
+			for _, st := range sites {
+				for rep := 0; rep < repeats; rep++ {
+					got := c.Get(w.Origin.Addr(), st.path, false)
+					if got.Err != nil || !got.Complete() {
+						record(pageTimeout.Seconds(), false)
+						continue
+					}
+					record(got.Total.Seconds(), true)
+				}
+			}
+			mu.Lock()
+			out[name] = res
+			mu.Unlock()
+		})
+	}
+	wg.Wait()
+	return out
+}
+
+// park discards every deployment's circuit state so polling tunnels
+// stop generating events and per-circuit goroutines can exit.
+func park(w *testbed.World, spec Spec) {
+	for _, name := range spec.Transports {
+		if d, err := w.Deployment(name); err == nil {
+			d.FreshCircuit()
+		}
+	}
+}
+
+// render produces the canonical report: a deterministic, byte-stable
+// text rendering of everything the world measured. Two runs of the same
+// spec must render identically — this string is the determinism
+// invariant's comparand.
+func render(o *Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "simtest %s scenario=%s elapsed=%v\n", o.Spec.ID(), o.Spec.Scenario.Name, o.Elapsed)
+	for _, name := range o.orderedMethods() {
+		m := o.Methods[name]
+		box := stats.Summarize(m.Times)
+		fmt.Fprintf(&b, "  %-12s ok=%d failed=%d min=%.4f med=%.4f max=%.4f", name, m.OK, m.Failed, box.Min, box.Median, box.Max)
+		for _, t := range m.Times {
+			fmt.Fprintf(&b, " %.6f", t)
+		}
+		b.WriteByte('\n')
+	}
+	st := o.Censor
+	fmt.Fprintf(&b, "  censor blocked=%d cut=%d resets=%d loss=%d throttled=%d\n",
+		st.BlockedDials, st.FlowsCut, st.Resets, st.LossEvents, st.ThrottledSegments)
+	a := o.Acct
+	fmt.Fprintf(&b, "  acct dials=%d refused=%d conns=%d/%d segs=%d filtered=%d bytes=%d/%d/%d/%d\n",
+		a.Dials, a.DialsRefused, a.ConnsOpened, a.ConnsClosed, a.SegmentsSent, a.SegmentsFiltered,
+		a.BytesSent, a.BytesDelivered, a.BytesDropped, a.BytesBuffered)
+	return b.String()
+}
+
+// orderedMethods returns the spec's transports sorted (map-iteration
+// independence for the canonical report).
+func (o *Outcome) orderedMethods() []string {
+	out := append([]string(nil), o.Spec.Transports...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,178 @@
+package simtest
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestGenerateDeterministic pins the generator contract: equal
+// (root, index) pairs produce identical specs, different indices
+// different worlds.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7, 3)
+	b := Generate(7, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same (root, index) generated different specs:\n%+v\nvs\n%+v", a, b)
+	}
+	c := Generate(7, 4)
+	if reflect.DeepEqual(a.Transports, c.Transports) && reflect.DeepEqual(a.Scenario, c.Scenario) &&
+		a.Sites == c.Sites && a.Repeats == c.Repeats && a.Location == c.Location {
+		t.Fatal("neighbouring indices generated identical worlds")
+	}
+}
+
+// TestGenerateDiversity guards the generator against collapsing: across
+// a modest index range it must exercise multiple transports, scenario
+// rule kinds, locations and the wireless medium.
+func TestGenerateDiversity(t *testing.T) {
+	transports := map[string]bool{}
+	locations := map[string]bool{}
+	var wireless, phases, blocks, multi int
+	for i := int64(0); i < 64; i++ {
+		s := Generate(1, i)
+		for _, tr := range s.Transports {
+			transports[tr] = true
+		}
+		locations[s.Location.String()] = true
+		if s.Medium != 0 {
+			wireless++
+		}
+		if len(s.Scenario.Phases) > 0 {
+			phases++
+		}
+		for _, ev := range s.Scenario.Events {
+			if ev.Rule.Block {
+				blocks++
+			}
+		}
+		if len(s.Transports) > 1 {
+			multi++
+		}
+	}
+	if len(transports) < 10 {
+		t.Errorf("64 worlds used only %d transports", len(transports))
+	}
+	if len(locations) < 3 {
+		t.Errorf("64 worlds used only %d client locations", len(locations))
+	}
+	for name, n := range map[string]int{"wireless": wireless, "phases": phases, "blocks": blocks, "multi-transport": multi} {
+		if n == 0 {
+			t.Errorf("64 worlds produced no %s case", name)
+		}
+	}
+}
+
+// TestReproRoundTrip checks the repro-line codec over generated and
+// shrunken specs.
+func TestReproRoundTrip(t *testing.T) {
+	for i := int64(0); i < 16; i++ {
+		s := Generate(5, i)
+		got, err := ParseRepro(s.Repro())
+		if err != nil {
+			t.Fatalf("world %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(s, got) {
+			t.Fatalf("world %d did not round-trip:\n%+v\nvs\n%+v\nline: %s", i, s, got, s.Repro())
+		}
+	}
+
+	// A hand-shrunk spec: transport subset, dropped events, halved
+	// campaign.
+	s := Generate(5, 1)
+	for len(s.Scenario.Events) < 2 {
+		s = Generate(5, s.Index+100)
+	}
+	shrunk := s.clone()
+	shrunk.Transports = shrunk.Transports[:1]
+	shrunk.Scenario.Events = shrunk.Scenario.Events[1:]
+	shrunk.EventIdx = shrunk.EventIdx[1:]
+	shrunk.Scenario.Phases = nil
+	shrunk.Sites, shrunk.Repeats = 1, 1
+	shrunk.normalize()
+	got, err := ParseRepro(shrunk.Repro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(shrunk, got) {
+		t.Fatalf("shrunken spec did not round-trip:\n%+v\nvs\n%+v\nline: %s", shrunk, got, shrunk.Repro())
+	}
+}
+
+// TestParseReproRejects covers malformed and stale lines.
+func TestParseReproRejects(t *testing.T) {
+	base := Generate(5, 0)
+	for _, line := range []string{
+		"",
+		"bogus root=1 index=0",
+		"simtest-v1 index=0",
+		"simtest-v1 root=1",
+		"simtest-v1 root=x index=0",
+		base.Repro() + " sites=0",
+		"simtest-v1 root=5 index=0 events=99",
+		"simtest-v1 root=5 index=0 transports=",
+		"simtest-v1 root=5 index=0 transports=meeek",
+	} {
+		if _, err := ParseRepro(line); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+// TestReadCorpus checks comment/blank handling and line attribution.
+func TestReadCorpus(t *testing.T) {
+	in := "# comment\n\n" + Generate(5, 0).Repro() + "\n" + Generate(5, 1).Repro() + "\n"
+	specs, err := ReadCorpus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("parsed %d specs, want 2", len(specs))
+	}
+	if _, err := ReadCorpus(strings.NewReader("simtest-v1 bad\n")); err == nil || !strings.Contains(err.Error(), "corpus line 1") {
+		t.Errorf("bad corpus error = %v, want line attribution", err)
+	}
+}
+
+// TestReductionsShrinkEveryAxis checks the candidate enumeration trims
+// each dimension and never aliases the parent spec.
+func TestReductionsShrinkEveryAxis(t *testing.T) {
+	var s Spec
+	for i := int64(0); ; i++ {
+		s = Generate(1, i)
+		if len(s.Transports) >= 2 && len(s.Scenario.Events) >= 2 && s.Sites == 2 && s.Repeats == 2 {
+			break
+		}
+		if i > 500 {
+			t.Fatal("no suitably large world in 500 draws")
+		}
+	}
+	cands := reductions(s)
+	var transports, events, sites, repeats bool
+	for _, c := range cands {
+		if len(c.Transports) < len(s.Transports) {
+			transports = true
+		}
+		if len(c.Scenario.Events) < len(s.Scenario.Events) {
+			events = true
+			if len(c.EventIdx) != len(c.Scenario.Events) {
+				t.Fatalf("EventIdx (%d) out of lockstep with Events (%d)", len(c.EventIdx), len(c.Scenario.Events))
+			}
+		}
+		if c.Sites < s.Sites {
+			sites = true
+		}
+		if c.Repeats < s.Repeats {
+			repeats = true
+		}
+	}
+	if !transports || !events || !sites || !repeats {
+		t.Fatalf("reductions missed an axis: transports=%v events=%v sites=%v repeats=%v", transports, events, sites, repeats)
+	}
+	// Mutating a candidate must not touch the parent.
+	before := len(s.Scenario.Events)
+	cands[0].Scenario.Events = nil
+	if len(s.Scenario.Events) != before {
+		t.Fatal("reduction aliases the parent spec's events")
+	}
+}

@@ -41,6 +41,9 @@ func Variance(xs []float64) float64 {
 // StdDev returns the sample standard deviation.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
+// Median returns the sample median (the 0.5 quantile).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
 // Quantile returns the q-th quantile (q in [0,1]) with linear
 // interpolation between order statistics.
 func Quantile(xs []float64, q float64) float64 {

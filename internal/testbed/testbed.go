@@ -58,6 +58,11 @@ type Options struct {
 	// registry ("clean", "throttle-surge", ...). Empty leaves the
 	// network unpoliced — identical to the pre-censor worlds.
 	Scenario string
+	// ScenarioSpec attaches an in-memory scenario directly, bypassing
+	// the registry; it takes precedence over Scenario. The
+	// simulation-torture suite uses it so randomly generated scenarios
+	// never leak into the global registry another world might list.
+	ScenarioSpec *censor.Scenario
 }
 
 // withDefaults fills the zero Options with the standard campaign world.
@@ -141,14 +146,16 @@ func New(opts Options) (*World, error) {
 		rng:  rand.New(rand.NewSource(o.Seed * 31)),
 		deps: make(map[string]*Deployment),
 	}
-	if o.Scenario != "" {
+	if o.ScenarioSpec != nil {
+		// Censor rates are paper-scale figures; they shrink with the
+		// world's byte quantities so a throttle that binds at full
+		// fidelity still binds in a miniature campaign.
+		w.Censor = censor.Attach(n, *o.ScenarioSpec, o.Seed, o.ByteScale)
+	} else if o.Scenario != "" {
 		sc, err := censor.Lookup(o.Scenario)
 		if err != nil {
 			return nil, err
 		}
-		// Censor rates are paper-scale figures; they shrink with the
-		// world's byte quantities so a throttle that binds at full
-		// fidelity still binds in a miniature campaign.
 		w.Censor = censor.Attach(n, sc, o.Seed, o.ByteScale)
 	}
 

@@ -569,10 +569,10 @@ func (s *exitStream) pump() {
 			}
 		}
 		if err != nil {
-			s.circ.sendBackward(RelayCell{Cmd: RelayEnd, StreamID: s.id})
-			s.circ.mu.Lock()
-			delete(s.circ.streams, s.id)
-			s.circ.mu.Unlock()
+			// closeStream (not a bare map delete) so the exit-side conn
+			// to the target is closed too — leaving it open leaked one
+			// flow per completed stream.
+			s.circ.closeStream(s.id, true)
 			return
 		}
 	}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func names(c compareResult) map[string]row {
+	out := make(map[string]row, len(c.rows))
+	for _, r := range c.rows {
+		out[r.name] = r
+	}
+	return out
+}
+
+// TestUniformSlowdownIsHardware pins the min-ratio normalization: a
+// suite uniformly 2x slower reads as a slower machine, not as
+// regressions.
+func TestUniformSlowdownIsHardware(t *testing.T) {
+	base := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 2000, "BenchmarkC": 30}
+	res := map[string]float64{"BenchmarkA": 200, "BenchmarkB": 4000, "BenchmarkC": 60}
+	c, err := compare(base, res, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.failed {
+		t.Fatalf("uniform 2x slowdown flagged as regression: %+v", c.rows)
+	}
+	if math.Abs(c.floor-2) > 1e-9 {
+		t.Errorf("floor = %.3f, want 2.0", c.floor)
+	}
+	for _, r := range c.rows {
+		if math.Abs(r.normalized-1) > 1e-9 {
+			t.Errorf("%s normalized = %.3f, want 1.0", r.name, r.normalized)
+		}
+	}
+}
+
+// TestSingleRegressionGates: one benchmark 30% over the floor fails the
+// 25% gate, the rest stay ok.
+func TestSingleRegressionGates(t *testing.T) {
+	base := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100, "BenchmarkC": 100}
+	res := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 130, "BenchmarkC": 110}
+	c, err := compare(base, res, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.failed {
+		t.Fatal("30% single-benchmark regression passed the 25% gate")
+	}
+	rows := names(c)
+	if !rows["BenchmarkB"].regressed {
+		t.Error("BenchmarkB not flagged")
+	}
+	if rows["BenchmarkA"].regressed || rows["BenchmarkC"].regressed {
+		t.Errorf("within-threshold benchmarks flagged: %+v", rows)
+	}
+}
+
+// TestBoundaryNotFlagged: exactly threshold over the floor is allowed
+// (the gate is strictly greater-than).
+func TestBoundaryNotFlagged(t *testing.T) {
+	base := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100}
+	res := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 125}
+	c, err := compare(base, res, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.failed {
+		t.Fatalf("exact-threshold ratio flagged: %+v", c.rows)
+	}
+}
+
+// TestSweepParallelExcluded: parName influences neither the floor nor
+// the gate, however wild its ratio.
+func TestSweepParallelExcluded(t *testing.T) {
+	base := map[string]float64{"BenchmarkA": 100, parName: 100}
+	res := map[string]float64{"BenchmarkA": 100, parName: 5000}
+	c, err := compare(base, res, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.failed {
+		t.Fatal("SweepParallel ratio leaked into the gate")
+	}
+	if _, ok := names(c)[parName]; ok {
+		t.Fatal("SweepParallel present in gated rows")
+	}
+	// And its tiny ratio must not become the floor either (which would
+	// flag everything else).
+	res2 := map[string]float64{"BenchmarkA": 100, parName: 10}
+	c2, err := compare(base, res2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.failed || c2.floor != 1 {
+		t.Fatalf("SweepParallel improvement moved the floor: floor=%.3f failed=%v", c2.floor, c2.failed)
+	}
+}
+
+// TestDroppedAndNewBenchmarksSkipped: benchmarks on one side only are
+// not regressions.
+func TestDroppedAndNewBenchmarksSkipped(t *testing.T) {
+	base := map[string]float64{"BenchmarkA": 100, "BenchmarkDropped": 100}
+	res := map[string]float64{"BenchmarkA": 100, "BenchmarkNew": 1e9}
+	c, err := compare(base, res, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.rows) != 1 || c.rows[0].name != "BenchmarkA" || c.failed {
+		t.Fatalf("rows = %+v failed=%v, want only BenchmarkA ok", c.rows, c.failed)
+	}
+	if _, err := compare(map[string]float64{"BenchmarkX": 1}, map[string]float64{"BenchmarkY": 1}, 0.25); err == nil {
+		t.Fatal("disjoint suites must error, not pass")
+	}
+}
+
+// TestSweepSpeedupAssertion covers the same-run shard-executor gate.
+func TestSweepSpeedupAssertion(t *testing.T) {
+	res := map[string]float64{seqName: 1000, parName: 250}
+	if s, present, failed := sweepSpeedup(res, 2.5); failed || !present || math.Abs(s-4) > 1e-9 {
+		t.Errorf("4x speedup: s=%.2f present=%v failed=%v", s, present, failed)
+	}
+	if _, _, failed := sweepSpeedup(res, 5); !failed {
+		t.Error("4x speedup passed a 5x requirement")
+	}
+	// Disabled check never fails, even with benchmarks missing.
+	if _, _, failed := sweepSpeedup(map[string]float64{}, 0); failed {
+		t.Error("disabled speedup check failed")
+	}
+	// Enabled check with the pair missing must fail loudly.
+	if _, present, failed := sweepSpeedup(map[string]float64{seqName: 1000}, 2.5); !failed || present {
+		t.Error("missing SweepParallel slipped past an enabled speedup gate")
+	}
+}

@@ -38,7 +38,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 )
 
 func main() {
@@ -59,61 +58,23 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	type row struct {
-		name       string
-		base, res  float64
-		ratio      float64
-		normalized float64
+	cmp, err := compare(base, res, *threshold)
+	if err != nil {
+		fatalf("%s vs %s: %v", *baselinePath, *resultsPath, err)
 	}
-	var rows []row
-	for name, b := range base {
-		if name == parName {
-			continue // core-count-dependent by design; gated by the speedup check
-		}
-		r, ok := res[name]
-		if !ok || b <= 0 {
-			continue // dropped or new benchmarks are not regressions
-		}
-		rows = append(rows, row{name: name, base: b, res: r, ratio: r / b})
-	}
-	if len(rows) == 0 {
-		fatalf("no benchmarks in common between %s and %s", *baselinePath, *resultsPath)
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	fmt.Print(cmp.render())
+	failed := cmp.failed
 
-	floor := rows[0].ratio
-	for _, r := range rows[1:] {
-		if r.ratio < floor {
-			floor = r.ratio
-		}
-	}
-	if floor <= 0 {
-		fatalf("non-positive ratio floor %.3f", floor)
-	}
-
-	failed := false
-	fmt.Printf("machine-speed factor (minimum result/baseline ratio): %.3f\n", floor)
-	fmt.Printf("%-40s %14s %14s %8s %10s\n", "benchmark", "baseline ns/op", "result ns/op", "ratio", "vs floor")
-	for i := range rows {
-		rows[i].normalized = rows[i].ratio / floor
-		verdict := "ok"
-		if rows[i].normalized > 1+*threshold {
-			verdict = "REGRESSION"
-			failed = true
-		}
-		fmt.Printf("%-40s %14.0f %14.0f %8.3f %9.3fx %s\n",
-			rows[i].name, rows[i].base, rows[i].res, rows[i].ratio, rows[i].normalized, verdict)
-	}
-
-	if seq, par := res[seqName], res[parName]; seq > 0 && par > 0 {
-		speedup := seq / par
+	speedup, present, speedupFailed := sweepSpeedup(res, *minSpeedup)
+	if present {
 		fmt.Printf("\nsweep parallel speedup (%s / %s): %.2fx\n", seqName, parName, speedup)
-		if *minSpeedup > 0 && speedup < *minSpeedup {
+	}
+	if speedupFailed {
+		if !present {
+			fmt.Printf("FAIL: -min-sweep-speedup set but %s/%s missing from results\n", seqName, parName)
+		} else {
 			fmt.Printf("FAIL: sweep speedup %.2fx below required %.2fx\n", speedup, *minSpeedup)
-			failed = true
 		}
-	} else if *minSpeedup > 0 {
-		fmt.Printf("FAIL: -min-sweep-speedup set but %s/%s missing from results\n", seqName, parName)
 		failed = true
 	}
 
@@ -122,11 +83,6 @@ func main() {
 	}
 	fmt.Printf("\nno regressions beyond %.0f%% of the suite's minimum-ratio floor\n", *threshold*100)
 }
-
-// seqName/parName are the sweep benchmark pair: parName is excluded
-// from the ratio gate (ns/op scales with core count) and instead gated
-// by -min-sweep-speedup against seqName from the same run.
-const seqName, parName = "BenchmarkScenarioSweep", "BenchmarkSweepParallel"
 
 func readNsOp(path string) (map[string]float64, error) {
 	data, err := os.ReadFile(path)
