@@ -110,6 +110,19 @@ func BenchmarkSweepParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkContentionSweep exercises the relay cell scheduler end to
+// end: the guard-contention family's four load levels plus the FIFO
+// baseline cell, with competitor fleets, EWMA priority and KIST-style
+// write budgeting all on the virtual clock. Jobs is pinned to 1 so
+// ns/op is core-count-independent and the benchdiff ratio gate applies
+// to it like any other benchmark (no SweepParallel-style exclusion).
+func BenchmarkContentionSweep(b *testing.B) {
+	runExperiment(b, "contention", func(c *harness.Config) {
+		c.Sites = 2
+		c.Jobs = 1
+	})
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // BenchmarkAblationGuardLoad toggles the volunteer-guard utilization gap

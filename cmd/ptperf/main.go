@@ -16,6 +16,13 @@
 //	ptperf -exp sweep                            {transports} × {scenarios}
 //	ptperf -exp fig5 -scenario lossy-path        any artifact under a scenario
 //
+// The relay cell scheduler (internal/tor: EWMA circuit priority with
+// KIST-style write budgeting) makes relay-side contention measurable;
+// the guard-contention experiment crosses the shared-guard methods with
+// the relay-overload scenario family and a FIFO baseline cell:
+//
+//	ptperf -exp contention                       {tor,obfs4,webtunnel} × {idle,light,busy,overload}
+//
 // The simulation-torture subsystem (internal/simtest) fuzzes the whole
 // substrate: randomized worlds — random transport subsets, composed
 // censor scenarios, topology draws — each run under cross-cutting

@@ -32,6 +32,20 @@
 // scenario layer" for the interception architecture and determinism
 // rules.
 //
+// Relays schedule, they don't just forward: internal/tor's cell
+// scheduler gives every circuit a per-circuit output queue, picks the
+// quietest circuit by a decaying cell count (tor's
+// CircuitPriorityHalflife EWMA), and budgets each flush pass by the
+// relay's bandwidth and the downstream link's writable window
+// (KIST-style, via netem.Conn.WriteBudget) — so relay-side contention
+// is modeled and measurable instead of invisible. The guard-contention
+// scenario family (testbed.ContentionLevels) shares the measurement
+// guard with N bulk competitors, and "ptperf -exp contention" crosses
+// {tor,obfs4,webtunnel} × {competitor load}, reporting queueing delay
+// and download/TTFB boxes vs the uncontended baseline plus a FIFO
+// (pre-KIST) comparison cell. See DESIGN.md's "Relay scheduling &
+// contention".
+//
 // The contracts above are enforced at scale by internal/simtest, the
 // simulation-torture subsystem: "ptperf fuzz -n N -seed S" generates N
 // randomized worlds (random transport subsets, composed censor

@@ -201,6 +201,14 @@ func Experiments() []Experiment {
 		prefetch: prefetchSweep,
 		run:      (*Runner).runSweep,
 	})
+	exps = append(exps, Experiment{
+		ID:       "contention",
+		Artifact: "Relay scheduler",
+		Title:    "guard-contention sweep: {tor,obfs4,webtunnel} × {competitor load} + FIFO baseline",
+		Optional: true,
+		prefetch: prefetchContention,
+		run:      (*Runner).runContention,
+	})
 	return exps
 }
 
@@ -253,15 +261,16 @@ func (r *Runner) Run(id string) error {
 // shares streamScenario so the only difference between scenario
 // columns is the interference itself.
 const (
-	streamCampaign = 0
-	streamFig3     = 1000
-	streamFig4     = 1100
-	streamFig7     = 1200 // path element 2: location index
-	streamFig9     = 2000
-	streamFig10    = 3000
-	streamFig12    = 3100
-	streamMedium   = 4000 // path element 2: medium index
-	streamScenario = 5000
+	streamCampaign   = 0
+	streamFig3       = 1000
+	streamFig4       = 1100
+	streamFig7       = 1200 // path element 2: location index
+	streamFig9       = 2000
+	streamFig10      = 3000
+	streamFig12      = 3100
+	streamMedium     = 4000 // path element 2: medium index
+	streamScenario   = 5000
+	streamContention = 6000 // one seed for every contention cell
 )
 
 // worldOptions builds one world task's Options on the given seed

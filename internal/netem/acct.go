@@ -31,6 +31,13 @@ type Acct struct {
 	bytesDelivered   atomic.Int64
 	bytesDropped     atomic.Int64
 
+	// Relay-cell scheduler counters (maintained by internal/tor): every
+	// cell accepted into a per-circuit output queue is later either
+	// flushed to its link or dropped at circuit teardown.
+	cellsQueued  atomic.Int64
+	cellsFlushed atomic.Int64
+	cellsDropped atomic.Int64
+
 	mu    sync.Mutex
 	pipes []*pipe
 	conns []*Conn
@@ -61,6 +68,13 @@ type AcctSnapshot struct {
 	// from the pipes themselves, not derived from the other counters —
 	// that independence is what makes ConservationErr a real check.
 	BytesBuffered int64
+	// CellsQueued counts relay cells accepted into per-circuit output
+	// queues (the tor relay scheduler's intake).
+	CellsQueued int64
+	// CellsFlushed counts queued cells written to their links.
+	CellsFlushed int64
+	// CellsDropped counts queued cells discarded at circuit teardown.
+	CellsDropped int64
 }
 
 // nil-safe counter helpers: conns built outside a network carry no Acct.
@@ -109,6 +123,29 @@ func (a *Acct) addDelivered(n int) {
 func (a *Acct) addDropped(n int) {
 	if a != nil && n > 0 {
 		a.bytesDropped.Add(int64(n))
+	}
+}
+
+// AddCellsQueued counts relay cells accepted into scheduler queues.
+// Exported (with its Flushed/Dropped siblings) because the queues live
+// in internal/tor while the conservation audit lives here.
+func (a *Acct) AddCellsQueued(n int64) {
+	if a != nil {
+		a.cellsQueued.Add(n)
+	}
+}
+
+// AddCellsFlushed counts queued relay cells written to their links.
+func (a *Acct) AddCellsFlushed(n int64) {
+	if a != nil {
+		a.cellsFlushed.Add(n)
+	}
+}
+
+// AddCellsDropped counts queued relay cells discarded at teardown.
+func (a *Acct) AddCellsDropped(n int64) {
+	if a != nil && n > 0 {
+		a.cellsDropped.Add(n)
 	}
 }
 
@@ -192,6 +229,9 @@ func (a *Acct) Snapshot() AcctSnapshot {
 		BytesSent:        a.bytesSent.Load(),
 		BytesDelivered:   a.bytesDelivered.Load(),
 		BytesDropped:     a.bytesDropped.Load(),
+		CellsQueued:      a.cellsQueued.Load(),
+		CellsFlushed:     a.cellsFlushed.Load(),
+		CellsDropped:     a.cellsDropped.Load(),
 	}
 	a.mu.Lock()
 	pipes := a.pipes
@@ -222,6 +262,24 @@ func (s AcctSnapshot) ConservationErr() error {
 	}
 	if s.BytesSent < 0 || s.BytesDelivered < 0 || s.BytesDropped < 0 || s.BytesBuffered < 0 {
 		return fmt.Errorf("netem: negative byte counter: %+v", s)
+	}
+	return nil
+}
+
+// CellConservationErr checks the relay-cell scheduler equation: at a
+// drained point (no circuit holds queued cells) every cell that entered
+// a per-circuit output queue must have been flushed to its link or
+// dropped at teardown. Unlike ConservationErr this only holds once the
+// queues are empty, so it is a separate check the invariant suite
+// applies after the drain sleep.
+func (s AcctSnapshot) CellConservationErr() error {
+	if s.CellsQueued < 0 || s.CellsFlushed < 0 || s.CellsDropped < 0 {
+		return fmt.Errorf("netem: negative cell counter: queued=%d flushed=%d dropped=%d",
+			s.CellsQueued, s.CellsFlushed, s.CellsDropped)
+	}
+	if got := s.CellsFlushed + s.CellsDropped; got != s.CellsQueued {
+		return fmt.Errorf("netem: cell conservation violated: queued=%d but flushed=%d + dropped=%d = %d",
+			s.CellsQueued, s.CellsFlushed, s.CellsDropped, got)
 	}
 	return nil
 }

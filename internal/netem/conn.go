@@ -147,6 +147,20 @@ func (c *Conn) Write(p []byte) (int, error) {
 	return written, nil
 }
 
+// WriteBudget reports how many payload bytes a Write can currently
+// accept without parking on receive-window backpressure, 0 once either
+// end has closed. It is a snapshot, not a reservation: concurrent
+// writers can consume the space between the probe and the write, in
+// which case the write simply parks as usual. Schedulers that must not
+// stall head-of-line (the tor relay cell scheduler's KIST-style
+// budgeting) probe it instead of issuing blind blocking writes.
+func (c *Conn) WriteBudget() int {
+	if c.closed.Load() {
+		return 0
+	}
+	return c.tx.freeSpace()
+}
+
 // policy returns the network's middlebox policy, or nil for conns built
 // outside a network.
 func (c *Conn) policy() Policy {

@@ -184,6 +184,21 @@ func (p *pipe) pop(buf []byte, deadline time.Time) (int, error) {
 	}
 }
 
+// freeSpace reports how many more payload bytes push would accept
+// without parking on the receive-window bound; 0 once either side has
+// closed. The conn layer exposes it as the write-budget probe.
+func (p *pipe) freeSpace() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rclosed || p.wclosed {
+		return 0
+	}
+	if free := p.maxBuf - p.buffered; free > 0 {
+		return free
+	}
+	return 0
+}
+
 // readerClosed reports whether the reader side has closed (the pipe's
 // buffered count is zero forever); the accounting registry prunes on it.
 func (p *pipe) readerClosed() bool {

@@ -39,6 +39,7 @@ var invariants = []invariant{
 	{"report-shape", checkReportShape},
 	{"clock-monotonic", checkClockMonotonic},
 	{"byte-conservation", checkByteConservation},
+	{"cell-conservation", checkCellConservation},
 	{"censor-accounting", checkCensorAccounting},
 	{"no-leaks", checkNoLeaks},
 }
@@ -106,6 +107,32 @@ func checkByteConservation(o *Outcome) error {
 	}
 	if o.Acct.SegmentsSent == 0 || o.Acct.BytesSent == 0 {
 		return fmt.Errorf("campaign moved no bytes (%d segments)", o.Acct.SegmentsSent)
+	}
+	return nil
+}
+
+// checkCellConservation audits the relay cell scheduler: the final
+// snapshot is taken after the drain sleep, when every circuit has been
+// parked and torn down, so each cell that entered a per-circuit output
+// queue must have been flushed to its link or dropped at teardown —
+// none may linger in (or vanish from) a queue. Delivered bytes alone
+// don't imply scheduled cells (PT handshakes and broker traffic can
+// move bytes while every circuit dies before its first relay cell),
+// but a *successful page access* cannot happen without backward DATA
+// cells through the relays — so any OK access requires cells.
+func checkCellConservation(o *Outcome) error {
+	if err := o.Acct.CellConservationErr(); err != nil {
+		return err
+	}
+	anyOK := false
+	for _, m := range o.Methods {
+		if m.OK > 0 {
+			anyOK = true
+			break
+		}
+	}
+	if anyOK && o.Acct.CellsQueued == 0 {
+		return fmt.Errorf("campaign completed accesses but no relay cells were scheduled")
 	}
 	return nil
 }

@@ -343,9 +343,10 @@ func render(o *Outcome) string {
 	fmt.Fprintf(&b, "  censor blocked=%d cut=%d resets=%d loss=%d throttled=%d\n",
 		st.BlockedDials, st.FlowsCut, st.Resets, st.LossEvents, st.ThrottledSegments)
 	a := o.Acct
-	fmt.Fprintf(&b, "  acct dials=%d refused=%d conns=%d/%d segs=%d filtered=%d bytes=%d/%d/%d/%d\n",
+	fmt.Fprintf(&b, "  acct dials=%d refused=%d conns=%d/%d segs=%d filtered=%d bytes=%d/%d/%d/%d cells=%d/%d/%d\n",
 		a.Dials, a.DialsRefused, a.ConnsOpened, a.ConnsClosed, a.SegmentsSent, a.SegmentsFiltered,
-		a.BytesSent, a.BytesDelivered, a.BytesDropped, a.BytesBuffered)
+		a.BytesSent, a.BytesDelivered, a.BytesDropped, a.BytesBuffered,
+		a.CellsQueued, a.CellsFlushed, a.CellsDropped)
 	return b.String()
 }
 

@@ -349,6 +349,7 @@ func (w *World) buildSet1(d *Deployment, start func(*HostPort, pt.StreamHandler)
 		Seed:        w.Opts.Seed + 700,
 		Unpublished: true,
 		Port:        9011,
+		Sched:       tor.SchedConfig{Policy: w.Opts.SchedPolicy},
 	})
 	if err != nil {
 		return err

@@ -39,6 +39,13 @@ func (w *World) NewFixedCircuitRig() (*FixedCircuitRig, error) {
 	if err != nil {
 		return nil, err
 	}
+	return w.newSharedHopRig(host, relay)
+}
+
+// newSharedHopRig wires the obfs4/webtunnel bridges of a shared first
+// hop onto an already-started guard relay (the fixed-circuit rig and
+// the contention rig differ only in how that relay is provisioned).
+func (w *World) newSharedHopRig(host *netem.Host, relay *tor.Relay) (*FixedCircuitRig, error) {
 	feed := func(_ string, conn net.Conn) { relay.ServeConn(conn) }
 
 	secret := []byte("rig-obfs4-secret")

@@ -63,6 +63,11 @@ type Options struct {
 	// simulation-torture suite uses it so randomly generated scenarios
 	// never leak into the global registry another world might list.
 	ScenarioSpec *censor.Scenario
+	// SchedPolicy selects the relay cell scheduler's pick rule for
+	// every relay of the world (volunteers, shared-hop guards and PT
+	// bridges alike). The zero value is tor.SchedEWMA; the contention
+	// experiments build tor.SchedFIFO worlds as the pre-KIST baseline.
+	SchedPolicy tor.SchedPolicy
 }
 
 // withDefaults fills the zero Options with the standard campaign world.
@@ -193,6 +198,7 @@ func New(opts Options) (*World, error) {
 			Flags:     flags,
 			Bandwidth: bw,
 			Seed:      o.Seed + int64(i) + int64(len(kind))*1000,
+			Sched:     tor.SchedConfig{Policy: o.SchedPolicy},
 		})
 		if err != nil {
 			return err
@@ -326,6 +332,7 @@ func (w *World) GuardRelayHost(name string, util float64) (*netem.Host, *tor.Rel
 		Flags:     tor.FlagGuard | tor.FlagFast,
 		Bandwidth: host.Egress().Rate(),
 		Seed:      w.Opts.Seed + 999,
+		Sched:     tor.SchedConfig{Policy: w.Opts.SchedPolicy},
 	})
 	if err != nil {
 		return nil, nil, err

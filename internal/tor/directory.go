@@ -108,25 +108,40 @@ func pickWeighted(rng *rand.Rand, cands []*Descriptor, skip ...*Descriptor) *Des
 			total += c.Bandwidth
 		}
 	}
-	if total <= 0 {
-		return nil
+	if total > 0 {
+		x := rng.Float64() * total
+		for _, c := range cands {
+			if excluded(c) {
+				continue
+			}
+			x -= c.Bandwidth
+			if x <= 0 {
+				return c
+			}
+		}
 	}
-	x := rng.Float64() * total
+	// Fallback for the cases the weighted draw cannot resolve: float
+	// rounding can leave x > 0 after the loop, and an all-zero-bandwidth
+	// candidate set never enters it. The old fallback returned the
+	// *last* non-excluded candidate — order-dependent and blind to
+	// weight; pick the largest remaining weight instead (first listed on
+	// ties), which is deterministic and agrees with the draw's bias.
+	return maxWeightPick(cands, excluded)
+}
+
+// maxWeightPick returns the non-excluded candidate with the largest
+// bandwidth, first listed on ties; nil when every candidate is excluded.
+func maxWeightPick(cands []*Descriptor, excluded func(*Descriptor) bool) *Descriptor {
+	var best *Descriptor
 	for _, c := range cands {
 		if excluded(c) {
 			continue
 		}
-		x -= c.Bandwidth
-		if x <= 0 {
-			return c
+		if best == nil || c.Bandwidth > best.Bandwidth {
+			best = c
 		}
 	}
-	for i := len(cands) - 1; i >= 0; i-- {
-		if !excluded(cands[i]) {
-			return cands[i]
-		}
-	}
-	return nil
+	return best
 }
 
 // Path is a guard-middle-exit relay triple.

@@ -1,0 +1,73 @@
+package tor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPickWeightedZeroBandwidth pins the fallback regression: an
+// all-zero-bandwidth candidate set used to be unselectable (nil), and
+// the last-resort path returned the *last* non-excluded candidate,
+// making the result depend on list order.
+func TestPickWeightedZeroBandwidth(t *testing.T) {
+	a := &Descriptor{Name: "a"}
+	b := &Descriptor{Name: "b"}
+	c := &Descriptor{Name: "c"}
+	rng := rand.New(rand.NewSource(1))
+
+	if got := pickWeighted(rng, []*Descriptor{a, b, c}); got != a {
+		t.Fatalf("all-zero bandwidths: got %v, want the first candidate", got)
+	}
+	if got := pickWeighted(rng, []*Descriptor{a, b, c}, a); got != b {
+		t.Fatalf("all-zero with exclusion: got %v, want the first non-excluded", got)
+	}
+	if got := pickWeighted(rng, []*Descriptor{a, b, c}, a, b, c); got != nil {
+		t.Fatalf("everything excluded: got %v, want nil", got)
+	}
+}
+
+// TestMaxWeightPick pins the fallback's contract directly: largest
+// remaining weight wins, first listed on ties, independent of order.
+func TestMaxWeightPick(t *testing.T) {
+	mk := func(name string, bw float64) *Descriptor { return &Descriptor{Name: name, Bandwidth: bw} }
+	none := func(*Descriptor) bool { return false }
+	small, big, mid := mk("small", 3), mk("big", 9), mk("mid", 5)
+
+	if got := maxWeightPick([]*Descriptor{small, big, mid}, none); got != big {
+		t.Fatalf("got %v, want the largest weight", got)
+	}
+	if got := maxWeightPick([]*Descriptor{mid, big, small}, none); got != big {
+		t.Fatalf("reordered: got %v, want the largest weight regardless of order", got)
+	}
+	big2 := mk("big2", 9)
+	if got := maxWeightPick([]*Descriptor{small, big, big2}, none); got != big {
+		t.Fatalf("tie: got %v, want the first-listed largest", got)
+	}
+	skipBig := func(d *Descriptor) bool { return d.Name == "big" }
+	if got := maxWeightPick([]*Descriptor{small, big, mid}, skipBig); got != mid {
+		t.Fatalf("with exclusion: got %v, want the largest non-excluded", got)
+	}
+	if got := maxWeightPick(nil, none); got != nil {
+		t.Fatalf("empty candidates: got %v, want nil", got)
+	}
+}
+
+// TestPickWeightedNeverExcluded: whatever the draw, the winner must
+// respect the exclusion list (the fallback path included).
+func TestPickWeightedNeverExcluded(t *testing.T) {
+	cands := []*Descriptor{
+		{Name: "x", Bandwidth: 1e-9},
+		{Name: "y", Bandwidth: 1e16},
+		{Name: "z", Bandwidth: 1},
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		got := pickWeighted(rng, cands, cands[1])
+		if got == nil {
+			t.Fatal("candidates remain but pick returned nil")
+		}
+		if got.Name == "y" {
+			t.Fatal("excluded candidate selected")
+		}
+	}
+}

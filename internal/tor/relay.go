@@ -34,6 +34,9 @@ type RelayConfig struct {
 	// Unpublished relays (private bridges acting as guards for PT
 	// servers) are reachable but never selected from the consensus.
 	Unpublished bool
+	// Sched tunes the relay cell scheduler (see SchedConfig); the zero
+	// value selects EWMA priority with bandwidth-derived budgets.
+	Sched SchedConfig
 }
 
 // Relay is a running onion router.
@@ -42,6 +45,7 @@ type Relay struct {
 	desc  *Descriptor
 	ln    *netem.Listener
 	clock *netem.Clock
+	sched *cellScheduler
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -90,6 +94,8 @@ func StartRelay(cfg RelayConfig) (*Relay, error) {
 			return nil, err
 		}
 	}
+	r.sched = newCellScheduler(r.clock, cfg.Host.Network().Acct(), cfg.Sched, cfg.Bandwidth)
+	r.clock.Go(r.sched.run)
 	r.clock.Go(r.acceptLoop)
 	return r, nil
 }
@@ -98,12 +104,16 @@ func StartRelay(cfg RelayConfig) (*Relay, error) {
 // bridges, where it is handed to clients out of band).
 func (r *Relay) Descriptor() *Descriptor { return r.desc }
 
-// Close stops accepting connections.
+// Close stops accepting connections and shuts the cell scheduler down
+// (queued cells of live circuits are dropped; subsequent relay traffic
+// through this relay fails).
 func (r *Relay) Close() error {
 	r.mu.Lock()
 	r.closed = true
 	r.mu.Unlock()
-	return r.ln.Close()
+	err := r.ln.Close()
+	r.sched.stop()
+	return err
 }
 
 func (r *Relay) acceptLoop() {
@@ -132,10 +142,35 @@ func (r *Relay) newHandshake() (*handshake, error) {
 	return newHandshake(r.rng)
 }
 
-func (r *Relay) randID() uint32 {
-	r.rngMu.Lock()
-	defer r.rngMu.Unlock()
-	return r.rng.Uint32() | 1
+// uniqueID draws candidate circuit IDs from next (forced non-zero via
+// the low bit) until one passes the used check. Extracted so the
+// collision retry is testable with a scripted generator.
+func uniqueID(next func() uint32, used func(uint32) bool) uint32 {
+	for {
+		if id := next() | 1; !used(id) {
+			return id
+		}
+	}
+}
+
+// randID draws a circuit ID not live on link l (the upstream link the
+// EXTEND arrived on — the namespace this relay can see). The ID is
+// spent in a CREATE on a freshly dialed downstream conn, which today
+// carries only that one circuit; if downstream conns are ever
+// multiplexed, the authoritative collision guard is the *receiving*
+// relay's duplicate-CREATE rejection (handleCreate answers a live ID
+// with DESTROY, and handleExtend maps any non-CREATED reply to
+// RelayTruncated), so a clash degrades to a failed extension, never a
+// cross-wired circuit.
+func (r *Relay) randID(l *link) uint32 {
+	return uniqueID(
+		func() uint32 {
+			r.rngMu.Lock()
+			defer r.rngMu.Unlock()
+			return r.rng.Uint32()
+		},
+		func(id uint32) bool { return l != nil && l.circuit(id) != nil },
+	)
 }
 
 // link is one upstream connection carrying circuits.
@@ -151,10 +186,29 @@ type link struct {
 	circs map[uint32]*relayCirc
 }
 
+// writeCell writes one control cell (CREATED, DESTROY) directly to the
+// link. Relay cells go through the scheduler queues instead.
 func (l *link) writeCell(c *Cell) error {
+	return l.writeWire(c.Encode(make([]byte, 0, CellSize)))
+}
+
+// writeWire writes wire-ready bytes under the link write lock.
+func (l *link) writeWire(buf []byte) error {
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
-	return WriteCell(l.conn, c)
+	_, err := l.conn.Write(buf)
+	return err
+}
+
+// writeBudget probes the link conn's writable budget in bytes. Conns
+// without a probe (PT stream tunnels fed via ServeConn) report def —
+// effectively unlimited within one pass — and fall back to blocking
+// writes when they do back up.
+func (l *link) writeBudget(def int) int {
+	if wb, ok := l.conn.(interface{ WriteBudget() int }); ok {
+		return wb.WriteBudget()
+	}
+	return def
 }
 
 func (l *link) circuit(id uint32) *relayCirc {
@@ -218,6 +272,13 @@ func (l *link) teardown() {
 }
 
 func (l *link) handleCreate(cell *Cell) error {
+	// A CREATE reusing a live circuit ID would cross-wire two circuits
+	// (the map write below clobbers the old one while its goroutines
+	// keep running). Refuse it with a DESTROY and leave the existing
+	// circuit untouched.
+	if l.circuit(cell.CircID) != nil {
+		return l.writeCell(&Cell{CircID: cell.CircID, Cmd: CmdDestroy})
+	}
 	hs, err := l.relay.newHandshake()
 	if err != nil {
 		return err
@@ -231,6 +292,7 @@ func (l *link) handleCreate(cell *Cell) error {
 		link:       l,
 		id:         cell.CircID,
 		crypto:     hc,
+		q:          l.relay.sched.newQueue(l, cell.CircID),
 		nextWMu:    netem.NewMutex(clock),
 		bwdMu:      netem.NewMutex(clock),
 		streams:    make(map[uint16]*exitStream),
@@ -252,6 +314,9 @@ type relayCirc struct {
 	link   *link
 	id     uint32
 	crypto *hopCrypto
+	// q is the circuit's output queue in the relay's cell scheduler;
+	// every backward (toward-client) relay cell goes through it.
+	q *circQueue
 
 	mu      sync.Mutex
 	next    net.Conn // downstream link, nil while last hop
@@ -326,7 +391,7 @@ func (c *relayCirc) handleExtend(rc RelayCell) error {
 	if err != nil {
 		return c.sendBackwardControl(RelayTruncated, nil)
 	}
-	nextID := c.link.relay.randID()
+	nextID := c.link.relay.randID(c.link)
 	create := &Cell{CircID: nextID, Cmd: CmdCreate}
 	writeHandshake(&create.Payload, clientPub)
 	if err := WriteCell(conn, create); err != nil {
@@ -348,7 +413,9 @@ func (c *relayCirc) handleExtend(rc RelayCell) error {
 	return c.sendBackwardControl(RelayExtended, readHandshake(&created.Payload))
 }
 
-// pumpBackward relays downstream→upstream cells, adding our onion layer.
+// pumpBackward relays downstream→upstream cells, adding our onion
+// layer. Cells are encrypted under bwdMu (fixing the CTR-stream order)
+// and handed to the scheduler queue, which preserves per-circuit FIFO.
 func (c *relayCirc) pumpBackward(conn net.Conn) {
 	var cell Cell
 	for {
@@ -361,7 +428,7 @@ func (c *relayCirc) pumpBackward(conn net.Conn) {
 			c.bwdMu.Lock()
 			c.crypto.encryptBackward(&cell.Payload)
 			out := &Cell{CircID: c.id, Cmd: CmdRelay, Payload: cell.Payload}
-			err := c.link.writeCell(out)
+			err := c.link.relay.sched.enqueue(c.q, out)
 			c.bwdMu.Unlock()
 			if err != nil {
 				c.destroy(false, true)
@@ -384,14 +451,16 @@ func (c *relayCirc) sendBackward(rc RelayCell) error {
 	if err != nil {
 		return err
 	}
-	// Seal, encrypt and write atomically so digest counters and the CTR
-	// stream stay in the order the client will observe.
+	// Seal, encrypt and enqueue atomically so digest counters and the
+	// CTR stream stay in the order the client will observe; the
+	// scheduler flushes each circuit's queue in enqueue order, so wire
+	// order matches crypto order.
 	c.bwdMu.Lock()
 	defer c.bwdMu.Unlock()
 	c.crypto.sealBackward(&payload)
 	c.crypto.encryptBackward(&payload)
 	cell := &Cell{CircID: c.id, Cmd: CmdRelay, Payload: payload}
-	return c.link.writeCell(cell)
+	return c.link.relay.sched.enqueue(c.q, cell)
 }
 
 // handleBegin opens the exit connection for a new stream.
@@ -520,6 +589,11 @@ func (c *relayCirc) destroy(notifyUp, notifyDown bool) {
 	c.fcMu.Lock()
 	c.fcCond.Broadcast()
 	c.fcMu.Unlock()
+
+	// Drop the circuit's queued cells (counted as dropped) before any
+	// DESTROY goes out: a torn-down circuit's backlog must not outlive
+	// it in the scheduler.
+	c.link.relay.sched.closeQueue(c.q)
 
 	for _, s := range streams {
 		s.conn.Close()

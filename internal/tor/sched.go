@@ -1,0 +1,460 @@
+package tor
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"ptperf/internal/netem"
+)
+
+// This file implements the relay cell scheduler: per-circuit output
+// queues for the backward (toward-client) direction, flushed by one
+// scheduler goroutine per relay. Before it, relays forwarded cells
+// first-come-first-served with a blocking write per cell, so relay-side
+// contention — what a client measures through a guard depends on who
+// else is queued there — was invisible in every report.
+//
+// The design follows KIST (Jansen & Traudt, "Never Been KIST"):
+//
+//   - Priority: each circuit carries an exponentially-decayed cell
+//     count (tor's CircuitPriorityHalflife EWMA). Every pass picks the
+//     circuit with the lowest decayed count, so bursty, quiet circuits
+//     preempt bulk ones. SchedFIFO retains the oldest-cell-first
+//     baseline for comparison experiments.
+//   - Write budgeting: a pass flushes at most CellsPerPass cells
+//     (derived from the relay's advertised bandwidth — KIST's global
+//     write limit) and consults the downstream link's writable budget
+//     (netem.Conn.WriteBudget — KIST's kernel-informed socket limit)
+//     instead of issuing blind blocking writes, so one backlogged link
+//     cannot head-of-line-block every other circuit of the relay.
+//
+// Everything runs on the virtual clock: the scheduler goroutine parks
+// on a scheduler-aware cond while idle, and polls on Interval only
+// while cells are pending — same-seed runs stay byte-identical and
+// -jobs N equivalence survives, because no wall-clock state exists.
+
+// SchedPolicy selects how the scheduler picks the next circuit.
+type SchedPolicy int
+
+const (
+	// SchedEWMA picks the circuit with the lowest exponentially-decayed
+	// recent cell count (tor's CircuitPriorityHalflife): interactive
+	// circuits preempt bulk ones. This is the default.
+	SchedEWMA SchedPolicy = iota
+	// SchedFIFO picks the oldest queued cell across circuits — the
+	// pre-KIST first-come-first-served baseline the contention
+	// experiments compare against.
+	SchedFIFO
+)
+
+func (p SchedPolicy) String() string {
+	if p == SchedFIFO {
+		return "fifo"
+	}
+	return "ewma"
+}
+
+// SchedConfig tunes a relay's cell scheduler; zero values select the
+// defaults noted per field.
+type SchedConfig struct {
+	// Policy is the circuit pick rule (default SchedEWMA).
+	Policy SchedPolicy
+	// Interval is the scheduling pass cadence on the virtual clock
+	// (default 10ms, KIST's sched run interval).
+	Interval time.Duration
+	// Halflife is the EWMA decay half-life (default 30s, tor's
+	// CircuitPriorityHalflife consensus default).
+	Halflife time.Duration
+	// CellsPerPass caps how many cells one pass flushes across all
+	// circuits; 0 derives it from the relay's Bandwidth so the
+	// scheduler sustains the advertised rate:
+	// ceil(Bandwidth×Interval/CellSize), floored at 4.
+	CellsPerPass int
+}
+
+const (
+	defaultSchedInterval = 10 * time.Millisecond
+	defaultSchedHalflife = 30 * time.Second
+	minCellsPerPass      = 4
+	// schedDelaySampleCap bounds the per-circuit queueing-delay sample
+	// buffer (fairness tests take medians over it; bulk circuits would
+	// otherwise accumulate one sample per cell forever).
+	schedDelaySampleCap = 1 << 12
+)
+
+func (c SchedConfig) withDefaults(bandwidth float64) SchedConfig {
+	if c.Interval <= 0 {
+		c.Interval = defaultSchedInterval
+	}
+	if c.Halflife <= 0 {
+		c.Halflife = defaultSchedHalflife
+	}
+	if c.CellsPerPass <= 0 {
+		perPass := int(math.Ceil(bandwidth * c.Interval.Seconds() / CellSize))
+		if perPass < minCellsPerPass {
+			perPass = minCellsPerPass
+		}
+		c.CellsPerPass = perPass
+	}
+	return c
+}
+
+// cellBufPool recycles wire buffers: backward cells are the
+// simulation's hottest relay path, and a fresh 512-byte allocation per
+// cell would churn the heap (same remedy as netem's segBufPool).
+var cellBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, CellSize)
+		return &b
+	},
+}
+
+func putCellBuf(base *[]byte) { cellBufPool.Put(base) }
+
+// queuedCell is one wire-ready cell awaiting flush. base retains the
+// pooled backing array; buf is its encoded view.
+type queuedCell struct {
+	buf  []byte
+	base *[]byte
+	// at is the enqueue instant; flush time minus at is the cell's
+	// queueing delay.
+	at time.Duration
+	// seq is the scheduler-wide enqueue sequence (FIFO pick order).
+	seq uint64
+}
+
+// circQueue is one circuit's output queue plus its scheduling state.
+// All fields are guarded by the owning cellScheduler's mu.
+type circQueue struct {
+	link *link
+	id   uint32
+
+	cells  []queuedCell
+	closed bool
+
+	// EWMA cell count, decayed with the configured half-life.
+	ewma   float64
+	ewmaAt time.Duration
+
+	// Accounting for the conservation invariant and the experiments.
+	queued   int64
+	flushed  int64
+	dropped  int64
+	delaySum time.Duration
+	delays   []time.Duration
+}
+
+// decayTo ages the EWMA to virtual time now.
+func (q *circQueue) decayTo(now, halflife time.Duration) {
+	if now <= q.ewmaAt {
+		return
+	}
+	if q.ewma > 0 {
+		q.ewma *= math.Exp2(-float64(now-q.ewmaAt) / float64(halflife))
+		if q.ewma < 1e-9 {
+			q.ewma = 0
+		}
+	}
+	q.ewmaAt = now
+}
+
+// cellScheduler is one relay's scheduler: the registry of circuit
+// queues and the goroutine flushing them.
+type cellScheduler struct {
+	clock *netem.Clock
+	acct  *netem.Acct
+	cfg   SchedConfig
+
+	mu   sync.Mutex
+	cond *netem.Cond
+	// active holds queues that may still receive cells, in creation
+	// order (deterministic pick iteration); done retains closed queues
+	// for the stats accessors.
+	active  []*circQueue
+	done    []*circQueue
+	pending int
+	enqSeq  uint64
+	passes  int64
+	closed  bool
+}
+
+func newCellScheduler(clock *netem.Clock, acct *netem.Acct, cfg SchedConfig, bandwidth float64) *cellScheduler {
+	s := &cellScheduler{clock: clock, acct: acct, cfg: cfg.withDefaults(bandwidth)}
+	s.cond = netem.NewCond(clock, &s.mu)
+	return s
+}
+
+// newQueue registers a fresh circuit queue.
+func (s *cellScheduler) newQueue(l *link, id uint32) *circQueue {
+	q := &circQueue{link: l, id: id}
+	s.mu.Lock()
+	if s.closed {
+		q.closed = true
+		s.mu.Unlock()
+		return q
+	}
+	s.active = append(s.active, q)
+	s.mu.Unlock()
+	return q
+}
+
+// enqueue accepts one wire-ready cell into q. It never parks — relay
+// backpressure is the flow-control windows' job — and fails only once
+// the circuit (or the relay) has been torn down.
+func (s *cellScheduler) enqueue(q *circQueue, c *Cell) error {
+	base := cellBufPool.Get().(*[]byte)
+	buf := c.Encode((*base)[:0])
+	s.mu.Lock()
+	if s.closed || q.closed {
+		s.mu.Unlock()
+		putCellBuf(base)
+		return ErrCircuitClosed
+	}
+	s.enqSeq++
+	q.cells = append(q.cells, queuedCell{buf: buf, base: base, at: s.clock.Now(), seq: s.enqSeq})
+	q.queued++
+	s.pending++
+	s.acct.AddCellsQueued(1)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return nil
+}
+
+// retireQueueLocked marks q closed, drops its pending cells (counted,
+// buffers recycled) and moves it to the stats archive. The scheduler
+// lock must be held; the caller removes q from (or resets) s.active.
+func (s *cellScheduler) retireQueueLocked(q *circQueue) {
+	q.closed = true
+	for i := range q.cells {
+		putCellBuf(q.cells[i].base)
+	}
+	n := len(q.cells)
+	q.cells = nil
+	q.dropped += int64(n)
+	s.pending -= n
+	s.acct.AddCellsDropped(int64(n))
+	s.done = append(s.done, q)
+}
+
+// closeQueue retires one circuit's queue at teardown.
+func (s *cellScheduler) closeQueue(q *circQueue) {
+	s.mu.Lock()
+	if q.closed {
+		s.mu.Unlock()
+		return
+	}
+	for i, a := range s.active {
+		if a == q {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	s.retireQueueLocked(q)
+	s.mu.Unlock()
+}
+
+// stop shuts the scheduler down, retiring every queue.
+func (s *cellScheduler) stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, q := range s.active {
+		s.retireQueueLocked(q)
+	}
+	s.active = nil
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// run is the scheduler goroutine: park while idle, and otherwise run
+// budgeted passes at most once per Interval — the cadence is enforced
+// even when a queue drains between passes, because the per-pass budget
+// only models the relay's relayed-bandwidth rate if passes cannot run
+// back-to-back. A cell arriving after a quiet stretch is still flushed
+// immediately (its pass runs at once; only the next one is paced).
+func (s *cellScheduler) run() {
+	s.mu.Lock()
+	lastPass := -s.cfg.Interval
+	for {
+		for !s.closed && s.pending == 0 {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		if next := lastPass + s.cfg.Interval; s.clock.Now() < next {
+			// The interval since the previous pass has not elapsed:
+			// sleep it off (this poll also stands in for KIST's
+			// kernel writability notifications) and re-check — the
+			// pending cells may have been dropped by a teardown.
+			s.mu.Unlock()
+			s.clock.SleepUntil(next)
+			s.mu.Lock()
+			continue
+		}
+		lastPass = s.clock.Now()
+		s.flushPassLocked()
+	}
+}
+
+// flushPassLocked flushes up to CellsPerPass cells, re-picking the
+// best circuit before every cell. Called and returns with s.mu held;
+// the lock is released around each link write (which can still park on
+// a race for the probed budget, and must not hold s.mu if it does).
+func (s *cellScheduler) flushPassLocked() {
+	s.passes++
+	// linkBudget caches each link's writable budget for this pass; it
+	// is only ever indexed by a picked queue's link, never iterated, so
+	// map order cannot leak into scheduling.
+	linkBudget := make(map[*link]int)
+	for budget := s.cfg.CellsPerPass; budget > 0; budget-- {
+		q := s.pickLocked(linkBudget)
+		if q == nil {
+			return
+		}
+		cell := q.cells[0]
+		q.cells = q.cells[1:]
+		s.pending--
+		now := s.clock.Now()
+		q.decayTo(now, s.cfg.Halflife)
+		q.ewma++
+		delay := now - cell.at
+		q.flushed++
+		q.delaySum += delay
+		if len(q.delays) < schedDelaySampleCap {
+			q.delays = append(q.delays, delay)
+		}
+		linkBudget[q.link] -= len(cell.buf)
+		l := q.link
+		s.mu.Unlock()
+		// A write error means the link died; its serve loop is already
+		// tearing the circuits down, which will drop their queues.
+		l.writeWire(cell.buf)
+		putCellBuf(cell.base)
+		s.mu.Lock()
+		s.acct.AddCellsFlushed(1)
+	}
+}
+
+// pickLocked returns the best flushable queue under the pass's link
+// budgets, or nil when none is writable.
+func (s *cellScheduler) pickLocked(linkBudget map[*link]int) *circQueue {
+	var best *circQueue
+	now := s.clock.Now()
+	for _, q := range s.active {
+		if len(q.cells) == 0 {
+			continue
+		}
+		lb, ok := linkBudget[q.link]
+		if !ok {
+			lb = q.link.writeBudget(s.cfg.CellsPerPass * CellSize)
+			linkBudget[q.link] = lb
+		}
+		if lb < CellSize {
+			continue
+		}
+		if best == nil {
+			best = q
+			continue
+		}
+		if s.cfg.Policy == SchedFIFO {
+			if q.cells[0].seq < best.cells[0].seq {
+				best = q
+			}
+			continue
+		}
+		q.decayTo(now, s.cfg.Halflife)
+		best.decayTo(now, s.cfg.Halflife)
+		if q.ewma < best.ewma || (q.ewma == best.ewma && q.cells[0].seq < best.cells[0].seq) {
+			best = q
+		}
+	}
+	return best
+}
+
+// SchedStats aggregates one relay's scheduler counters.
+type SchedStats struct {
+	// Queued / Flushed / Dropped count cells entering queues, written
+	// to links, and discarded at teardown. At a drained point
+	// Queued == Flushed + Dropped.
+	Queued, Flushed, Dropped int64
+	// Pending counts cells currently sitting in queues.
+	Pending int64
+	// DelaySum accumulates the queueing delay of every flushed cell.
+	DelaySum time.Duration
+	// Passes counts scheduling passes run.
+	Passes int64
+}
+
+// MeanDelay is the mean queueing delay per flushed cell.
+func (st SchedStats) MeanDelay() time.Duration {
+	if st.Flushed == 0 {
+		return 0
+	}
+	return st.DelaySum / time.Duration(st.Flushed)
+}
+
+// CircuitSched is one circuit's scheduler record.
+type CircuitSched struct {
+	// CircID is the circuit's ID on its upstream link.
+	CircID uint32
+	// Queued / Flushed / Dropped are the circuit's cell counts.
+	Queued, Flushed, Dropped int64
+	// Pending counts cells still in the queue.
+	Pending int64
+	// DelaySum accumulates flushed cells' queueing delays.
+	DelaySum time.Duration
+	// Delays holds the first schedDelaySampleCap per-cell queueing
+	// delays, for medians.
+	Delays []time.Duration
+}
+
+// SchedStats returns the relay scheduler's aggregate counters.
+func (r *Relay) SchedStats() SchedStats {
+	s := r.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st SchedStats
+	st.Passes = s.passes
+	st.Pending = int64(s.pending)
+	for _, qs := range [][]*circQueue{s.active, s.done} {
+		for _, q := range qs {
+			st.Queued += q.queued
+			st.Flushed += q.flushed
+			st.Dropped += q.dropped
+			st.DelaySum += q.delaySum
+		}
+	}
+	return st
+}
+
+// CircuitScheds returns per-circuit scheduler records: retired
+// circuits first (in teardown order), then live ones (in creation
+// order). The order is deterministic but does not identify circuits —
+// consumers match records by their counters (the contention fairness
+// tests split bursty from bulk by Flushed).
+func (r *Relay) CircuitScheds() []CircuitSched {
+	s := r.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CircuitSched, 0, len(s.done)+len(s.active))
+	for _, qs := range [][]*circQueue{s.done, s.active} {
+		for _, q := range qs {
+			out = append(out, CircuitSched{
+				CircID:   q.id,
+				Queued:   q.queued,
+				Flushed:  q.flushed,
+				Dropped:  q.dropped,
+				Pending:  int64(len(q.cells)),
+				DelaySum: q.delaySum,
+				Delays:   append([]time.Duration(nil), q.delays...),
+			})
+		}
+	}
+	return out
+}

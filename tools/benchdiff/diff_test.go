@@ -98,6 +98,22 @@ func TestSweepParallelExcluded(t *testing.T) {
 	}
 }
 
+// TestContentionSweepGated: the contention benchmark pins its Jobs to 1
+// (core-count-independent ns/op), so it takes no SweepParallel-style
+// exclusion — a regression there must fail the ratio gate like any
+// other benchmark.
+func TestContentionSweepGated(t *testing.T) {
+	base := map[string]float64{"BenchmarkA": 100, "BenchmarkContentionSweep": 100}
+	res := map[string]float64{"BenchmarkA": 100, "BenchmarkContentionSweep": 200}
+	c, err := compare(base, res, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.failed || !names(c)["BenchmarkContentionSweep"].regressed {
+		t.Fatalf("ContentionSweep regression slipped past the gate: %+v", c.rows)
+	}
+}
+
 // TestDroppedAndNewBenchmarksSkipped: benchmarks on one side only are
 // not regressions.
 func TestDroppedAndNewBenchmarksSkipped(t *testing.T) {
