@@ -123,6 +123,19 @@ func BenchmarkContentionSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkChurnSweep exercises the fault-injection subsystem end to
+// end: the churn family's {none,slow,fast} levels across four methods,
+// with relay crashes/restarts, link flaps, directory churn, client-side
+// retry/backoff/probation and resumable downloads all on the virtual
+// clock. Jobs is pinned to 1 so ns/op is core-count-independent and the
+// benchdiff ratio gate applies to it like any other benchmark.
+func BenchmarkChurnSweep(b *testing.B) {
+	runExperiment(b, "churn", func(c *harness.Config) {
+		c.Sites = 2
+		c.Jobs = 1
+	})
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // BenchmarkAblationGuardLoad toggles the volunteer-guard utilization gap

@@ -23,6 +23,14 @@
 //
 //	ptperf -exp contention                       {tor,obfs4,webtunnel} × {idle,light,busy,overload}
 //
+// The fault-injection subsystem (internal/faults) schedules relay
+// crashes/restarts, link flaps and directory churn on the virtual
+// clock; the Tor client recovers with bounded retries, backoff, guard
+// probation and resumable downloads, and the churn experiment measures
+// the cost:
+//
+//	ptperf -exp churn                            {tor,obfs4,webtunnel,snowflake} × {none,slow,fast churn}
+//
 // The simulation-torture subsystem (internal/simtest) fuzzes the whole
 // substrate: randomized worlds — random transport subsets, composed
 // censor scenarios, topology draws — each run under cross-cutting

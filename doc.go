@@ -46,6 +46,18 @@
 // (pre-KIST) comparison cell. See DESIGN.md's "Relay scheduling &
 // contention".
 //
+// Infrastructure also simply breaks: internal/faults injects scheduled
+// relay crashes and restarts, link flaps, and directory churn into any
+// world (testbed.Options.FaultSpec), all compiled onto the virtual
+// clock so fault worlds stay deterministic. The Tor client recovers
+// like the real one — bounded circuit-build retries with exponential
+// jittered backoff (tor.RetryPolicy), stream re-attach, guard
+// probation that decays instead of marking flapped guards bad forever,
+// and resumable bulk downloads (?from= offsets) — and every recovery
+// action is counted (tor.RecoveryStats). "ptperf -exp churn" crosses
+// {tor,obfs4,webtunnel,snowflake} with relay-churn rates against the
+// fault-free baseline. See DESIGN.md's "Failure & recovery".
+//
 // The contracts above are enforced at scale by internal/simtest, the
 // simulation-torture subsystem: "ptperf fuzz -n N -seed S" generates N
 // randomized worlds (random transport subsets, composed censor

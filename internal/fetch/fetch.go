@@ -54,6 +54,9 @@ type Result struct {
 	BytesGot int64
 	// Body holds the body when capture was requested.
 	Body []byte
+	// Resumes counts extra transfer legs used by a resumed download
+	// (zero for plain Gets).
+	Resumes int
 	// Err is the transport error, if any.
 	Err error
 }
@@ -96,7 +99,12 @@ func (c *Client) timeout() time.Duration {
 // for manifest parsing.
 func (c *Client) Get(origin, path string, keepBody bool) Result {
 	start := c.Net.Now()
-	deadline := c.Net.VirtualDeadline(c.timeout())
+	return c.get(origin, path, keepBody, start, c.Net.VirtualDeadline(c.timeout()))
+}
+
+// get is Get with the transfer's start mark and absolute deadline
+// supplied by the caller, so a resumed download's legs share one clock.
+func (c *Client) get(origin, path string, keepBody bool, start time.Duration, deadline time.Time) Result {
 	res := Result{BytesWanted: -1}
 
 	conn, err := c.Dial(origin)
@@ -153,6 +161,42 @@ func (c *Client) Get(origin, path string, keepBody bool) Result {
 // host, reporting completeness for the reliability analysis (§4.6).
 func (c *Client) DownloadFile(origin string, sizeBytes int) Result {
 	return c.Get(origin, web.FilePath(sizeBytes), false)
+}
+
+// DownloadFileResumed is DownloadFile with mid-transfer recovery: when
+// a leg dies partway (a crashed relay, a flapped link), it re-dials —
+// through the same Dialer, which for Tor clients means a fresh circuit —
+// and requests the remainder via the origin's ?from= offset, up to
+// maxResumes extra legs, all under one shared timeout. The aggregate
+// Result keeps the first leg's TTFB and Status, sums BytesGot across
+// legs, and counts the extra legs in Resumes.
+func (c *Client) DownloadFileResumed(origin string, sizeBytes, maxResumes int) Result {
+	start := c.Net.Now()
+	deadline := c.Net.VirtualDeadline(c.timeout())
+	out := Result{BytesWanted: int64(sizeBytes)}
+	for {
+		path := web.FilePath(sizeBytes)
+		if out.BytesGot > 0 {
+			path = fmt.Sprintf("%s?from=%d", path, out.BytesGot)
+		}
+		leg := c.get(origin, path, false, start, deadline)
+		if out.TTFB == 0 {
+			out.TTFB = leg.TTFB
+		}
+		if out.Status == 0 {
+			out.Status = leg.Status
+		}
+		out.BytesGot += leg.BytesGot
+		out.Err = leg.Err
+		out.Total = c.Net.Since(start)
+		if leg.Err == nil && leg.Status == 200 && leg.BytesWanted >= 0 && leg.BytesGot >= leg.BytesWanted {
+			return out // this leg delivered the remainder
+		}
+		if out.Resumes >= maxResumes || c.Net.Since(start) >= c.timeout() {
+			return out
+		}
+		out.Resumes++
+	}
 }
 
 // fetchOn issues one keep-alive GET over an existing connection,

@@ -1,6 +1,7 @@
 package fetch
 
 import (
+	"io"
 	"net"
 	"testing"
 	"testing/quick"
@@ -104,6 +105,96 @@ func TestTimeoutYieldsPartial(t *testing.T) {
 	}
 	if f := res.Fraction(); f <= 0 || f >= 1 {
 		t.Fatalf("fraction %v out of (0,1)", f)
+	}
+}
+
+// cutConn fails reads after a byte budget — a stand-in for a circuit
+// dying mid-transfer.
+type cutConn struct {
+	net.Conn
+	remaining int
+}
+
+func (c *cutConn) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		c.Conn.Close()
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.Conn.Read(p)
+	c.remaining -= n
+	return n, err
+}
+
+// TestDownloadFileResumed kills the first leg partway and checks the
+// client finishes the file via ?from= legs: full byte count, one resume
+// counted, first-leg TTFB preserved.
+func TestDownloadFileResumed(t *testing.T) {
+	n := netem.New(netem.WithTimeScale(0.01), netem.WithSeed(4))
+	server := n.MustAddHost(netem.HostConfig{Name: "origin", Location: geo.Frankfurt})
+	clientHost := n.MustAddHost(netem.HostConfig{Name: "client", Location: geo.London})
+	o, err := web.StartOrigin(server, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	legs := 0
+	c := &Client{Net: n, Dial: func(target string) (net.Conn, error) {
+		conn, err := clientHost.Dial(target)
+		if err != nil {
+			return nil, err
+		}
+		legs++
+		if legs == 1 {
+			// First leg dies after ~20 KB (headers included).
+			return &cutConn{Conn: conn, remaining: 20_000}, nil
+		}
+		return conn, nil
+	}}
+
+	res := c.DownloadFileResumed(o.Addr(), 50_000, 4)
+	if !res.Complete() || res.BytesGot != 50_000 {
+		t.Fatalf("resumed download incomplete: %+v", res)
+	}
+	if res.Resumes != 1 || legs != 2 {
+		t.Fatalf("resumes=%d legs=%d, want 1 resume over 2 legs", res.Resumes, legs)
+	}
+	if res.TTFB <= 0 || res.TTFB > res.Total {
+		t.Fatalf("TTFB %v vs total %v", res.TTFB, res.Total)
+	}
+}
+
+// TestDownloadFileResumedGivesUp: a dialer that always cuts exhausts
+// maxResumes and reports a partial, failed transfer — never a hang.
+func TestDownloadFileResumedGivesUp(t *testing.T) {
+	n := netem.New(netem.WithTimeScale(0.01), netem.WithSeed(4))
+	server := n.MustAddHost(netem.HostConfig{Name: "origin", Location: geo.Frankfurt})
+	clientHost := n.MustAddHost(netem.HostConfig{Name: "client", Location: geo.London})
+	o, err := web.StartOrigin(server, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	c := &Client{Net: n, Dial: func(target string) (net.Conn, error) {
+		conn, err := clientHost.Dial(target)
+		if err != nil {
+			return nil, err
+		}
+		return &cutConn{Conn: conn, remaining: 5_000}, nil
+	}}
+	res := c.DownloadFileResumed(o.Addr(), 1_000_000, 3)
+	if res.Complete() {
+		t.Fatalf("always-cut download reported complete: %+v", res)
+	}
+	if res.Resumes != 3 {
+		t.Fatalf("resumes = %d, want the cap 3", res.Resumes)
+	}
+	if res.BytesGot <= 0 || res.BytesGot >= 1_000_000 {
+		t.Fatalf("BytesGot = %d, want a partial count", res.BytesGot)
 	}
 }
 

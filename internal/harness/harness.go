@@ -209,6 +209,14 @@ func Experiments() []Experiment {
 		prefetch: prefetchContention,
 		run:      (*Runner).runContention,
 	})
+	exps = append(exps, Experiment{
+		ID:       "churn",
+		Artifact: "Failure & recovery",
+		Title:    "churn-resilience sweep: {tor,obfs4,webtunnel,snowflake} × {relay churn rate} vs the fault-free baseline",
+		Optional: true,
+		prefetch: prefetchChurn,
+		run:      (*Runner).runChurn,
+	})
 	return exps
 }
 
@@ -271,6 +279,7 @@ const (
 	streamMedium     = 4000 // path element 2: medium index
 	streamScenario   = 5000
 	streamContention = 6000 // one seed for every contention cell
+	streamChurn      = 7000 // one seed for every churn cell
 )
 
 // worldOptions builds one world task's Options on the given seed

@@ -2,6 +2,7 @@ package netem
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -188,6 +189,28 @@ func (a *Acct) OpenConnAddrs() []string {
 		}
 	}
 	return out
+}
+
+// AbortHostConns aborts every open conn with an endpoint on the named
+// host — the connection-level blast radius of a machine crash or link
+// cut. Conns are visited in creation order, so the teardown sequence is
+// deterministic on the virtual clock. Returns the number aborted.
+func (a *Acct) AbortHostConns(host string) int {
+	a.mu.Lock()
+	conns := append([]*Conn(nil), a.conns...)
+	a.mu.Unlock()
+	prefix := host + ":"
+	n := 0
+	for _, c := range conns {
+		if c.Closed() {
+			continue
+		}
+		if strings.HasPrefix(c.local.host, prefix) || strings.HasPrefix(c.remote.host, prefix) {
+			c.Abort()
+			n++
+		}
+	}
+	return n
 }
 
 // registerPipe adds a pipe to the registry the buffered sum walks.

@@ -40,6 +40,7 @@ type Host struct {
 	mu        sync.Mutex
 	listeners map[int]*Listener
 	nextPort  int
+	down      bool
 }
 
 // Name returns the host name.
@@ -56,6 +57,25 @@ func (h *Host) Ingress() *Bucket { return h.ingress }
 
 // Network returns the network the host is attached to.
 func (h *Host) Network() *Network { return h.net }
+
+// SetLinkDown marks the host's access link administratively down (a
+// modeled flap window, distinct from censor policy). While down, new
+// dials from or to the host fail immediately with an unreachable error —
+// like the no-such-host path, no accounting counters move. Conns already
+// established are unaffected; a fault injector that wants them dead
+// aborts them explicitly (Network.AbortHostConns).
+func (h *Host) SetLinkDown(down bool) {
+	h.mu.Lock()
+	h.down = down
+	h.mu.Unlock()
+}
+
+// LinkDown reports whether the host's access link is currently down.
+func (h *Host) LinkDown() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.down
+}
 
 // Listener accepts virtual connections on one host port.
 type Listener struct {
@@ -139,6 +159,14 @@ func (h *Host) Dial(address string) (net.Conn, error) {
 	peer := h.net.host(hostName)
 	if peer == nil {
 		return nil, fmt.Errorf("netem: no such host %q", hostName)
+	}
+	// Link-down failures resolve before any accounting, like the
+	// no-such-host path: the SYN never makes it onto a pipe.
+	if h.LinkDown() {
+		return nil, fmt.Errorf("netem: link down on %s", h.name)
+	}
+	if peer.LinkDown() {
+		return nil, fmt.Errorf("netem: host %q unreachable (link down)", hostName)
 	}
 	peer.mu.Lock()
 	l := peer.listeners[port]

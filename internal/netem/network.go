@@ -118,6 +118,12 @@ func (n *Network) MustAddHost(cfg HostConfig) *Host {
 // Host looks up a host by name, or nil.
 func (n *Network) Host(name string) *Host { return n.host(name) }
 
+// AbortHostConns aborts every open conn touching the named host; fault
+// injection uses it as the blast radius of a crash or link cut.
+func (n *Network) AbortHostConns(host string) int {
+	return n.acct.AbortHostConns(host)
+}
+
 func (n *Network) host(name string) *Host {
 	n.mu.Lock()
 	defer n.mu.Unlock()

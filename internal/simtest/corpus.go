@@ -14,12 +14,13 @@ import (
 // The repro-line codec. A failing (possibly shrunken) world serializes
 // to one line:
 //
-//	simtest-v1 root=1 index=42 transports=obfs4,tor events=0,2 phases=1 sites=1 repeats=1
+//	simtest-v1 root=1 index=42 transports=obfs4,tor events=0,2 phases=1 faults=0,1 sites=1 repeats=1
 //
 // Decoding regenerates the world from (root, index) — the generator is
 // deterministic — and then applies the shrink overrides: the exact
 // transport subset, the surviving generated-event indices, whether the
-// phase timeline is kept, and the campaign size. Lines from failed fuzz
+// phase timeline is kept, the surviving fault-event indices, and the
+// campaign size. Lines from failed fuzz
 // runs are committed to testdata/corpus/seeds.txt and replayed forever
 // by TestCorpusSeeds.
 //
@@ -38,13 +39,17 @@ func (s Spec) Repro() string {
 	for i, e := range s.EventIdx {
 		events[i] = strconv.Itoa(e)
 	}
+	flts := make([]string, len(s.FaultIdx))
+	for i, f := range s.FaultIdx {
+		flts[i] = strconv.Itoa(f)
+	}
 	phases := 0
 	if len(s.Scenario.Phases) > 0 {
 		phases = 1
 	}
-	return fmt.Sprintf("%s root=%d index=%d transports=%s events=%s phases=%d sites=%d repeats=%d",
+	return fmt.Sprintf("%s root=%d index=%d transports=%s events=%s phases=%d faults=%s sites=%d repeats=%d",
 		reproTag, s.Root, s.Index, strings.Join(s.Transports, ","),
-		strings.Join(events, ","), phases, s.Sites, s.Repeats)
+		strings.Join(events, ","), phases, strings.Join(flts, ","), s.Sites, s.Repeats)
 }
 
 // ParseRepro decodes a repro line back into a runnable spec.
@@ -118,6 +123,28 @@ func ParseRepro(line string) (Spec, error) {
 	}
 	if v, ok := kv["phases"]; ok && v == "0" {
 		s.Scenario.Phases = nil
+	}
+	// faults= selects surviving generated fault events by index. A line
+	// WITHOUT the key predates fault injection and replays fault-free —
+	// exactly the world its failure was fixed on (Repro always emits the
+	// key, so only legacy corpus lines take this path).
+	if v, ok := kv["faults"]; ok {
+		gen := s.Faults
+		s.Faults = nil
+		s.FaultIdx = nil
+		if v != "" {
+			for _, f := range strings.Split(v, ",") {
+				i, err := strconv.Atoi(f)
+				if err != nil || i < 0 || i >= len(gen) {
+					return Spec{}, fmt.Errorf("simtest: repro fault index %q outside the %d generated fault events (stale corpus line?)", f, len(gen))
+				}
+				s.Faults = append(s.Faults, gen[i])
+				s.FaultIdx = append(s.FaultIdx, i)
+			}
+		}
+	} else {
+		s.Faults = nil
+		s.FaultIdx = nil
 	}
 	if _, ok := kv["sites"]; ok {
 		n, err := num("sites")

@@ -2,6 +2,7 @@ package simtest
 
 import (
 	"fmt"
+	"strings"
 
 	"ptperf/internal/censor"
 	"ptperf/internal/stats"
@@ -41,6 +42,8 @@ var invariants = []invariant{
 	{"byte-conservation", checkByteConservation},
 	{"cell-conservation", checkCellConservation},
 	{"censor-accounting", checkCensorAccounting},
+	{"recovery-accounting", checkRecoveryAccounting},
+	{"fault-survivors", checkFaultSurvivors},
 	{"no-leaks", checkNoLeaks},
 }
 
@@ -170,6 +173,61 @@ func checkCensorAccounting(o *Outcome) error {
 	for _, n := range []int{st.BlockedDials, st.FlowsCut, st.Resets, st.LossEvents, st.ThrottledSegments} {
 		if n < 0 {
 			return fmt.Errorf("negative censor counter: %+v", st)
+		}
+	}
+	return nil
+}
+
+// checkRecoveryAccounting cross-checks every method's recovery
+// counters: each counter must be non-negative, and a client can never
+// have re-attached more streams than it saw fail — every re-attach is
+// the response to one observed stream failure.
+func checkRecoveryAccounting(o *Outcome) error {
+	for _, name := range o.orderedMethods() {
+		r := o.Recovery[name]
+		for label, n := range map[string]int64{
+			"rebuilds": r.Rebuilds, "build-timeouts": r.BuildTimeouts,
+			"stream-failures": r.StreamFailures, "re-attaches": r.ReAttaches,
+			"abandoned": r.Abandoned, "guard-probations": r.GuardProbations,
+		} {
+			if n < 0 {
+				return fmt.Errorf("%s: negative recovery counter %s=%d", name, label, n)
+			}
+		}
+		if r.ReAttaches > r.StreamFailures {
+			return fmt.Errorf("%s: %d stream re-attaches exceed %d observed stream failures", name, r.ReAttaches, r.StreamFailures)
+		}
+	}
+	return nil
+}
+
+// checkFaultSurvivors audits the fault injector's blast radius: at the
+// final quiescent point, no conn endpoint may still be open on a host
+// that is down (a permanently crashed relay, a link still flapped
+// down). The injector aborts every conn touching the host when the
+// fault fires, and dials to or from a down host must fail — a survivor
+// means some path dodged both, i.e. a flow outlived its host.
+func checkFaultSurvivors(o *Outcome) error {
+	if len(o.DownHosts) == 0 {
+		return nil
+	}
+	down := make(map[string]bool, len(o.DownHosts))
+	for _, h := range o.DownHosts {
+		down[h] = true
+	}
+	host := func(endpoint string) string {
+		if i := strings.LastIndex(endpoint, ":"); i >= 0 {
+			return endpoint[:i]
+		}
+		return endpoint
+	}
+	for _, addr := range o.OpenConnAddrs {
+		local, remote, ok := strings.Cut(addr, "→")
+		if !ok {
+			return fmt.Errorf("unparseable open-conn endpoint %q", addr)
+		}
+		if down[host(local)] || down[host(remote)] {
+			return fmt.Errorf("conn %s still open although host(s) down: %v", addr, o.DownHosts)
 		}
 	}
 	return nil

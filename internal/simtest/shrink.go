@@ -8,13 +8,14 @@ import (
 // The shrinker: given a world that violates an invariant, find a
 // smaller world that still violates one. Reductions are tried in
 // decreasing order of how much world they remove — bisect the
-// transport subset, drop scenario rules (and the phase timeline),
-// halve sites and repeats — and every accepted reduction restarts the
-// scan, so shrinking converges to a local minimum: a world where no
-// single reduction still fails. The shrunken spec remains expressible
-// as a repro line because every reduction only trims Transports,
-// EventIdx (with Scenario.Events in lockstep), Phases, Sites or
-// Repeats — the generated world's other draws are untouched.
+// transport subset, drop scenario rules (and the phase timeline), drop
+// fault events, halve sites and repeats — and every accepted reduction
+// restarts the scan, so shrinking converges to a local minimum: a world
+// where no single reduction still fails. The shrunken spec remains
+// expressible as a repro line because every reduction only trims
+// Transports, EventIdx (with Scenario.Events in lockstep), Phases,
+// FaultIdx (with Faults in lockstep), Sites or Repeats — the generated
+// world's other draws are untouched.
 
 // defaultShrinkBudget bounds the total number of candidate worlds a
 // shrink may run; each candidate costs up to two world simulations.
@@ -45,6 +46,13 @@ func reductions(s Spec) []Spec {
 		c.Scenario.Phases = nil
 		out = append(out, c)
 	}
+	// Drop one fault event at a time.
+	for i := range s.Faults {
+		c := s.clone()
+		c.Faults = append(c.Faults[:i:i], s.Faults[i+1:]...)
+		c.FaultIdx = append(c.FaultIdx[:i:i], s.FaultIdx[i+1:]...)
+		out = append(out, c)
+	}
 	// Halve the campaign.
 	if s.Sites > 1 {
 		c := s.clone()
@@ -69,6 +77,8 @@ func (s Spec) clone() Spec {
 	c.Scenario.Events = append(c.Scenario.Events[:0:0], s.Scenario.Events...)
 	c.Scenario.Phases = append(c.Scenario.Phases[:0:0], s.Scenario.Phases...)
 	c.EventIdx = append([]int(nil), s.EventIdx...)
+	c.Faults = append(c.Faults[:0:0], s.Faults...)
+	c.FaultIdx = append([]int(nil), s.FaultIdx...)
 	return c
 }
 

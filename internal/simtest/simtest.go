@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"ptperf/internal/censor"
+	"ptperf/internal/faults"
 	"ptperf/internal/fetch"
 	"ptperf/internal/geo"
 	"ptperf/internal/netem"
@@ -38,6 +39,7 @@ import (
 	"ptperf/internal/sim"
 	"ptperf/internal/stats"
 	"ptperf/internal/testbed"
+	"ptperf/internal/tor"
 )
 
 // pageTimeout mirrors the harness's 120 s page timeout; a failed access
@@ -60,8 +62,8 @@ const streamWorld = 9000
 
 // Spec is one generated world: everything a fuzz case needs to rebuild
 // it exactly. A Spec is a pure function of (Root, Index) until the
-// shrinker trims Transports, Scenario events, Sites or Repeats — those
-// overrides are what the repro line records.
+// shrinker trims Transports, Scenario events, Faults, Sites or Repeats
+// — those overrides are what the repro line records.
 type Spec struct {
 	// Root is the fuzz run's root seed; Index the world's position in
 	// the run. Together they derive every random draw below.
@@ -73,6 +75,12 @@ type Spec struct {
 	// EventIdx maps Scenario.Events back to the generated scenario's
 	// event indices (repro-line provenance across shrinks).
 	EventIdx []int
+	// Faults is the world's fault-injection plan (relay crashes, link
+	// flaps, directory churn against the volunteer fleet); empty leaves
+	// the infrastructure immortal. FaultIdx maps the events back to the
+	// generated plan's indices (repro-line provenance across shrinks).
+	Faults   []faults.Event
+	FaultIdx []int
 	// Sites is the number of sites measured per catalog; Repeats the
 	// accesses per site.
 	Sites, Repeats int
@@ -94,8 +102,8 @@ func (s Spec) Seed() int64 {
 
 // ID is the spec's short human-readable identity in logs.
 func (s Spec) ID() string {
-	return fmt.Sprintf("world %d/%#x (%d transports, %d rules, %d sites × %d)",
-		s.Index, uint64(s.Root), len(s.Transports), len(s.Scenario.Events), s.Sites, s.Repeats)
+	return fmt.Sprintf("world %d/%#x (%d transports, %d rules, %d faults, %d sites × %d)",
+		s.Index, uint64(s.Root), len(s.Transports), len(s.Scenario.Events), len(s.Faults), s.Sites, s.Repeats)
 }
 
 // normalize maps empty slices to nil so specs compare canonically
@@ -113,6 +121,12 @@ func (s *Spec) normalize() {
 	}
 	if len(s.EventIdx) == 0 {
 		s.EventIdx = nil
+	}
+	if len(s.Faults) == 0 {
+		s.Faults = nil
+	}
+	if len(s.FaultIdx) == 0 {
+		s.FaultIdx = nil
 	}
 }
 
@@ -149,6 +163,40 @@ func Generate(root, index int64) Spec {
 	s.Guards = 2 + rng.Intn(3)
 	s.Middles = 2 + rng.Intn(3)
 	s.Exits = 2 + rng.Intn(3)
+
+	// Random fault plan against the volunteer fleet, from its own seed
+	// stream so adding fault injection never perturbed the draws above
+	// (old corpus lines still rebuild their exact worlds). Roughly half
+	// the worlds stay fault-free — the substrate must hold with and
+	// without infrastructure failure.
+	frng := rand.New(rand.NewSource(sim.DeriveSeed(root, streamWorld, index, 3)))
+	if frng.Intn(2) == 0 {
+		n := 1 + frng.Intn(4)
+		for i := 0; i < n; i++ {
+			ev := faults.Event{
+				Kind: faults.Kind(frng.Intn(3)),
+				At:   5*time.Second + time.Duration(frng.Int63n(int64(395*time.Second))),
+			}
+			// Targets are volunteer relays only: they run on dedicated
+			// same-named hosts, so a relay crash is a host crash and the
+			// fault-survivor invariant stays exact.
+			switch frng.Intn(3) {
+			case 0:
+				ev.Target = fmt.Sprintf("guard-%d", frng.Intn(s.Guards))
+			case 1:
+				ev.Target = fmt.Sprintf("middle-%d", frng.Intn(s.Middles))
+			case 2:
+				ev.Target = fmt.Sprintf("exit-%d", frng.Intn(s.Exits))
+			}
+			// A quarter of the failures are permanent (no restart, no
+			// link-up, no rejoin); the rest recover after 5–65 s.
+			if frng.Intn(4) > 0 {
+				ev.Duration = 5*time.Second + time.Duration(frng.Int63n(int64(60*time.Second)))
+			}
+			s.Faults = append(s.Faults, ev)
+			s.FaultIdx = append(s.FaultIdx, i)
+		}
+	}
 	s.normalize()
 	return s
 }
@@ -171,6 +219,15 @@ type Outcome struct {
 	Methods map[string]*methodResult
 	Censor  censor.Stats
 	Acct    netem.AcctSnapshot
+	// Recovery holds each method's client-side recovery counters at
+	// campaign end (always populated, zero when nothing failed).
+	Recovery map[string]tor.RecoveryStats
+	// Faults counts the fault injector's transitions; DownHosts lists
+	// hosts still failed at the final quiescent point; OpenConnAddrs the
+	// conn endpoints still open there (the fault-survivor comparand).
+	Faults        faults.Stats
+	DownHosts     []string
+	OpenConnAddrs []string
 	// Elapsed is the world's final virtual time.
 	Elapsed time.Duration
 	// Registered and OpenConns sample live goroutines / conn endpoints
@@ -189,6 +246,10 @@ type Outcome struct {
 // construction only; invariant verdicts live in the Outcome.
 func Run(spec Spec) (*Outcome, error) {
 	sc := spec.Scenario
+	var fp *faults.Plan
+	if len(spec.Faults) > 0 {
+		fp = &faults.Plan{Name: "fuzz", Events: spec.Faults}
+	}
 	w, err := testbed.New(testbed.Options{
 		Seed:           spec.Seed(),
 		ByteScale:      spec.ByteScale,
@@ -200,6 +261,7 @@ func Run(spec Spec) (*Outcome, error) {
 		TrancoN:        spec.Sites,
 		CBLN:           spec.Sites,
 		ScenarioSpec:   &sc,
+		FaultSpec:      fp,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("simtest: build %s: %w", spec.ID(), err)
@@ -226,6 +288,21 @@ func Run(spec Spec) (*Outcome, error) {
 
 	if w.Censor != nil {
 		out.Censor = w.Censor.Stats()
+	}
+	// The fault-survivor comparands, sampled at the same quiescent point
+	// as the final accounting snapshot above.
+	out.OpenConnAddrs = w.Net.Acct().OpenConnAddrs()
+	if w.Faults != nil {
+		out.Faults = w.Faults.Stats()
+		out.DownHosts = w.Faults.DownHosts()
+	}
+	out.Recovery = make(map[string]tor.RecoveryStats, len(spec.Transports))
+	for _, name := range spec.Transports {
+		if d, err := w.Deployment(name); err == nil {
+			out.Recovery[name] = d.Recovery()
+		} else {
+			out.Recovery[name] = tor.RecoveryStats{}
+		}
 	}
 	out.Elapsed = clock.Now()
 	out.Report = render(out)
@@ -347,6 +424,18 @@ func render(o *Outcome) string {
 		a.Dials, a.DialsRefused, a.ConnsOpened, a.ConnsClosed, a.SegmentsSent, a.SegmentsFiltered,
 		a.BytesSent, a.BytesDelivered, a.BytesDropped, a.BytesBuffered,
 		a.CellsQueued, a.CellsFlushed, a.CellsDropped)
+	// Recovery and fault lines are emitted for every world — fault-free
+	// ones included — so the report shape is uniform and the counters are
+	// part of the determinism comparand.
+	for _, name := range o.orderedMethods() {
+		r := o.Recovery[name]
+		fmt.Fprintf(&b, "  recovery %-12s rebuilds=%d timeouts=%d streamfails=%d reattach=%d abandoned=%d probation=%d\n",
+			name, r.Rebuilds, r.BuildTimeouts, r.StreamFailures, r.ReAttaches, r.Abandoned, r.GuardProbations)
+	}
+	fs := o.Faults
+	fmt.Fprintf(&b, "  faults crashes=%d restarts=%d flapsdown=%d flapsup=%d withdrawn=%d rejoined=%d skipped=%d down=%s\n",
+		fs.Crashes, fs.Restarts, fs.FlapsDown, fs.FlapsUp, fs.Withdrawn, fs.Rejoined, fs.Skipped,
+		strings.Join(o.DownHosts, ","))
 	return b.String()
 }
 

@@ -1,9 +1,13 @@
 package simtest
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
+
+	"ptperf/internal/faults"
 )
 
 // TestGenerateDeterministic pins the generator contract: equal
@@ -63,6 +67,62 @@ func TestGenerateDiversity(t *testing.T) {
 	}
 }
 
+// TestGenerateFaultDiversity guards the fault-plan draws: across a
+// modest index range roughly half the worlds must carry faults, all
+// three fault kinds must appear, some events must be permanent
+// (Duration 0) and some recovering, and every target must name a
+// volunteer relay inside the world's own fleet.
+func TestGenerateFaultDiversity(t *testing.T) {
+	kinds := map[faults.Kind]int{}
+	var faulted, faultFree, permanent, recovering int
+	for i := int64(0); i < 64; i++ {
+		s := Generate(1, i)
+		if len(s.Faults) == 0 {
+			faultFree++
+			continue
+		}
+		faulted++
+		if len(s.FaultIdx) != len(s.Faults) {
+			t.Fatalf("world %d: FaultIdx (%d) out of lockstep with Faults (%d)", i, len(s.FaultIdx), len(s.Faults))
+		}
+		valid := map[string]bool{}
+		for g := 0; g < s.Guards; g++ {
+			valid[fmt.Sprintf("guard-%d", g)] = true
+		}
+		for m := 0; m < s.Middles; m++ {
+			valid[fmt.Sprintf("middle-%d", m)] = true
+		}
+		for e := 0; e < s.Exits; e++ {
+			valid[fmt.Sprintf("exit-%d", e)] = true
+		}
+		for _, ev := range s.Faults {
+			kinds[ev.Kind]++
+			if !valid[ev.Target] {
+				t.Errorf("world %d: fault targets %q outside the %d/%d/%d fleet", i, ev.Target, s.Guards, s.Middles, s.Exits)
+			}
+			if ev.At < 5*time.Second {
+				t.Errorf("world %d: fault fires at %v, before the campaign warms up", i, ev.At)
+			}
+			if ev.Duration == 0 {
+				permanent++
+			} else {
+				recovering++
+			}
+		}
+	}
+	if faulted < 10 || faultFree < 10 {
+		t.Errorf("64 worlds split %d faulted / %d fault-free; want both ≥ 10", faulted, faultFree)
+	}
+	for _, k := range []faults.Kind{faults.KindCrash, faults.KindFlap, faults.KindChurn} {
+		if kinds[k] == 0 {
+			t.Errorf("64 worlds drew no %v fault", k)
+		}
+	}
+	if permanent == 0 || recovering == 0 {
+		t.Errorf("64 worlds drew %d permanent and %d recovering faults; want both", permanent, recovering)
+	}
+}
+
 // TestReproRoundTrip checks the repro-line codec over generated and
 // shrunken specs.
 func TestReproRoundTrip(t *testing.T) {
@@ -97,6 +157,30 @@ func TestReproRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(shrunk, got) {
 		t.Fatalf("shrunken spec did not round-trip:\n%+v\nvs\n%+v\nline: %s", shrunk, got, shrunk.Repro())
 	}
+
+	// A fault-shrunk spec: drop the first of several fault events and
+	// the surviving subset must still round-trip.
+	var f Spec
+	for i := int64(0); ; i++ {
+		f = Generate(5, i)
+		if len(f.Faults) >= 2 {
+			break
+		}
+		if i > 500 {
+			t.Fatal("no world with ≥2 fault events in 500 draws")
+		}
+	}
+	fs := f.clone()
+	fs.Faults = fs.Faults[1:]
+	fs.FaultIdx = fs.FaultIdx[1:]
+	fs.normalize()
+	got, err = ParseRepro(fs.Repro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fs, got) {
+		t.Fatalf("fault-shrunk spec did not round-trip:\n%+v\nvs\n%+v\nline: %s", fs, got, fs.Repro())
+	}
 }
 
 // TestParseReproRejects covers malformed and stale lines.
@@ -110,6 +194,7 @@ func TestParseReproRejects(t *testing.T) {
 		"simtest-v1 root=x index=0",
 		base.Repro() + " sites=0",
 		"simtest-v1 root=5 index=0 events=99",
+		"simtest-v1 root=5 index=0 faults=99",
 		"simtest-v1 root=5 index=0 transports=",
 		"simtest-v1 root=5 index=0 transports=meeek",
 	} {
@@ -140,7 +225,7 @@ func TestReductionsShrinkEveryAxis(t *testing.T) {
 	var s Spec
 	for i := int64(0); ; i++ {
 		s = Generate(1, i)
-		if len(s.Transports) >= 2 && len(s.Scenario.Events) >= 2 && s.Sites == 2 && s.Repeats == 2 {
+		if len(s.Transports) >= 2 && len(s.Scenario.Events) >= 2 && len(s.Faults) >= 1 && s.Sites == 2 && s.Repeats == 2 {
 			break
 		}
 		if i > 500 {
@@ -148,7 +233,7 @@ func TestReductionsShrinkEveryAxis(t *testing.T) {
 		}
 	}
 	cands := reductions(s)
-	var transports, events, sites, repeats bool
+	var transports, events, flts, sites, repeats bool
 	for _, c := range cands {
 		if len(c.Transports) < len(s.Transports) {
 			transports = true
@@ -159,6 +244,12 @@ func TestReductionsShrinkEveryAxis(t *testing.T) {
 				t.Fatalf("EventIdx (%d) out of lockstep with Events (%d)", len(c.EventIdx), len(c.Scenario.Events))
 			}
 		}
+		if len(c.Faults) < len(s.Faults) {
+			flts = true
+			if len(c.FaultIdx) != len(c.Faults) {
+				t.Fatalf("FaultIdx (%d) out of lockstep with Faults (%d)", len(c.FaultIdx), len(c.Faults))
+			}
+		}
 		if c.Sites < s.Sites {
 			sites = true
 		}
@@ -166,8 +257,8 @@ func TestReductionsShrinkEveryAxis(t *testing.T) {
 			repeats = true
 		}
 	}
-	if !transports || !events || !sites || !repeats {
-		t.Fatalf("reductions missed an axis: transports=%v events=%v sites=%v repeats=%v", transports, events, sites, repeats)
+	if !transports || !events || !flts || !sites || !repeats {
+		t.Fatalf("reductions missed an axis: transports=%v events=%v faults=%v sites=%v repeats=%v", transports, events, flts, sites, repeats)
 	}
 	// Mutating a candidate must not touch the parent.
 	before := len(s.Scenario.Events)

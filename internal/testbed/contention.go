@@ -98,7 +98,7 @@ func (w *World) NewContentionRig(lv ContentionLevel) (*ContentionRig, error) {
 	if err != nil {
 		return nil, err
 	}
-	w.relays = append(w.relays, relay)
+	w.registerRelay(relay)
 	fixed, err := w.newSharedHopRig(host, relay)
 	if err != nil {
 		return nil, err

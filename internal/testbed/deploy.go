@@ -90,6 +90,20 @@ func (d *Deployment) Path() tor.Path {
 // is snowflake.
 func (d *Deployment) Snowflake() *snowflake.Deployment { return d.snowflakeDep }
 
+// Recovery sums the recovery counters of every Tor client the
+// deployment runs (client-side for vanilla and sets 1–2, PT-server-side
+// for set 3) — the per-method recovery cost the churn experiment reports.
+func (d *Deployment) Recovery() tor.RecoveryStats {
+	var st tor.RecoveryStats
+	if d.torClient != nil {
+		st = st.Add(d.torClient.Recovery())
+	}
+	if d.serverTor != nil {
+		st = st.Add(d.serverTor.Recovery())
+	}
+	return st
+}
+
 // Deployment returns (building on first use) the deployment for "tor"
 // or a transport name.
 func (w *World) Deployment(name string) (*Deployment, error) {
@@ -354,6 +368,7 @@ func (w *World) buildSet1(d *Deployment, start func(*HostPort, pt.StreamHandler)
 	if err != nil {
 		return err
 	}
+	w.registerRelay(relay)
 	handle := func(_ string, conn net.Conn) { relay.ServeConn(conn) }
 	dialer, err := start(&HostPort{Host: bridgeHost, Port: ptServerPort}, handle)
 	if err != nil {
@@ -397,6 +412,7 @@ func (w *World) buildSet3(d *Deployment, start func(*HostPort, pt.StreamHandler)
 		Directory:    w.Dir,
 		Seed:         w.Opts.Seed*77 + int64(len(d.Name)),
 		BuildTimeout: 120 * time.Second,
+		Retry:        w.Opts.Retry,
 	})
 	if err != nil {
 		return err

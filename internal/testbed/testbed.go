@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ptperf/internal/censor"
+	"ptperf/internal/faults"
 	"ptperf/internal/geo"
 	"ptperf/internal/netem"
 	"ptperf/internal/tor"
@@ -68,6 +69,16 @@ type Options struct {
 	// bridges alike). The zero value is tor.SchedEWMA; the contention
 	// experiments build tor.SchedFIFO worlds as the pre-KIST baseline.
 	SchedPolicy tor.SchedPolicy
+	// FaultSpec attaches a deterministic fault-injection plan (relay
+	// crashes, link flaps, directory churn) compiled onto the virtual
+	// clock — the benign-failure counterpart of ScenarioSpec. Nil leaves
+	// the infrastructure immortal, identical to pre-fault worlds.
+	FaultSpec *faults.Plan
+	// Retry is the circuit/stream retry policy applied to every Tor
+	// client the world builds (measurement clients and PT-server-side
+	// Tor alike). The zero value reproduces the historical behavior
+	// byte-for-byte; churn worlds raise the budgets and add backoff.
+	Retry tor.RetryPolicy
 }
 
 // withDefaults fills the zero Options with the standard campaign world.
@@ -133,6 +144,9 @@ type World struct {
 	// Censor is the attached adversary, nil when Options.Scenario is
 	// empty.
 	Censor *censor.Censor
+	// Faults is the attached fault injector, nil when Options.FaultSpec
+	// is nil.
+	Faults *faults.Injector
 
 	rng     *rand.Rand
 	relays  []*tor.Relay
@@ -162,6 +176,11 @@ func New(opts Options) (*World, error) {
 			return nil, err
 		}
 		w.Censor = censor.Attach(n, sc, o.Seed, o.ByteScale)
+	}
+	if o.FaultSpec != nil {
+		// Events resolve targets at fire time, so attaching before the
+		// fleet (and before lazily built deployments) is safe.
+		w.Faults = faults.Attach(n, w.Dir, *o.FaultSpec)
 	}
 
 	var err error
@@ -203,7 +222,7 @@ func New(opts Options) (*World, error) {
 		if err != nil {
 			return err
 		}
-		w.relays = append(w.relays, r)
+		w.registerRelay(r)
 		return nil
 	}
 	for i := 0; i < o.Guards; i++ {
@@ -239,6 +258,24 @@ func New(opts Options) (*World, error) {
 		return nil, err
 	}
 	return w, nil
+}
+
+// registerRelay tracks a started relay and, when a fault injector is
+// attached, makes it crashable by name.
+func (w *World) registerRelay(r *tor.Relay) {
+	w.relays = append(w.relays, r)
+	if w.Faults != nil {
+		w.Faults.RegisterRelay(r)
+	}
+}
+
+// FaultStats reports what the fault injector actually did (zero when no
+// plan is attached).
+func (w *World) FaultStats() faults.Stats {
+	if w.Faults == nil {
+		return faults.Stats{}
+	}
+	return w.Faults.Stats()
 }
 
 // uniform draws from [lo, hi).
@@ -313,6 +350,7 @@ func (w *World) NewTorClient(guard, middle, exit *tor.Descriptor, dial tor.First
 		DialFirstHop: dial,
 		Seed:         w.Opts.Seed*1000 + seed,
 		BuildTimeout: 120 * time.Second,
+		Retry:        w.Opts.Retry,
 	})
 }
 
@@ -337,7 +375,7 @@ func (w *World) GuardRelayHost(name string, util float64) (*netem.Host, *tor.Rel
 	if err != nil {
 		return nil, nil, err
 	}
-	w.relays = append(w.relays, r)
+	w.registerRelay(r)
 	return host, r, nil
 }
 

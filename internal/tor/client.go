@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ptperf/internal/netem"
@@ -28,6 +29,109 @@ var (
 // point.
 type FirstHopDialer func(guard *Descriptor) (net.Conn, error)
 
+// RetryPolicy bounds the client's recovery machinery. The zero value
+// reproduces the historical hard-coded behavior byte-for-byte on
+// fault-free seeds: three circuit-build attempts, one stream re-attach,
+// and no backoff sleeps (and, with BackoffBase zero, no RNG draws).
+type RetryPolicy struct {
+	// MaxStreamRetries is how many times a failed stream is re-attached
+	// to a fresh circuit. 0 means the default (1); negative disables
+	// re-attach entirely.
+	MaxStreamRetries int
+	// MaxBuildRetries is how many extra circuit-build attempts follow a
+	// failed one. 0 means the default (2, i.e. three attempts total);
+	// negative disables retries.
+	MaxBuildRetries int
+	// BackoffBase, when positive, sleeps BackoffBase·2^attempt plus a
+	// seeded uniform jitter in [0, BackoffBase) between build attempts —
+	// the modeled circuit-build-timeout backoff. Zero sleeps nothing and
+	// draws nothing.
+	BackoffBase time.Duration
+}
+
+func (p RetryPolicy) streamRetries() int {
+	switch {
+	case p.MaxStreamRetries < 0:
+		return 0
+	case p.MaxStreamRetries == 0:
+		return 1
+	}
+	return p.MaxStreamRetries
+}
+
+func (p RetryPolicy) buildRetries() int {
+	switch {
+	case p.MaxBuildRetries < 0:
+		return 0
+	case p.MaxBuildRetries == 0:
+		return 2
+	}
+	return p.MaxBuildRetries
+}
+
+// RecoveryStats are one client's cumulative recovery counters; the
+// churn experiment and the fuzzer's cross-checks read them. ReAttaches
+// can never exceed StreamFailures: every re-attach is a response to an
+// observed stream failure.
+type RecoveryStats struct {
+	// Rebuilds counts circuit-build attempts made after a failed one.
+	Rebuilds int64
+	// BuildTimeouts counts builds that hit the circuit-build timeout.
+	BuildTimeouts int64
+	// StreamFailures counts stream opens that failed on a circuit.
+	StreamFailures int64
+	// ReAttaches counts streams re-attached to a fresh circuit.
+	ReAttaches int64
+	// Abandoned counts streams given up after exhausting retries (or
+	// failing to get a replacement circuit).
+	Abandoned int64
+	// GuardProbations counts guard-failure probation sentences.
+	GuardProbations int64
+}
+
+// Add returns the element-wise sum of two stat sets.
+func (s RecoveryStats) Add(o RecoveryStats) RecoveryStats {
+	return RecoveryStats{
+		Rebuilds:        s.Rebuilds + o.Rebuilds,
+		BuildTimeouts:   s.BuildTimeouts + o.BuildTimeouts,
+		StreamFailures:  s.StreamFailures + o.StreamFailures,
+		ReAttaches:      s.ReAttaches + o.ReAttaches,
+		Abandoned:       s.Abandoned + o.Abandoned,
+		GuardProbations: s.GuardProbations + o.GuardProbations,
+	}
+}
+
+// Total sums the counters that indicate any recovery activity.
+func (s RecoveryStats) Total() int64 {
+	return s.Rebuilds + s.BuildTimeouts + s.StreamFailures + s.ReAttaches + s.Abandoned + s.GuardProbations
+}
+
+// recoveryCounters is the atomic backing store for RecoveryStats.
+type recoveryCounters struct {
+	rebuilds        atomic.Int64
+	buildTimeouts   atomic.Int64
+	streamFailures  atomic.Int64
+	reAttaches      atomic.Int64
+	abandoned       atomic.Int64
+	guardProbations atomic.Int64
+}
+
+func (c *recoveryCounters) snapshot() RecoveryStats {
+	return RecoveryStats{
+		Rebuilds:        c.rebuilds.Load(),
+		BuildTimeouts:   c.buildTimeouts.Load(),
+		StreamFailures:  c.streamFailures.Load(),
+		ReAttaches:      c.reAttaches.Load(),
+		Abandoned:       c.abandoned.Load(),
+		GuardProbations: c.guardProbations.Load(),
+	}
+}
+
+// DefaultGuardProbation is how long a failed guard sits out of path
+// selection before it is eligible again (doubling per consecutive
+// strike, capped at 64×).
+const DefaultGuardProbation = 10 * time.Minute
+
 // ClientConfig configures a Tor client.
 type ClientConfig struct {
 	// Host is the machine the client runs on.
@@ -48,6 +152,21 @@ type ClientConfig struct {
 	// BuildTimeout bounds circuit construction in virtual time; zero
 	// means 60 virtual seconds.
 	BuildTimeout time.Duration
+	// Retry bounds build retries, stream re-attach and backoff; the
+	// zero value preserves the historical defaults.
+	Retry RetryPolicy
+	// GuardProbation is the base sit-out period after a guard failure;
+	// zero means DefaultGuardProbation, negative marks failed guards bad
+	// forever (the pre-probation behavior).
+	GuardProbation time.Duration
+}
+
+// guardProbation is one guard's decaying failure memory.
+type guardProbation struct {
+	// until is the virtual instant the sentence expires.
+	until time.Duration
+	// strikes counts recorded failures; the sentence doubles per strike.
+	strikes int
 }
 
 // Client is a Tor client: it builds circuits and opens streams.
@@ -58,9 +177,17 @@ type Client struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// retryRng feeds backoff jitter only. It is separate from rng so
+	// enabling backoff cannot perturb path selection, and vice versa —
+	// fault-free seeds stay byte-identical under the default policy.
+	retryMu  sync.Mutex
+	retryRng *rand.Rand
+
+	rec recoveryCounters
+
 	mu        sync.Mutex
 	guard     *Descriptor
-	badGuards []*Descriptor
+	probation map[string]*guardProbation
 	circ      *circuit
 }
 
@@ -76,14 +203,22 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.BuildTimeout <= 0 {
 		cfg.BuildTimeout = 60 * time.Second
 	}
+	if cfg.GuardProbation == 0 {
+		cfg.GuardProbation = DefaultGuardProbation
+	}
 	c := &Client{
-		cfg:   cfg,
-		clock: cfg.Host.Network().Clock(),
-		rng:   rand.New(rand.NewSource(cfg.Seed*6364136223846793005 + 1442695040888963407)),
-		guard: cfg.Guard,
+		cfg:       cfg,
+		clock:     cfg.Host.Network().Clock(),
+		rng:       rand.New(rand.NewSource(cfg.Seed*6364136223846793005 + 1442695040888963407)),
+		retryRng:  rand.New(rand.NewSource(cfg.Seed*2862933555777941757 + 3037000493)),
+		probation: make(map[string]*guardProbation),
+		guard:     cfg.Guard,
 	}
 	return c, nil
 }
+
+// Recovery returns the client's cumulative recovery counters.
+func (c *Client) Recovery() RecoveryStats { return c.rec.snapshot() }
 
 // Guard returns the client's persistent guard, selecting one if needed.
 func (c *Client) Guard() *Descriptor {
@@ -94,12 +229,19 @@ func (c *Client) Guard() *Descriptor {
 
 func (c *Client) guardLocked() *Descriptor {
 	if c.guard == nil {
+		now := c.clock.Now()
 		c.rngMu.Lock()
 		cands := c.cfg.Directory.WithFlag(FlagGuard)
-		c.guard = pickWeighted(c.rng, cands, c.badGuards...)
+		var skip []*Descriptor
+		for _, g := range cands {
+			if p := c.probation[g.Name]; p != nil && c.onProbation(p, now) {
+				skip = append(skip, g)
+			}
+		}
+		c.guard = pickWeighted(c.rng, cands, skip...)
 		if c.guard == nil {
-			// Every guard has failed; retry across the full list like a
-			// client whose guard context expired.
+			// Every guard is on probation; retry across the full list like
+			// a client whose guard context expired.
 			c.guard = pickWeighted(c.rng, cands)
 		}
 		c.rngMu.Unlock()
@@ -107,26 +249,43 @@ func (c *Client) guardLocked() *Descriptor {
 	return c.guard
 }
 
+// onProbation reports whether a sentence is still active at now. A
+// negative GuardProbation makes every sentence permanent.
+func (c *Client) onProbation(p *guardProbation, now time.Duration) bool {
+	return c.cfg.GuardProbation < 0 || now < p.until
+}
+
 // guardFailed records a first-hop dial failure. An unpinned client
 // abandons the unreachable guard and fails over to a different one on
 // the next build attempt — the observable response to a censor blocking
 // the guard's address (a pinned bridge has nowhere to fail over to).
+// Failed guards are not marked bad forever: they serve a probation that
+// doubles per consecutive strike (capped at 64× the base) and then
+// expires, so a guard that merely flapped comes back into selection.
 func (c *Client) guardFailed(g *Descriptor) {
 	if c.cfg.Guard != nil || c.cfg.Directory == nil || g == nil {
 		return
 	}
+	now := c.clock.Now()
 	c.mu.Lock()
 	if c.guard != nil && c.guard.Name == g.Name {
 		c.guard = nil
 	}
-	for _, b := range c.badGuards {
-		if b.Name == g.Name {
-			c.mu.Unlock()
-			return
-		}
+	p := c.probation[g.Name]
+	if p == nil {
+		p = &guardProbation{}
+		c.probation[g.Name] = p
 	}
-	c.badGuards = append(c.badGuards, g)
+	if p.strikes < 7 {
+		p.strikes++
+	}
+	base := c.cfg.GuardProbation
+	if base < 0 {
+		base = DefaultGuardProbation // sentence length is moot: permanent
+	}
+	p.until = now + base<<(p.strikes-1)
 	c.mu.Unlock()
+	c.rec.guardProbations.Add(1)
 }
 
 // Preheat builds a circuit if none is alive, so that measurement code can
@@ -168,22 +327,43 @@ func (c *Client) Path() Path {
 // circuitFor returns a live circuit, building one if necessary.
 func (c *Client) circuitFor() (*circuit, error) {
 	c.mu.Lock()
-	if c.circ != nil && !c.circ.isClosed() {
-		circ := c.circ
+	if c.circ != nil {
+		if !c.circ.isClosed() {
+			circ := c.circ
+			c.mu.Unlock()
+			return circ, nil
+		}
+		// The cached circuit died under us (relay crash, link flap,
+		// scheduler drop) rather than being discarded via NewCircuit:
+		// its replacement is a rebuild, not a first build.
+		c.circ = nil
 		c.mu.Unlock()
-		return circ, nil
+		c.rec.rebuilds.Add(1)
+	} else {
+		c.mu.Unlock()
 	}
-	c.mu.Unlock()
 
 	// Like the real client, retry a failed build on a fresh circuit: a
-	// lossy transport can eat a handshake cell, and a snowflake
-	// volunteer can die mid-build.
+	// lossy transport can eat a handshake cell, a snowflake volunteer
+	// can die mid-build, and under fault injection the chosen relay may
+	// just have crashed. Retries optionally back off exponentially with
+	// seeded jitter (RetryPolicy.BackoffBase).
 	var circ *circuit
 	var err error
-	for attempt := 0; attempt < 3; attempt++ {
+	attempts := 1 + c.cfg.Retry.buildRetries()
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.rec.rebuilds.Add(1)
+			if d := c.backoff(attempt - 1); d > 0 {
+				c.clock.Sleep(d)
+			}
+		}
 		circ, err = c.buildCircuit()
 		if err == nil {
 			break
+		}
+		if errors.Is(err, ErrBuildTimeout) {
+			c.rec.buildTimeouts.Add(1)
 		}
 	}
 	if err != nil {
@@ -237,27 +417,54 @@ func (c *Client) buildCircuit() (*circuit, error) {
 	return circ, nil
 }
 
+// backoff computes the post-failure build sleep: BackoffBase·2^n plus a
+// uniform jitter in [0, BackoffBase), drawn from the dedicated retry
+// RNG. With BackoffBase zero nothing is slept and nothing is drawn.
+func (c *Client) backoff(n int) time.Duration {
+	base := c.cfg.Retry.BackoffBase
+	if base <= 0 {
+		return 0
+	}
+	if n > 6 {
+		n = 6
+	}
+	c.retryMu.Lock()
+	jitter := time.Duration(c.retryRng.Int63n(int64(base)))
+	c.retryMu.Unlock()
+	return base<<n + jitter
+}
+
 // Dial opens an anonymized stream to target ("host:port") through the
-// client's circuit.
+// client's circuit. A stream that fails because its circuit died is
+// re-attached to a fresh circuit up to RetryPolicy.MaxStreamRetries
+// times (Tor's stream re-attach; default one retry).
 func (c *Client) Dial(target string) (net.Conn, error) {
-	circ, err := c.circuitFor()
-	if err != nil {
-		return nil, err
-	}
-	s, err := circ.openStream(target)
-	if err != nil {
-		// One retry on a fresh circuit, like Tor's stream re-attach.
-		if errors.Is(err, ErrCircuitClosed) {
-			c.NewCircuit()
-			circ, err = c.circuitFor()
-			if err != nil {
-				return nil, err
+	retries := c.cfg.Retry.streamRetries()
+	for attempt := 0; ; attempt++ {
+		circ, err := c.circuitFor()
+		if err != nil {
+			if attempt > 0 {
+				// A re-attach that cannot even get a circuit abandons the
+				// stream.
+				c.rec.abandoned.Add(1)
 			}
-			return circ.openStream(target)
+			return nil, err
 		}
-		return nil, err
+		s, err := circ.openStream(target)
+		if err == nil {
+			return s, nil
+		}
+		c.rec.streamFailures.Add(1)
+		if !errors.Is(err, ErrCircuitClosed) {
+			return nil, err
+		}
+		if attempt >= retries {
+			c.rec.abandoned.Add(1)
+			return nil, err
+		}
+		c.rec.reAttaches.Add(1)
+		c.NewCircuit()
 	}
-	return s, nil
 }
 
 // ServeSOCKS runs a SOCKS5 front end on the given port of the client's

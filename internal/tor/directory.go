@@ -63,6 +63,29 @@ func (d *Directory) Publish(desc *Descriptor) error {
 	return nil
 }
 
+// Withdraw removes a relay from the consensus (a crash, or churn's
+// "descriptor leaves the directory"). Clients holding the descriptor
+// pointer — pinned guards, live circuits — keep working; only future
+// consensus-driven selection stops seeing the relay. Returns false when
+// the relay was not listed. Publishing the same descriptor again
+// re-appends it, so a withdraw/rejoin cycle is deterministic but moves
+// the relay to the end of the consensus order.
+func (d *Directory) Withdraw(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.byName[name]; !ok {
+		return false
+	}
+	delete(d.byName, name)
+	for i, r := range d.relays {
+		if r.Name == name {
+			d.relays = append(d.relays[:i], d.relays[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 // Lookup finds a relay by nickname.
 func (d *Directory) Lookup(name string) (*Descriptor, bool) {
 	d.mu.RLock()

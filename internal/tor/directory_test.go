@@ -52,6 +52,47 @@ func TestMaxWeightPick(t *testing.T) {
 	}
 }
 
+// TestWithdrawRejoin pins the consensus-churn semantics: a withdrawn
+// relay disappears from every selection view, a second withdraw is a
+// no-op, and republishing the same descriptor re-appends it at the end
+// of the consensus order.
+func TestWithdrawRejoin(t *testing.T) {
+	dir := NewDirectory()
+	a := &Descriptor{Name: "a", Addr: "a:1", Flags: FlagGuard | FlagFast, Bandwidth: 1}
+	b := &Descriptor{Name: "b", Addr: "b:1", Flags: FlagFast, Bandwidth: 1}
+	if err := dir.Publish(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Publish(b); err != nil {
+		t.Fatal(err)
+	}
+	if !dir.Withdraw("a") {
+		t.Fatal("withdraw of a listed relay returned false")
+	}
+	if dir.Withdraw("a") {
+		t.Fatal("second withdraw returned true")
+	}
+	if _, ok := dir.Lookup("a"); ok {
+		t.Fatal("withdrawn relay still resolvable")
+	}
+	if got := len(dir.WithFlag(FlagGuard)); got != 0 {
+		t.Fatalf("%d guards visible after withdrawing the only one", got)
+	}
+	if got := len(dir.Relays()); got != 1 {
+		t.Fatalf("%d relays after withdraw, want 1", got)
+	}
+	if err := dir.Publish(a); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	rs := dir.Relays()
+	if len(rs) != 2 || rs[len(rs)-1].Name != "a" {
+		t.Fatalf("rejoined relay not appended: %v", rs)
+	}
+	if _, ok := dir.Lookup("a"); !ok {
+		t.Fatal("rejoined relay not resolvable")
+	}
+}
+
 // TestPickWeightedNeverExcluded: whatever the draw, the winner must
 // respect the exclusion list (the fallback path included).
 func TestPickWeightedNeverExcluded(t *testing.T) {

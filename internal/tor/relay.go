@@ -43,15 +43,17 @@ type RelayConfig struct {
 type Relay struct {
 	cfg   RelayConfig
 	desc  *Descriptor
-	ln    *netem.Listener
 	clock *netem.Clock
-	sched *cellScheduler
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	mu     sync.Mutex
-	closed bool
+	mu      sync.Mutex
+	ln      *netem.Listener
+	sched   *cellScheduler
+	retired []*cellScheduler // schedulers of crashed incarnations (stats survive restarts)
+	closed  bool
+	crashed bool
 }
 
 // StartRelay launches a relay and publishes its descriptor.
@@ -96,7 +98,7 @@ func StartRelay(cfg RelayConfig) (*Relay, error) {
 	}
 	r.sched = newCellScheduler(r.clock, cfg.Host.Network().Acct(), cfg.Sched, cfg.Bandwidth)
 	r.clock.Go(r.sched.run)
-	r.clock.Go(r.acceptLoop)
+	r.clock.Go(func() { r.acceptLoop(ln) })
 	return r, nil
 }
 
@@ -104,21 +106,99 @@ func StartRelay(cfg RelayConfig) (*Relay, error) {
 // bridges, where it is handed to clients out of band).
 func (r *Relay) Descriptor() *Descriptor { return r.desc }
 
+// Host returns the virtual machine the relay runs on.
+func (r *Relay) Host() *netem.Host { return r.cfg.Host }
+
+// scheduler returns the current incarnation's cell scheduler. Links
+// bind it once at creation, so a restart's fresh scheduler never sees
+// calls from links that belong to a crashed incarnation.
+func (r *Relay) scheduler() *cellScheduler {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sched
+}
+
 // Close stops accepting connections and shuts the cell scheduler down
 // (queued cells of live circuits are dropped; subsequent relay traffic
 // through this relay fails).
 func (r *Relay) Close() error {
 	r.mu.Lock()
 	r.closed = true
+	ln, sched := r.ln, r.sched
 	r.mu.Unlock()
-	err := r.ln.Close()
-	r.sched.stop()
+	err := ln.Close()
+	sched.stop()
 	return err
 }
 
-func (r *Relay) acceptLoop() {
+// Crash models the relay process dying: the descriptor is withdrawn
+// from the consensus, the listener closes, the scheduler drops every
+// queued cell (Acct-counted), and every conn touching the relay's host
+// is aborted — live links observe read errors and tear their circuits
+// down exactly as they would for a real peer crash. Returns false if
+// the relay was already crashed or closed.
+func (r *Relay) Crash() bool {
+	r.mu.Lock()
+	if r.crashed || r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	r.crashed = true
+	ln, sched := r.ln, r.sched
+	r.mu.Unlock()
+	if !r.cfg.Unpublished && r.cfg.Directory != nil {
+		r.cfg.Directory.Withdraw(r.cfg.Name)
+	}
+	ln.Close()
+	sched.stop()
+	r.cfg.Host.Network().AbortHostConns(r.cfg.Host.Name())
+	return true
+}
+
+// Crashed reports whether the relay is currently crashed.
+func (r *Relay) Crashed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.crashed
+}
+
+// Restart brings a crashed relay back: a fresh listener on the same
+// port, a fresh cell scheduler (the crashed one is retired but keeps
+// its cumulative stats), and the same descriptor republished — pinned
+// descriptor pointers held by clients stay valid across the cycle.
+func (r *Relay) Restart() error {
+	r.mu.Lock()
+	if !r.crashed || r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("tor: relay %q is not crashed", r.cfg.Name)
+	}
+	r.mu.Unlock()
+	ln, err := r.cfg.Host.Listen(r.cfg.Port)
+	if err != nil {
+		return err
+	}
+	sched := newCellScheduler(r.clock, r.cfg.Host.Network().Acct(), r.cfg.Sched, r.cfg.Bandwidth)
+	r.mu.Lock()
+	r.retired = append(r.retired, r.sched)
+	r.ln = ln
+	r.sched = sched
+	r.crashed = false
+	r.mu.Unlock()
+	r.clock.Go(sched.run)
+	r.clock.Go(func() { r.acceptLoop(ln) })
+	if !r.cfg.Unpublished && r.cfg.Directory != nil {
+		if err := r.cfg.Directory.Publish(r.desc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// acceptLoop serves one listener incarnation; it is handed the listener
+// it owns so a crash/restart cycle can never cross-wire two loops.
+func (r *Relay) acceptLoop(ln *netem.Listener) {
 	for {
-		c, err := r.ln.Accept()
+		c, err := ln.Accept()
 		if err != nil {
 			return
 		}
@@ -132,7 +212,7 @@ func (r *Relay) acceptLoop() {
 // a co-located relay (integration set 1 of the paper, where the PT server
 // is the guard).
 func (r *Relay) ServeConn(conn net.Conn) {
-	l := &link{relay: r, conn: conn, wmu: netem.NewMutex(r.clock), circs: make(map[uint32]*relayCirc)}
+	l := &link{relay: r, sched: r.scheduler(), conn: conn, wmu: netem.NewMutex(r.clock), circs: make(map[uint32]*relayCirc)}
 	l.serve()
 }
 
@@ -176,6 +256,10 @@ func (r *Relay) randID(l *link) uint32 {
 // link is one upstream connection carrying circuits.
 type link struct {
 	relay *Relay
+	// sched is the scheduler incarnation the link was accepted under;
+	// its queues are retired with it, so a restarted relay's scheduler
+	// never receives cells from a pre-crash link.
+	sched *cellScheduler
 	conn  net.Conn
 
 	// wmu serializes upstream cell writes; scheduler-aware because a
@@ -292,7 +376,7 @@ func (l *link) handleCreate(cell *Cell) error {
 		link:       l,
 		id:         cell.CircID,
 		crypto:     hc,
-		q:          l.relay.sched.newQueue(l, cell.CircID),
+		q:          l.sched.newQueue(l, cell.CircID),
 		nextWMu:    netem.NewMutex(clock),
 		bwdMu:      netem.NewMutex(clock),
 		streams:    make(map[uint16]*exitStream),
@@ -428,7 +512,7 @@ func (c *relayCirc) pumpBackward(conn net.Conn) {
 			c.bwdMu.Lock()
 			c.crypto.encryptBackward(&cell.Payload)
 			out := &Cell{CircID: c.id, Cmd: CmdRelay, Payload: cell.Payload}
-			err := c.link.relay.sched.enqueue(c.q, out)
+			err := c.link.sched.enqueue(c.q, out)
 			c.bwdMu.Unlock()
 			if err != nil {
 				c.destroy(false, true)
@@ -460,7 +544,7 @@ func (c *relayCirc) sendBackward(rc RelayCell) error {
 	c.crypto.sealBackward(&payload)
 	c.crypto.encryptBackward(&payload)
 	cell := &Cell{CircID: c.id, Cmd: CmdRelay, Payload: payload}
-	return c.link.relay.sched.enqueue(c.q, cell)
+	return c.link.sched.enqueue(c.q, cell)
 }
 
 // handleBegin opens the exit connection for a new stream.
@@ -593,7 +677,7 @@ func (c *relayCirc) destroy(notifyUp, notifyDown bool) {
 	// Drop the circuit's queued cells (counted as dropped) before any
 	// DESTROY goes out: a torn-down circuit's backlog must not outlive
 	// it in the scheduler.
-	c.link.relay.sched.closeQueue(c.q)
+	c.link.sched.closeQueue(c.q)
 
 	for _, s := range streams {
 		s.conn.Close()

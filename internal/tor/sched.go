@@ -414,21 +414,34 @@ type CircuitSched struct {
 	Delays []time.Duration
 }
 
-// SchedStats returns the relay scheduler's aggregate counters.
+// schedulers lists every scheduler incarnation, oldest first — crashed
+// incarnations keep their counters, so stats are cumulative across
+// crash/restart cycles.
+func (r *Relay) schedulers() []*cellScheduler {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*cellScheduler, 0, len(r.retired)+1)
+	out = append(out, r.retired...)
+	return append(out, r.sched)
+}
+
+// SchedStats returns the relay scheduler's aggregate counters,
+// cumulative across restarts.
 func (r *Relay) SchedStats() SchedStats {
-	s := r.sched
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var st SchedStats
-	st.Passes = s.passes
-	st.Pending = int64(s.pending)
-	for _, qs := range [][]*circQueue{s.active, s.done} {
-		for _, q := range qs {
-			st.Queued += q.queued
-			st.Flushed += q.flushed
-			st.Dropped += q.dropped
-			st.DelaySum += q.delaySum
+	for _, s := range r.schedulers() {
+		s.mu.Lock()
+		st.Passes += s.passes
+		st.Pending += int64(s.pending)
+		for _, qs := range [][]*circQueue{s.active, s.done} {
+			for _, q := range qs {
+				st.Queued += q.queued
+				st.Flushed += q.flushed
+				st.Dropped += q.dropped
+				st.DelaySum += q.delaySum
+			}
 		}
+		s.mu.Unlock()
 	}
 	return st
 }
@@ -439,22 +452,23 @@ func (r *Relay) SchedStats() SchedStats {
 // consumers match records by their counters (the contention fairness
 // tests split bursty from bulk by Flushed).
 func (r *Relay) CircuitScheds() []CircuitSched {
-	s := r.sched
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]CircuitSched, 0, len(s.done)+len(s.active))
-	for _, qs := range [][]*circQueue{s.done, s.active} {
-		for _, q := range qs {
-			out = append(out, CircuitSched{
-				CircID:   q.id,
-				Queued:   q.queued,
-				Flushed:  q.flushed,
-				Dropped:  q.dropped,
-				Pending:  int64(len(q.cells)),
-				DelaySum: q.delaySum,
-				Delays:   append([]time.Duration(nil), q.delays...),
-			})
+	var out []CircuitSched
+	for _, s := range r.schedulers() {
+		s.mu.Lock()
+		for _, qs := range [][]*circQueue{s.done, s.active} {
+			for _, q := range qs {
+				out = append(out, CircuitSched{
+					CircID:   q.id,
+					Queued:   q.queued,
+					Flushed:  q.flushed,
+					Dropped:  q.dropped,
+					Pending:  int64(len(q.cells)),
+					DelaySum: q.delaySum,
+					Delays:   append([]time.Duration(nil), q.delays...),
+				})
+			}
 		}
+		s.mu.Unlock()
 	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"ptperf/internal/geo"
 	"ptperf/internal/netem"
 )
 
@@ -76,6 +77,94 @@ func TestBuildTimeoutOnDeadGuard(t *testing.T) {
 	})
 	if err := c.Preheat(); err == nil {
 		t.Fatal("building through a dead guard must fail")
+	}
+}
+
+// TestMidTransferRelayCrashTearsDown crashes the middle relay while a
+// bulk transfer is in flight and audits the blast radius: the stream
+// must fail (not hang), the cell-scheduler accounting must balance with
+// the crash's queue drops counted as Dropped, and no goroutine or conn
+// may outlive the teardown. The middle's uplink is throttled so its
+// scheduler still holds queued backward cells when the crash fires.
+func TestMidTransferRelayCrashTearsDown(t *testing.T) {
+	n := netem.New(netem.WithTimeScale(0.001), netem.WithSeed(11))
+	dir := NewDirectory()
+	mkRelay := func(name string, flags Flag, uplink float64) *Relay {
+		host := n.MustAddHost(netem.HostConfig{
+			Name: name, Location: geo.Frankfurt,
+			UplinkBps: uplink, DownlinkBps: 50 << 20,
+		})
+		r, err := StartRelay(RelayConfig{Name: name, Host: host, Directory: dir, Flags: flags, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	mkRelay("guard-0", FlagGuard|FlagFast, 50<<20)
+	mid := mkRelay("middle-0", FlagFast, 100<<10) // bottleneck: backward cells queue here
+	mkRelay("exit-0", FlagExit|FlagFast, 50<<20)
+
+	clientHost := n.MustAddHost(netem.HostConfig{Name: "client", Location: geo.Toronto})
+	web := n.MustAddHost(netem.HostConfig{Name: "web", Location: geo.NewYork})
+	ln, err := web.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	n.Go(func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn := c
+			n.Go(func() { defer conn.Close(); io.Copy(conn, conn) })
+		}
+	})
+
+	c, err := NewClient(ClientConfig{Host: clientHost, Directory: dir, Seed: 42, BuildTimeout: 20 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Preheat(); err != nil {
+		t.Fatal(err)
+	}
+	n.Clock().Sleep(time.Second) // settle bootstrap
+	before := n.Clock().Registered()
+
+	conn, err := c.Dial("web:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 300<<10)
+	n.Go(func() { conn.Write(payload) })
+	// Read a little so the echo is moving and the bottleneck queue fills.
+	if _, err := io.ReadFull(conn, make([]byte, 16<<10)); err != nil {
+		t.Fatal(err)
+	}
+
+	if !mid.Crash() {
+		t.Fatal("crash refused")
+	}
+	if _, err := io.ReadFull(conn, make([]byte, len(payload)-(16<<10))); err == nil {
+		t.Fatal("transfer survived a mid-path relay crash")
+	}
+	conn.Close()
+	c.Close()
+	n.Clock().Sleep(time.Second) // let the teardown cascade settle
+
+	snap := n.Acct().Snapshot()
+	if err := snap.CellConservationErr(); err != nil {
+		t.Fatal(err)
+	}
+	if snap.CellsDropped == 0 {
+		t.Fatal("mid-transfer crash dropped no queued cells")
+	}
+	for _, addr := range n.Acct().OpenConnAddrs() {
+		t.Errorf("conn %s still open after crash teardown", addr)
+	}
+	if after := n.Clock().Registered(); after > before {
+		t.Fatalf("goroutines grew across crash teardown: %d → %d", before, after)
 	}
 }
 

@@ -153,15 +153,30 @@ func (o *Origin) serveResource(w *bufio.Writer, path string) error {
 	return writeBody(w, nil, res.Bytes)
 }
 
+// serveFile serves "/file/<n>" (n pattern bytes) or "/file/<n>?from=<off>"
+// (the remainder from byte off — the resume form clients use to finish a
+// download interrupted by a mid-circuit failure).
 func (o *Origin) serveFile(w *bufio.Writer, path string) error {
-	n, err := strconv.Atoi(strings.TrimPrefix(path, "/file/"))
+	spec, query, _ := strings.Cut(strings.TrimPrefix(path, "/file/"), "?")
+	n, err := strconv.Atoi(spec)
 	if err != nil || n < 0 || n > 1<<31 {
 		return writeResponseHeader(w, 404, 0)
 	}
-	if err := writeResponseHeader(w, 200, int64(n)); err != nil {
+	from := 0
+	if query != "" {
+		v, ok := strings.CutPrefix(query, "from=")
+		if !ok {
+			return writeResponseHeader(w, 404, 0)
+		}
+		from, err = strconv.Atoi(v)
+		if err != nil || from < 0 || from > n {
+			return writeResponseHeader(w, 404, 0)
+		}
+	}
+	if err := writeResponseHeader(w, 200, int64(n-from)); err != nil {
 		return err
 	}
-	return writeBody(w, nil, n)
+	return writeBody(w, nil, n-from)
 }
 
 // BuildManifest renders the machine-readable resource list embedded at

@@ -192,6 +192,30 @@ func TestOriginServesFiles(t *testing.T) {
 	}
 }
 
+// TestOriginServesFileTail covers the resume form: ?from=<off> serves
+// exactly the remainder, the boundary offsets behave, and malformed or
+// out-of-range offsets 404 rather than serving a wrong-length body.
+func TestOriginServesFileTail(t *testing.T) {
+	_, client, o := newOrigin(t)
+	status, tail := get(t, client, o, FilePath(10_000)+"?from=9000")
+	if status != 200 || len(tail) != 1000 {
+		t.Fatalf("tail: status=%d len=%d, want 200/1000", status, len(tail))
+	}
+	status, body := get(t, client, o, FilePath(10_000)+"?from=0")
+	if status != 200 || len(body) != 10_000 {
+		t.Fatalf("from=0: status=%d len=%d", status, len(body))
+	}
+	status, body = get(t, client, o, FilePath(10_000)+"?from=10000")
+	if status != 200 || len(body) != 0 {
+		t.Fatalf("from=size: status=%d len=%d, want empty 200", status, len(body))
+	}
+	for _, p := range []string{"?from=10001", "?from=-1", "?from=abc", "?offset=5"} {
+		if status, _ := get(t, client, o, FilePath(10_000)+p); status != 404 {
+			t.Errorf("query %q: status %d, want 404", p, status)
+		}
+	}
+}
+
 func TestOrigin404s(t *testing.T) {
 	_, client, o := newOrigin(t)
 	for _, p := range []string{"/site/tranco/999", "/site/bogus/0", "/res/tranco/0/999", "/file/abc", "/nothing", "/site/tranco/0/extra"} {
