@@ -41,6 +41,16 @@
 //	ptperf fuzz -n 100 -seed 1                   torture 100 random worlds
 //	ptperf fuzz -n 25 -jobs 4 -repro-out f.txt   bounded CI smoke
 //
+// The observability layer (internal/obs) samples every world's counter
+// surfaces on its virtual clock into per-cell metric timelines, exports
+// them as Prometheus text and a self-contained HTML report, streams
+// live cell progress, and memoizes cell results content-addressed by
+// their full input digest, so unchanged cells are never recomputed:
+//
+//	ptperf -exp sweep -report report.html        HTML report with sparkline timelines
+//	ptperf -exp all -metrics-dir out/            Prometheus text exposition
+//	ptperf -exp sweep -cache -progress           incremental rerun + live cell status
+//
 // Campaigns are sharded by world (internal/sim): independent simulated
 // worlds — sweep cells, experiment worlds, client locations, fuzz
 // worlds — run concurrently on up to -jobs OS threads (default: all
@@ -99,6 +109,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jobs      = fs.Int("jobs", 0, "independent simulated worlds run concurrently (0 = all cores); reports are byte-identical for any value")
 		seq       = fs.Bool("sequential", false, "measure transports one at a time within each world")
 		plotFlag  = fs.Bool("plot", true, "render ASCII box plots and ECDF curves under the tables")
+
+		metricsDir = fs.String("metrics-dir", "", "write per-cell metric timelines as Prometheus text exposition to DIR/metrics.prom (enables virtual-time sampling)")
+		report     = fs.String("report", "", "write a self-contained HTML campaign report to FILE (enables virtual-time sampling)")
+		histFile   = fs.String("bench-history", "BENCH_history.jsonl", "benchmark-history JSONL rendered as the report's perf trajectory (missing file: section omitted)")
+		cache      = fs.Bool("cache", false, "reuse content-addressed cell results from -cache-dir; unchanged cells are not recomputed")
+		cacheDir   = fs.String("cache-dir", ".ptperfcache", "directory of the content-addressed result cache")
+		progress   = fs.Bool("progress", false, "stream live per-cell progress lines to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -158,10 +175,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *metricsDir != "" || *report != "" {
+		cfg.MetricsInterval = harness.DefaultMetricsInterval
+	}
+	if *progress {
+		cfg.Progress = stderr
+	}
+
 	r := harness.New(cfg, stdout)
+	if *cache {
+		if err := r.EnableCache(*cacheDir); err != nil {
+			fmt.Fprintf(stderr, "ptperf: %v\n", err)
+			return 1
+		}
+	}
 	if err := r.Run(*exp); err != nil {
 		fmt.Fprintf(stderr, "ptperf: %v\n", err)
 		return 1
+	}
+	if err := r.WriteArtifacts(*metricsDir, *report, *histFile); err != nil {
+		fmt.Fprintf(stderr, "ptperf: %v\n", err)
+		return 1
+	}
+	if *cache {
+		st := r.CacheStats()
+		fmt.Fprintf(stderr, "ptperf: cache hits=%d misses=%d stores=%d\n", st.Hits, st.Misses, st.Stores)
 	}
 	return 0
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -121,5 +123,94 @@ func TestFuzzSubcommandSmoke(t *testing.T) {
 	errb.Reset()
 	if code := run([]string{"fuzz", "-replay", "simtest-nonsense"}, &out, &errb); code != 2 {
 		t.Fatalf("bad replay line: exit %d, want 2", code)
+	}
+}
+
+// obsArgs is a cheap single-cell campaign for the observability CLI
+// tests.
+func obsArgs(extra ...string) []string {
+	args := []string{
+		"-exp", "fig4", "-sites", "3", "-repeats", "1", "-sizes", "5",
+		"-bytescale", "0.06", "-transports", "tor,obfs4,snowflake",
+	}
+	return append(args, extra...)
+}
+
+// TestObservabilityArtifacts drives -report and -metrics-dir through
+// the real CLI path and checks both files land with the expected shape.
+func TestObservabilityArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a campaign world")
+	}
+	dir := t.TempDir()
+	report := filepath.Join(dir, "report.html")
+	metrics := filepath.Join(dir, "metrics") // must be created by the run
+	var out, errb bytes.Buffer
+	code := run(obsArgs("-report", report, "-metrics-dir", metrics), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errb.String())
+	}
+	html, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	for _, want := range []string{"PTPerf campaign report", "<svg", "fig4"} {
+		if !strings.Contains(string(html), want) {
+			t.Errorf("report lacks %q", want)
+		}
+	}
+	prom, err := os.ReadFile(filepath.Join(metrics, "metrics.prom"))
+	if err != nil {
+		t.Fatalf("metrics.prom not written: %v", err)
+	}
+	if !strings.Contains(string(prom), `ptperf_bytes_delivered_total{cell="fig4"}`) {
+		t.Errorf("metrics.prom lacks the fig4 counter:\n%s", prom)
+	}
+}
+
+// TestCacheFlagIncremental reruns the same campaign against one cache
+// dir: the second run must answer entirely from cache and print the
+// same report.
+func TestCacheFlagIncremental(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a campaign world")
+	}
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	invoke := func() (string, string) {
+		var out, errb bytes.Buffer
+		if code := run(obsArgs("-cache", "-cache-dir", cacheDir, "-progress"), &out, &errb); code != 0 {
+			t.Fatalf("exit %d\nstderr: %s", code, errb.String())
+		}
+		return out.String(), errb.String()
+	}
+	out1, err1 := invoke()
+	if !strings.Contains(err1, "misses=1") {
+		t.Errorf("cold run stderr lacks the miss count: %q", err1)
+	}
+	out2, err2 := invoke()
+	if !strings.Contains(err2, "cache hits=1 misses=0 stores=0") {
+		t.Errorf("warm run stderr = %q, want an all-hit summary", err2)
+	}
+	if !strings.Contains(err2, "cached") {
+		t.Errorf("warm run progress stream never flagged the cached cell: %q", err2)
+	}
+	if out1 != out2 {
+		t.Errorf("cached rerun printed a different report:\n--- cold ---\n%s\n--- warm ---\n%s", out1, out2)
+	}
+}
+
+// TestCacheDirErrorExits covers the -cache-dir failure path: a path
+// already occupied by a regular file cannot become a cache directory.
+func TestCacheDirErrorExits(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run(obsArgs("-cache", "-cache-dir", file), &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if errb.Len() == 0 {
+		t.Error("no error printed for an unusable cache dir")
 	}
 }

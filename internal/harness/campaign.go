@@ -96,13 +96,15 @@ func (r *Runner) seleniumData() (map[string]*accessData, error) {
 // they only differ in what the client does, exactly like the paper's
 // campaigns running on one deployment.
 func (r *Runner) accessTask(kind string, methods []string, measure func(*testbed.World, *testbed.Deployment, siteRef) (float64, float64, float64, error)) *sim.Future[any] {
-	return r.task("access:"+kind, func() (any, error) {
-		w, err := testbed.New(r.worldOptions(streamCampaign))
-		if err != nil {
-			return nil, err
-		}
-		return r.measureAccess(w, methods, measure)
-	})
+	spec := r.cellSpec(
+		fmt.Sprintf("methods=%v", methods),
+		fmt.Sprintf("repeats=%d", r.cfg.Repeats),
+	)
+	return r.worldTask("access:"+kind, r.worldOptions(streamCampaign), spec,
+		jsonValue[map[string]*accessData](),
+		func(w *testbed.World) (any, error) {
+			return r.measureAccess(w, methods, measure)
+		})
 }
 
 // measureAccess runs one access campaign over an already-built world.
@@ -231,60 +233,63 @@ func (fd *fileData) fractions() []float64 {
 
 // filesTask submits (once) the bulk-download campaign world.
 func (r *Runner) filesTask() *sim.Future[any] {
-	return r.task("files", func() (any, error) {
-		w, err := testbed.New(r.worldOptions(streamCampaign))
-		if err != nil {
-			return nil, err
-		}
-		results, err := r.forEachMethodN(w, r.cfg.Transports, 1, func(name string) (any, error) {
-			d, err := w.Deployment(name)
-			if err != nil {
-				return nil, err
-			}
-			if err := d.Preheat(); err != nil {
-				return nil, err
-			}
-			c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: fileTimeout}
-			data := &fileData{Name: name}
-			for _, mb := range r.cfg.FileSizesMB {
-				size := w.Bytes(mb << 20)
-				for attempt := 0; attempt < r.cfg.FileAttempts; attempt++ {
-					res := c.DownloadFile(w.Origin.Addr(), size)
-					data.Attempts = append(data.Attempts, fileAttempt{
-						SizeBytes: size,
-						SizeMB:    mb,
-						Seconds:   seconds(res.Total),
-						Fraction:  res.Fraction(),
-						Complete:  res.Complete(),
-						Failed:    res.Failed(),
-					})
-					// A broken circuit (snowflake churn, meek budget) must
-					// not poison subsequent attempts.
-					if !res.Complete() {
-						d.FreshCircuit()
-						if err := d.Preheat(); err != nil {
-							// The transport may be temporarily out of
-							// capacity; subsequent dials retry anyway.
-							continue
+	spec := r.cellSpec(
+		fmt.Sprintf("methods=%v", r.cfg.Transports),
+		fmt.Sprintf("sizes=%v", r.cfg.FileSizesMB),
+		fmt.Sprintf("attempts=%d", r.cfg.FileAttempts),
+	)
+	return r.worldTask("files", r.worldOptions(streamCampaign), spec,
+		jsonValue[map[string]*fileData](),
+		func(w *testbed.World) (any, error) {
+			results, err := r.forEachMethodN(w, r.cfg.Transports, 1, func(name string) (any, error) {
+				d, err := w.Deployment(name)
+				if err != nil {
+					return nil, err
+				}
+				if err := d.Preheat(); err != nil {
+					return nil, err
+				}
+				c := &fetch.Client{Net: w.Net, Dial: d.Dial, Timeout: fileTimeout}
+				data := &fileData{Name: name}
+				for _, mb := range r.cfg.FileSizesMB {
+					size := w.Bytes(mb << 20)
+					for attempt := 0; attempt < r.cfg.FileAttempts; attempt++ {
+						res := c.DownloadFile(w.Origin.Addr(), size)
+						data.Attempts = append(data.Attempts, fileAttempt{
+							SizeBytes: size,
+							SizeMB:    mb,
+							Seconds:   seconds(res.Total),
+							Fraction:  res.Fraction(),
+							Complete:  res.Complete(),
+							Failed:    res.Failed(),
+						})
+						// A broken circuit (snowflake churn, meek budget) must
+						// not poison subsequent attempts.
+						if !res.Complete() {
+							d.FreshCircuit()
+							if err := d.Preheat(); err != nil {
+								// The transport may be temporarily out of
+								// capacity; subsequent dials retry anyway.
+								continue
+							}
 						}
 					}
 				}
+				// Park the transport's tunnels (see measureAccess).
+				d.FreshCircuit()
+				return data, nil
+			})
+			if err != nil {
+				return nil, err
 			}
-			// Park the transport's tunnels (see measureAccess).
-			d.FreshCircuit()
-			return data, nil
+			out := make(map[string]*fileData, len(results))
+			for name, v := range results {
+				if v != nil {
+					out[name] = v.(*fileData)
+				}
+			}
+			return out, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		out := make(map[string]*fileData, len(results))
-		for name, v := range results {
-			if v != nil {
-				out[name] = v.(*fileData)
-			}
-		}
-		return out, nil
-	})
 }
 
 // filesData joins the bulk-download campaign.

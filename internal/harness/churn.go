@@ -82,18 +82,18 @@ type churnCell struct {
 // churnTask submits (once) one churn cell. All cells share one world
 // seed; only the attached fault plan differs.
 func (r *Runner) churnTask(li int) *sim.Future[any] {
-	return r.task(fmt.Sprintf("churn:%d", li), func() (any, error) {
-		lv := testbed.ChurnLevels[li]
-		opts := r.worldOptions(streamChurn)
-		opts.Retry = churnRetry
-		plan := testbed.ChurnPlanFor(lv, opts, churnHorizon)
-		if !plan.Empty() {
-			opts.FaultSpec = &plan
-		}
-		w, err := testbed.New(opts)
-		if err != nil {
-			return nil, err
-		}
+	lv := testbed.ChurnLevels[li]
+	opts := r.worldOptions(streamChurn)
+	opts.Retry = churnRetry
+	plan := testbed.ChurnPlanFor(lv, opts, churnHorizon)
+	if !plan.Empty() {
+		opts.FaultSpec = &plan
+	}
+	spec := r.cellSpec(
+		fmt.Sprintf("level=%s", lv.Name),
+		fmt.Sprintf("methods=%v attempts=%d fileMB=%d", churnMethods, churnAttempts, churnFileMB),
+	)
+	return r.worldTask(fmt.Sprintf("churn:%d", li), opts, spec, jsonValue[*churnCell](), func(w *testbed.World) (any, error) {
 		size := w.Bytes(churnFileMB << 20)
 		results, err := r.forEachMethod(w, churnMethods, func(name string) (any, error) {
 			dep, err := w.Deployment(name)

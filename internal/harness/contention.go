@@ -44,16 +44,16 @@ func (r *Runner) contentionTask(li int, fifo bool) *sim.Future[any] {
 	if fifo {
 		key += ":fifo"
 	}
-	return r.task(key, func() (any, error) {
-		lv := testbed.ContentionLevels[li]
-		opts := r.worldOptions(streamContention)
-		if fifo {
-			opts.SchedPolicy = tor.SchedFIFO
-		}
-		w, err := testbed.New(opts)
-		if err != nil {
-			return nil, err
-		}
+	lv := testbed.ContentionLevels[li]
+	opts := r.worldOptions(streamContention)
+	if fifo {
+		opts.SchedPolicy = tor.SchedFIFO
+	}
+	spec := r.cellSpec(
+		fmt.Sprintf("level=%s", lv.Name),
+		fmt.Sprintf("repeats=%d", r.cfg.Repeats),
+	)
+	return r.worldTask(key, opts, spec, jsonValue[*contentionCell](), func(w *testbed.World) (any, error) {
 		rig, err := w.NewContentionRig(lv)
 		if err != nil {
 			return nil, err

@@ -130,20 +130,15 @@ var (
 
 // mediumTask submits the §4.7 world for one access medium.
 func (r *Runner) mediumTask(mi int, medium geo.Medium) *sim.Future[any] {
-	return r.task("medium:"+medium.String(), func() (any, error) {
-		opts := r.worldOptions(streamMedium, int64(mi))
-		opts.Medium = medium
-		opts.ClientLocation = geo.Toronto
-		w, err := testbed.New(opts)
-		if err != nil {
-			return nil, err
-		}
-		samples, err := r.accessSamples(w, mediumMethods)
-		if err != nil {
-			return nil, err
-		}
-		return samples, nil
-	})
+	opts := r.worldOptions(streamMedium, int64(mi))
+	opts.Medium = medium
+	opts.ClientLocation = geo.Toronto
+	spec := r.cellSpec(fmt.Sprintf("methods=%v", mediumMethods))
+	return r.worldTask("medium:"+medium.String(), opts, spec,
+		jsonValue[map[string][]float64](),
+		func(w *testbed.World) (any, error) {
+			return r.accessSamples(w, mediumMethods)
+		})
 }
 
 func prefetchMedium(r *Runner) {
@@ -255,21 +250,20 @@ type fixedCircuitData struct {
 
 // fixedCircuitTask submits a fixed-circuit rig world.
 func (r *Runner) fixedCircuitTask(key string, stream int64, iters int, pinPair bool) *sim.Future[any] {
-	return r.task(key, func() (any, error) {
-		w, err := testbed.New(r.worldOptions(stream))
-		if err != nil {
-			return nil, err
-		}
-		rig, err := w.NewFixedCircuitRig()
-		if err != nil {
-			return nil, err
-		}
-		samples, err := r.fixedCircuitSamples(w, rig, iters, pinPair)
-		if err != nil {
-			return nil, err
-		}
-		return &fixedCircuitData{Methods: rig.Methods(), Samples: samples}, nil
-	})
+	spec := r.cellSpec(fmt.Sprintf("iters=%d pin=%v", iters, pinPair))
+	return r.worldTask(key, r.worldOptions(stream), spec,
+		jsonValue[*fixedCircuitData](),
+		func(w *testbed.World) (any, error) {
+			rig, err := w.NewFixedCircuitRig()
+			if err != nil {
+				return nil, err
+			}
+			samples, err := r.fixedCircuitSamples(w, rig, iters, pinPair)
+			if err != nil {
+				return nil, err
+			}
+			return &fixedCircuitData{Methods: rig.Methods(), Samples: samples}, nil
+		})
 }
 
 func (r *Runner) fig3Task() *sim.Future[any] {
@@ -410,19 +404,14 @@ var (
 // fig7Task submits the location world for one client city.
 func (r *Runner) fig7Task(li int) *sim.Future[any] {
 	loc := fig7Locations[li]
-	return r.task("fig7:"+loc.Short(), func() (any, error) {
-		opts := r.worldOptions(streamFig7, int64(li))
-		opts.ClientLocation = loc
-		w, err := testbed.New(opts)
-		if err != nil {
-			return nil, err
-		}
-		samples, err := r.accessSamples(w, fig7Methods)
-		if err != nil {
-			return nil, err
-		}
-		return samples, nil
-	})
+	opts := r.worldOptions(streamFig7, int64(li))
+	opts.ClientLocation = loc
+	spec := r.cellSpec(fmt.Sprintf("methods=%v", fig7Methods))
+	return r.worldTask("fig7:"+loc.Short(), opts, spec,
+		jsonValue[map[string][]float64](),
+		func(w *testbed.World) (any, error) {
+			return r.accessSamples(w, fig7Methods)
+		})
 }
 
 func prefetchFig7(r *Runner) {
@@ -494,41 +483,40 @@ func (r *Runner) runFig8() error {
 // fig9Task submits the pinned-circuit overhead world: per-transport
 // time difference over an identical circuit.
 func (r *Runner) fig9Task() *sim.Future[any] {
-	return r.task("fig9", func() (any, error) {
-		w, err := testbed.New(r.worldOptions(streamFig9))
-		if err != nil {
-			return nil, err
-		}
-		sites := r.sites(w)
-		if len(sites) > r.cfg.Sites {
-			sites = sites[:r.cfg.Sites]
-		}
-		results, err := r.forEachMethod(w, testbed.OverheadPTs, func(name string) (any, error) {
-			rig, err := w.NewOverheadRig(name, int64(len(name))*13)
+	spec := r.cellSpec(fmt.Sprintf("sites=%d", r.cfg.Sites))
+	return r.worldTask("fig9", r.worldOptions(streamFig9), spec,
+		jsonValue[map[string][]float64](),
+		func(w *testbed.World) (any, error) {
+			sites := r.sites(w)
+			if len(sites) > r.cfg.Sites {
+				sites = sites[:r.cfg.Sites]
+			}
+			results, err := r.forEachMethod(w, testbed.OverheadPTs, func(name string) (any, error) {
+				rig, err := w.NewOverheadRig(name, int64(len(name))*13)
+				if err != nil {
+					return nil, err
+				}
+				var diffs []float64
+				for _, site := range sites {
+					torC := &fetch.Client{Net: w.Net, Dial: rig.TorDial, Timeout: pageTimeout}
+					ptC := &fetch.Client{Net: w.Net, Dial: rig.PTDial, Timeout: pageTimeout}
+					tTor := torC.Get(w.Origin.Addr(), site.path, false)
+					tPT := ptC.Get(w.Origin.Addr(), site.path, false)
+					diffs = append(diffs, seconds(tPT.Total)-seconds(tTor.Total))
+				}
+				return diffs, nil
+			})
 			if err != nil {
 				return nil, err
 			}
-			var diffs []float64
-			for _, site := range sites {
-				torC := &fetch.Client{Net: w.Net, Dial: rig.TorDial, Timeout: pageTimeout}
-				ptC := &fetch.Client{Net: w.Net, Dial: rig.PTDial, Timeout: pageTimeout}
-				tTor := torC.Get(w.Origin.Addr(), site.path, false)
-				tPT := ptC.Get(w.Origin.Addr(), site.path, false)
-				diffs = append(diffs, seconds(tPT.Total)-seconds(tTor.Total))
+			out := make(map[string][]float64, len(results))
+			for name, v := range results {
+				if diffs, ok := v.([]float64); ok {
+					out[name] = diffs
+				}
 			}
-			return diffs, nil
+			return out, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		out := make(map[string][]float64, len(results))
-		for name, v := range results {
-			if diffs, ok := v.([]float64); ok {
-				out[name] = diffs
-			}
-		}
-		return out, nil
-	})
 }
 
 // runFig9 prints per-transport overhead over an identical pinned
@@ -612,27 +600,26 @@ type surgeAccess struct {
 // fig10Task submits the §5.3 surge world: snowflake access before and
 // after the September load step.
 func (r *Runner) fig10Task() *sim.Future[any] {
-	return r.task("fig10", func() (any, error) {
-		w, err := testbed.New(r.manualLoadOptions(streamFig10))
-		if err != nil {
-			return nil, err
-		}
-		d, err := w.Deployment("snowflake")
-		if err != nil {
-			return nil, err
-		}
-		d.Snowflake().SetLoad(surgePhases[0].Util, surgePhases[0].Lifetime)
-		pre, err := r.snowflakeAccess(w, r.cfg.Sites)
-		if err != nil {
-			return nil, err
-		}
-		d.Snowflake().SetLoad(surgePhases[1].Util, surgePhases[1].Lifetime)
-		post, err := r.snowflakeAccess(w, r.cfg.Sites)
-		if err != nil {
-			return nil, err
-		}
-		return &surgeAccess{Pre: pre, Post: post}, nil
-	})
+	spec := r.cellSpec(fmt.Sprintf("sites=%d", r.cfg.Sites))
+	return r.worldTask("fig10", r.manualLoadOptions(streamFig10), spec,
+		jsonValue[*surgeAccess](),
+		func(w *testbed.World) (any, error) {
+			d, err := w.Deployment("snowflake")
+			if err != nil {
+				return nil, err
+			}
+			d.Snowflake().SetLoad(surgePhases[0].Util, surgePhases[0].Lifetime)
+			pre, err := r.snowflakeAccess(w, r.cfg.Sites)
+			if err != nil {
+				return nil, err
+			}
+			d.Snowflake().SetLoad(surgePhases[1].Util, surgePhases[1].Lifetime)
+			post, err := r.snowflakeAccess(w, r.cfg.Sites)
+			if err != nil {
+				return nil, err
+			}
+			return &surgeAccess{Pre: pre, Post: post}, nil
+		})
 }
 
 // runFig10 prints the snowflake user-count timeline (10a, from the load
@@ -688,33 +675,32 @@ type labeledSamples struct {
 // fig12Task submits the monthly-monitoring world: the surge phases
 // stepped in sequence on one snowflake deployment.
 func (r *Runner) fig12Task() *sim.Future[any] {
-	return r.task("fig12", func() (any, error) {
-		w, err := testbed.New(r.manualLoadOptions(streamFig12))
-		if err != nil {
-			return nil, err
-		}
-		d, err := w.Deployment("snowflake")
-		if err != nil {
-			return nil, err
-		}
-		n := r.cfg.Sites / 2
-		if n < 4 {
-			n = 4
-		}
-		var series []labeledSamples
-		for _, lv := range surgePhases {
-			if lv.Label == "post-Sept-2022" {
-				continue // fig12 shows pre + the monthly series
-			}
-			d.Snowflake().SetLoad(lv.Util, lv.Lifetime)
-			xs, err := r.snowflakeAccess(w, n)
+	spec := r.cellSpec(fmt.Sprintf("sites=%d", r.cfg.Sites))
+	return r.worldTask("fig12", r.manualLoadOptions(streamFig12), spec,
+		jsonValue[[]labeledSamples](),
+		func(w *testbed.World) (any, error) {
+			d, err := w.Deployment("snowflake")
 			if err != nil {
 				return nil, err
 			}
-			series = append(series, labeledSamples{Label: lv.Label, Xs: xs})
-		}
-		return series, nil
-	})
+			n := r.cfg.Sites / 2
+			if n < 4 {
+				n = 4
+			}
+			var series []labeledSamples
+			for _, lv := range surgePhases {
+				if lv.Label == "post-Sept-2022" {
+					continue // fig12 shows pre + the monthly series
+				}
+				d.Snowflake().SetLoad(lv.Util, lv.Lifetime)
+				xs, err := r.snowflakeAccess(w, n)
+				if err != nil {
+					return nil, err
+				}
+				series = append(series, labeledSamples{Label: lv.Label, Xs: xs})
+			}
+			return series, nil
+		})
 }
 
 // runFig12 prints the post-September monthly monitoring boxes.

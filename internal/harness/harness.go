@@ -14,6 +14,7 @@
 package harness
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -25,6 +26,7 @@ import (
 
 	"ptperf/internal/censor"
 	"ptperf/internal/netem"
+	"ptperf/internal/obs"
 	"ptperf/internal/pt"
 	"ptperf/internal/sim"
 	"ptperf/internal/testbed"
@@ -65,7 +67,23 @@ type Config struct {
 	// Plot adds ASCII box plots and ECDF curves under the tables,
 	// mirroring the paper's figure shapes.
 	Plot bool
+	// MetricsInterval enables per-cell metric timelines (internal/obs),
+	// sampled every MetricsInterval of virtual time on each world's own
+	// clock. Zero disables sampling entirely — the sampler's timer
+	// interleaves with the campaign, so plain runs stay byte-identical
+	// to pre-observability ones. The interval is part of every cache
+	// digest.
+	MetricsInterval time.Duration
+	// Progress, when non-nil, receives a streaming per-cell status line
+	// (cells queued/running/done, virtual-time horizon per running
+	// cell). It is written from task goroutines in completion order —
+	// point it at stderr, never at the report stream.
+	Progress io.Writer
 }
+
+// DefaultMetricsInterval is the sampling interval campaign drivers use
+// when metric export is requested without an explicit interval.
+const DefaultMetricsInterval = obs.DefaultInterval
 
 func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
@@ -97,23 +115,36 @@ func (c Config) withDefaults() Config {
 
 // Runner executes experiments and writes reports.
 type Runner struct {
-	cfg  Config
-	out  io.Writer
-	exec *sim.Executor
+	cfg     Config
+	out     io.Writer
+	exec    *sim.Executor
+	monitor *sim.Monitor // nil unless Config.Progress is set
+	cache   *obs.Cache   // nil unless EnableCache was called
 
 	mu    sync.Mutex
 	tasks map[string]*sim.Future[any]
+
+	// omu guards the observability sinks: per-cell timelines and the
+	// captured experiment sections the HTML report embeds.
+	omu       sync.Mutex
+	timelines map[string]*obs.Timeline
+	sections  []obs.Section
 }
 
 // New creates a Runner writing its reports to out.
 func New(cfg Config, out io.Writer) *Runner {
 	c := cfg.withDefaults()
-	return &Runner{
-		cfg:   c,
-		out:   out,
-		exec:  sim.NewExecutor(c.Jobs),
-		tasks: make(map[string]*sim.Future[any]),
+	r := &Runner{
+		cfg:       c,
+		out:       out,
+		exec:      sim.NewExecutor(c.Jobs),
+		tasks:     make(map[string]*sim.Future[any]),
+		timelines: make(map[string]*obs.Timeline),
 	}
+	if c.Progress != nil {
+		r.monitor = sim.NewMonitor(c.Progress)
+	}
+	return r
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -133,7 +164,13 @@ func (r *Runner) task(key string, fn func() (any, error)) *sim.Future[any] {
 	if f, ok := r.tasks[key]; ok {
 		return f
 	}
-	f := sim.Submit(r.exec, fn)
+	r.monitor.Register(key)
+	f := sim.Submit(r.exec, func() (any, error) {
+		r.monitor.Start(key)
+		v, err := fn()
+		r.monitor.Finish(key, err)
+		return v, err
+	})
 	r.tasks[key] = f
 	return f
 }
@@ -250,8 +287,19 @@ func (r *Runner) Run(id string) error {
 	exps := Experiments()
 	for _, e := range exps {
 		if e.ID == id {
+			// Tee the experiment's report into a section buffer so the
+			// HTML artifact can embed it. Rendering is single-threaded
+			// (tasks never write r.out), so swapping the writer is safe.
+			var buf bytes.Buffer
+			orig := r.out
+			r.out = io.MultiWriter(orig, &buf)
 			fmt.Fprintf(r.out, "\n=== %s — %s (%s) ===\n", e.ID, e.Title, e.Artifact)
-			return e.run(r)
+			err := e.run(r)
+			r.out = orig
+			r.omu.Lock()
+			r.sections = append(r.sections, obs.Section{ID: e.ID, Title: e.Title, Body: buf.String()})
+			r.omu.Unlock()
+			return err
 		}
 	}
 	ids := make([]string, 0, len(exps))

@@ -59,16 +59,18 @@ func sweepScenarios() []string {
 	return append(order, extra...)
 }
 
-// scenarioAccess measures website access for every configured transport
-// under one named scenario. All scenarios share one world seed stream,
-// so topology, catalogs and relay draws are identical across the sweep.
-func (r *Runner) scenarioAccess(name string) (map[string]*scenarioResult, censor.Stats, error) {
+// scenarioOptions builds one scenario cell's world options. All
+// scenarios share one world seed stream, so topology, catalogs and
+// relay draws are identical across the sweep.
+func (r *Runner) scenarioOptions(name string) testbed.Options {
 	opts := r.worldOptions(streamScenario)
 	opts.Scenario = name
-	w, err := testbed.New(opts)
-	if err != nil {
-		return nil, censor.Stats{}, err
-	}
+	return opts
+}
+
+// scenarioAccess measures website access for every configured transport
+// under one named scenario, over an already-built world.
+func (r *Runner) scenarioAccess(w *testbed.World) (map[string]*scenarioResult, censor.Stats, error) {
 	sites := r.sites(w)
 	results, err := r.forEachMethod(w, r.cfg.Transports, func(method string) (any, error) {
 		d, err := w.Deployment(method)
@@ -112,13 +114,16 @@ func (r *Runner) scenarioAccess(name string) (map[string]*scenarioResult, censor
 
 // scenarioTask submits (once) the world task of one scenario cell.
 func (r *Runner) scenarioTask(name string) *sim.Future[any] {
-	return r.task("scenario:"+name, func() (any, error) {
-		data, st, err := r.scenarioAccess(name)
-		if err != nil {
-			return nil, err
-		}
-		return &scenarioCell{Data: data, Stats: st}, nil
-	})
+	spec := r.cellSpec(fmt.Sprintf("methods=%v", r.cfg.Transports))
+	return r.worldTask("scenario:"+name, r.scenarioOptions(name), spec,
+		jsonValue[*scenarioCell](),
+		func(w *testbed.World) (any, error) {
+			data, st, err := r.scenarioAccess(w)
+			if err != nil {
+				return nil, err
+			}
+			return &scenarioCell{Data: data, Stats: st}, nil
+		})
 }
 
 // prefetchSweep submits every sweep cell.

@@ -5,7 +5,9 @@ import (
 	"io"
 	"testing"
 
+	"ptperf/internal/censor"
 	"ptperf/internal/stats"
+	"ptperf/internal/testbed"
 )
 
 // sweepConfig is a compact but adversarial sweep: a transport with a
@@ -75,7 +77,15 @@ func TestScenariosShapeOutcomes(t *testing.T) {
 	}
 	r := New(cfg, io.Discard)
 
-	clean, cleanStats, err := r.scenarioAccess("clean")
+	measure := func(name string) (map[string]*scenarioResult, censor.Stats, error) {
+		w, err := testbed.New(r.scenarioOptions(name))
+		if err != nil {
+			return nil, censor.Stats{}, err
+		}
+		return r.scenarioAccess(w)
+	}
+
+	clean, cleanStats, err := measure("clean")
 	if err != nil {
 		t.Fatalf("clean: %v", err)
 	}
@@ -88,7 +98,7 @@ func TestScenariosShapeOutcomes(t *testing.T) {
 		}
 	}
 
-	throttled, thStats, err := r.scenarioAccess("throttle-surge")
+	throttled, thStats, err := measure("throttle-surge")
 	if err != nil {
 		t.Fatalf("throttle-surge: %v", err)
 	}
@@ -105,7 +115,7 @@ func TestScenariosShapeOutcomes(t *testing.T) {
 		t.Error("throttle-surge degraded no transport vs clean")
 	}
 
-	blocked, blStats, err := r.scenarioAccess("bridge-block")
+	blocked, blStats, err := measure("bridge-block")
 	if err != nil {
 		t.Fatalf("bridge-block: %v", err)
 	}

@@ -270,6 +270,63 @@ func (a *Acct) Snapshot() AcctSnapshot {
 // OpenConns reports flows opened and not yet closed.
 func (s AcctSnapshot) OpenConns() int64 { return s.ConnsOpened - s.ConnsClosed }
 
+// Sub returns the per-counter delta s − prev for two snapshots of the
+// same Acct, prev taken earlier. Every counter field is monotone, so a
+// negative delta can only mean the snapshots were swapped or belong to
+// different networks: Sub clamps such fields to zero (an interval
+// series must never go negative) and reports how many fields it had to
+// clamp — the caller treats a non-zero count as a bug, not as data.
+// BytesBuffered is a gauge, not a counter: the delta carries s's value
+// unchanged and it never counts toward regressions.
+func (s AcctSnapshot) Sub(prev AcctSnapshot) (AcctSnapshot, int) {
+	regressions := 0
+	sub := func(cur, old int64) int64 {
+		if cur < old {
+			regressions++
+			return 0
+		}
+		return cur - old
+	}
+	d := AcctSnapshot{
+		Dials:            sub(s.Dials, prev.Dials),
+		DialsRefused:     sub(s.DialsRefused, prev.DialsRefused),
+		ConnsOpened:      sub(s.ConnsOpened, prev.ConnsOpened),
+		ConnsClosed:      sub(s.ConnsClosed, prev.ConnsClosed),
+		SegmentsSent:     sub(s.SegmentsSent, prev.SegmentsSent),
+		SegmentsFiltered: sub(s.SegmentsFiltered, prev.SegmentsFiltered),
+		BytesSent:        sub(s.BytesSent, prev.BytesSent),
+		BytesDelivered:   sub(s.BytesDelivered, prev.BytesDelivered),
+		BytesDropped:     sub(s.BytesDropped, prev.BytesDropped),
+		BytesBuffered:    s.BytesBuffered,
+		CellsQueued:      sub(s.CellsQueued, prev.CellsQueued),
+		CellsFlushed:     sub(s.CellsFlushed, prev.CellsFlushed),
+		CellsDropped:     sub(s.CellsDropped, prev.CellsDropped),
+	}
+	return d, regressions
+}
+
+// Add returns the element-wise sum of two snapshots' counters; the
+// BytesBuffered gauge takes o's (the later interval's) value. It is
+// Sub's inverse over a sample series: summing every interval delta
+// reconstructs the final cumulative snapshot.
+func (s AcctSnapshot) Add(o AcctSnapshot) AcctSnapshot {
+	return AcctSnapshot{
+		Dials:            s.Dials + o.Dials,
+		DialsRefused:     s.DialsRefused + o.DialsRefused,
+		ConnsOpened:      s.ConnsOpened + o.ConnsOpened,
+		ConnsClosed:      s.ConnsClosed + o.ConnsClosed,
+		SegmentsSent:     s.SegmentsSent + o.SegmentsSent,
+		SegmentsFiltered: s.SegmentsFiltered + o.SegmentsFiltered,
+		BytesSent:        s.BytesSent + o.BytesSent,
+		BytesDelivered:   s.BytesDelivered + o.BytesDelivered,
+		BytesDropped:     s.BytesDropped + o.BytesDropped,
+		BytesBuffered:    o.BytesBuffered,
+		CellsQueued:      s.CellsQueued + o.CellsQueued,
+		CellsFlushed:     s.CellsFlushed + o.CellsFlushed,
+		CellsDropped:     s.CellsDropped + o.CellsDropped,
+	}
+}
+
 // ConservationErr checks the snapshot's byte- and flow-conservation
 // equations, returning a descriptive error on the first violation.
 func (s AcctSnapshot) ConservationErr() error {

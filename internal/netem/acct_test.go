@@ -202,3 +202,89 @@ type passPolicy struct{}
 func (passPolicy) FilterDial(src, dst string) error    { return nil }
 func (passPolicy) ConnOpened(*Conn)                    {}
 func (passPolicy) FilterSegment(f Flow, n int) Verdict { return Verdict{} }
+
+// TestAcctSnapshotSub pins the delta helper's contract: forward deltas
+// are exact with zero regressions, swapped snapshots clamp every
+// regressed counter to zero and count each one, and the BytesBuffered
+// gauge passes through unclamped and uncounted.
+func TestAcctSnapshotSub(t *testing.T) {
+	prev := AcctSnapshot{Dials: 2, BytesSent: 100, BytesDelivered: 90, BytesBuffered: 7, CellsQueued: 5}
+	cur := AcctSnapshot{Dials: 5, BytesSent: 250, BytesDelivered: 240, BytesBuffered: 3, CellsQueued: 9}
+
+	d, reg := cur.Sub(prev)
+	if reg != 0 {
+		t.Fatalf("forward Sub counted %d regressions, want 0", reg)
+	}
+	want := AcctSnapshot{Dials: 3, BytesSent: 150, BytesDelivered: 150, BytesBuffered: 3, CellsQueued: 4}
+	if d != want {
+		t.Fatalf("forward Sub = %+v, want %+v", d, want)
+	}
+
+	// Swapped: the four advanced counters regress and clamp; the gauge
+	// (which legitimately moved 3→7 backwards in time) never counts.
+	d, reg = prev.Sub(cur)
+	if reg != 4 {
+		t.Fatalf("swapped Sub counted %d regressions, want 4", reg)
+	}
+	if d.Dials != 0 || d.BytesSent != 0 || d.BytesDelivered != 0 || d.CellsQueued != 0 {
+		t.Fatalf("swapped Sub left a negative-able counter unclamped: %+v", d)
+	}
+	if d.BytesBuffered != 7 {
+		t.Fatalf("swapped Sub gauge = %d, want prev's value 7", d.BytesBuffered)
+	}
+
+	// Add is Sub's inverse over a series of interval snapshots.
+	sum := prev.Add(want)
+	if sum.Dials != cur.Dials || sum.BytesSent != cur.BytesSent || sum.BytesBuffered != cur.BytesBuffered {
+		t.Fatalf("prev.Add(delta) = %+v, want cur %+v", sum, cur)
+	}
+}
+
+// TestAcctSubConcurrentMonotone hammers an Acct from many goroutines
+// while a sampler takes successive snapshots and subtracts them: with
+// every counter monotone, no pair of ordered snapshots may ever produce
+// a clamped (regressed) field — the guarantee the per-interval metric
+// timelines rely on.
+func TestAcctSubConcurrentMonotone(t *testing.T) {
+	var a Acct
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a.addDial(false)
+				a.addSent(64)
+				a.addDelivered(64)
+				a.AddCellsQueued(2)
+				a.AddCellsFlushed(1)
+				a.AddCellsDropped(1)
+			}
+		}()
+	}
+
+	prev := a.Snapshot()
+	var total AcctSnapshot
+	for i := 0; i < 200; i++ {
+		cur := a.Snapshot()
+		d, reg := cur.Sub(prev)
+		if reg != 0 {
+			t.Fatalf("snapshot %d: Sub of ordered snapshots regressed %d fields (prev=%+v cur=%+v)", i, reg, prev, cur)
+		}
+		total = total.Add(d)
+		prev = cur
+	}
+	close(stop)
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	// The interval sum reconstructs the last cumulative snapshot.
+	if total.BytesSent != prev.BytesSent || total.CellsQueued != prev.CellsQueued || total.Dials != prev.Dials {
+		t.Fatalf("interval sum %+v does not reconstruct final snapshot %+v", total, prev)
+	}
+}

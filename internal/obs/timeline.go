@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"time"
+
+	"ptperf/internal/censor"
+	"ptperf/internal/netem"
+)
+
+// Timeline is one world-cell's sampled metric series. All fields are
+// exported and JSON-round-trippable: timelines travel through the
+// content-addressed cache next to the cell's result value.
+type Timeline struct {
+	// Interval is the sampling cadence (virtual time).
+	Interval time.Duration
+	// Samples holds the non-empty samples in virtual-time order.
+	Samples []Sample
+	// Regressions counts clamped negative deltas observed while
+	// sampling. Counters are monotone, so any non-zero value is a bug
+	// in the sampled surface (the timeline-conservation invariant
+	// fails the world on it).
+	Regressions int
+	// Final is the cumulative accounting snapshot at Close — the value
+	// the samples' deltas must sum back to.
+	Final netem.AcctSnapshot
+}
+
+// Sample is one sampling instant's interval deltas.
+type Sample struct {
+	// T is the virtual instant the sample was taken.
+	T time.Duration
+	// Acct holds the interval's accounting deltas; its BytesBuffered
+	// field is the gauge value at T, not a delta.
+	Acct netem.AcctSnapshot
+	// Censor holds the interval's censor verdict deltas.
+	Censor censor.Stats
+	// Relays holds per-relay scheduler movement (only relays that
+	// moved or hold queued cells).
+	Relays []RelayPoint
+	// Recovery holds per-method recovery deltas (only methods that
+	// recovered something this interval).
+	Recovery []RecoveryPoint
+}
+
+// RelayPoint is one relay's scheduler activity in one interval.
+type RelayPoint struct {
+	// Relay is the relay's directory nickname.
+	Relay string
+	// Pending is the queue depth (cells) at the sample instant — a
+	// gauge, not a delta.
+	Pending int64
+	// Queued, Flushed, Dropped are interval deltas of the scheduler's
+	// cell counters.
+	Queued, Flushed, Dropped int64
+	// Delay is the interval's added queueing-delay sum.
+	Delay time.Duration
+}
+
+// RecoveryPoint is one method's recovery activity in one interval.
+type RecoveryPoint struct {
+	// Method is "tor" or a transport name.
+	Method string
+	// The remaining fields are interval deltas of tor.RecoveryStats.
+	Rebuilds        int64
+	BuildTimeouts   int64
+	StreamFailures  int64
+	ReAttaches      int64
+	Abandoned       int64
+	GuardProbations int64
+}
+
+// CellTimeline pairs a world-cell key with its timeline; the export
+// writers take cells in canonical (caller-sorted) order.
+type CellTimeline struct {
+	Cell     string
+	Timeline *Timeline
+}
+
+// AcctTotals sums every sample's accounting deltas. For a timeline
+// recorded against monotone counters the result equals Final (and the
+// world's own final snapshot) — the conservation property the simtest
+// invariant checks. The BytesBuffered gauge takes the last sample's
+// value.
+func (t *Timeline) AcctTotals() netem.AcctSnapshot {
+	var sum netem.AcctSnapshot
+	for _, s := range t.Samples {
+		sum = sum.Add(s.Acct)
+	}
+	return sum
+}
+
+// Horizon is the virtual time of the last sample (0 when empty).
+func (t *Timeline) Horizon() time.Duration {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	return t.Samples[len(t.Samples)-1].T
+}
+
+// Digest is a short content hash of the timeline's canonical Prometheus
+// rendering — the comparand determinism tests and the fuzz report use.
+func (t *Timeline) Digest() string {
+	var b strings.Builder
+	WritePrometheus(&b, []CellTimeline{{Cell: "digest", Timeline: t}})
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:8])
+}

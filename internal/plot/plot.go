@@ -166,3 +166,80 @@ func ECDF(w io.Writer, title string, series []Series, width, height int) {
 	}
 	fmt.Fprintln(w)
 }
+
+// sparkRunes are the eight block levels of an ASCII sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a unicode block sparkline, one rune per
+// value, scaled to the series' own min..max (a flat series renders as
+// its lowest block). Empty input renders empty.
+func Spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range values {
+		i := 0
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+			if i < 0 {
+				i = 0
+			}
+			if i >= len(sparkRunes) {
+				i = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// SparkSVG renders values as a self-contained inline SVG polyline
+// sparkline of the given pixel size — the HTML report's timeline glyph.
+// Coordinates use one decimal, so the output is deterministic
+// byte-for-byte. Empty input renders an empty SVG frame.
+func SparkSVG(values []float64, width, height int) string {
+	if width <= 0 {
+		width = 240
+	}
+	if height <= 0 {
+		height = 36
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, width, height, width, height)
+	if len(values) > 0 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		const pad = 2.0
+		y := func(v float64) float64 {
+			if hi <= lo {
+				return float64(height) / 2
+			}
+			return pad + (1-(v-lo)/(hi-lo))*(float64(height)-2*pad)
+		}
+		x := func(i int) float64 {
+			if len(values) == 1 {
+				return float64(width) / 2
+			}
+			return pad + float64(i)/float64(len(values)-1)*(float64(width)-2*pad)
+		}
+		b.WriteString(`<polyline fill="none" stroke="#36c" stroke-width="1.5" points="`)
+		for i, v := range values {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.1f,%.1f", x(i), y(v))
+		}
+		b.WriteString(`"/>`)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}

@@ -114,3 +114,35 @@ func TestProject(t *testing.T) {
 		t.Fatalf("log midpoint: %v", p)
 	}
 }
+
+func TestSpark(t *testing.T) {
+	if got := Spark(nil); got != "" {
+		t.Fatalf("empty input rendered %q", got)
+	}
+	if got := Spark([]float64{1, 1, 1}); got != "▁▁▁" {
+		t.Fatalf("flat series = %q, want lowest blocks", got)
+	}
+	got := Spark([]float64{0, 1, 2, 3})
+	if got != "▁▃▅█" {
+		t.Fatalf("ramp = %q", got)
+	}
+}
+
+func TestSparkSVG(t *testing.T) {
+	empty := SparkSVG(nil, 100, 20)
+	if !strings.HasPrefix(empty, "<svg") || strings.Contains(empty, "polyline") {
+		t.Fatalf("empty input should render a bare frame, got %q", empty)
+	}
+	got := SparkSVG([]float64{1, 5, 2}, 100, 20)
+	if !strings.Contains(got, `width="100"`) || !strings.Contains(got, "<polyline") {
+		t.Fatalf("svg = %q", got)
+	}
+	if got != SparkSVG([]float64{1, 5, 2}, 100, 20) {
+		t.Fatal("SparkSVG not deterministic")
+	}
+	// One coordinate pair per value.
+	points := strings.Split(strings.Split(strings.Split(got, `points="`)[1], `"`)[0], " ")
+	if len(points) != 3 {
+		t.Fatalf("%d points, want 3: %q", len(points), got)
+	}
+}

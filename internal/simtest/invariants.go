@@ -45,6 +45,7 @@ var invariants = []invariant{
 	{"recovery-accounting", checkRecoveryAccounting},
 	{"fault-survivors", checkFaultSurvivors},
 	{"no-leaks", checkNoLeaks},
+	{"timeline-conservation", checkTimelineConservation},
 }
 
 // checkScenarioBounds re-validates the world's generated scenario
@@ -245,6 +246,31 @@ func checkNoLeaks(o *Outcome) error {
 	if d := o.OpenConns[1] - o.OpenConns[0]; d > leakConnTolerance {
 		return fmt.Errorf("conn leak: %d open endpoints after steady-state pass vs %d after campaign (+%d > %d)",
 			o.OpenConns[1], o.OpenConns[0], d, leakConnTolerance)
+	}
+	return nil
+}
+
+// checkTimelineConservation audits the observability layer against the
+// accounting it samples: the recorder closed at the same quiescent
+// instant the final Acct snapshot was taken, so re-summing the
+// timeline's interval deltas must reconstruct every monotone counter of
+// that snapshot exactly — a mismatch means the sampler lost or invented
+// a delta. Clamp regressions mean a counter surface moved backwards
+// mid-campaign, which monotone counters never may.
+func checkTimelineConservation(o *Outcome) error {
+	tl := o.Timeline
+	if tl == nil {
+		return fmt.Errorf("world ran without a metric timeline")
+	}
+	if tl.Regressions != 0 {
+		return fmt.Errorf("%d clamped counter regressions while sampling", tl.Regressions)
+	}
+	got, want := tl.AcctTotals(), o.Acct
+	// BytesBuffered is a gauge: the totals carry the last sampled value,
+	// which is the final snapshot's by construction; comparing the whole
+	// struct therefore covers it too.
+	if got != want {
+		return fmt.Errorf("timeline totals diverge from final snapshot:\n  totals   %+v\n  snapshot %+v", got, want)
 	}
 	return nil
 }

@@ -35,6 +35,7 @@ import (
 	"ptperf/internal/fetch"
 	"ptperf/internal/geo"
 	"ptperf/internal/netem"
+	"ptperf/internal/obs"
 	"ptperf/internal/pt"
 	"ptperf/internal/sim"
 	"ptperf/internal/stats"
@@ -228,6 +229,10 @@ type Outcome struct {
 	Faults        faults.Stats
 	DownHosts     []string
 	OpenConnAddrs []string
+	// Timeline is the world's metric timeline, sampled every virtual
+	// second from build to the final quiescent point. Its totals must
+	// reconstruct Acct (the timeline-conservation invariant).
+	Timeline *obs.Timeline
 	// Elapsed is the world's final virtual time.
 	Elapsed time.Duration
 	// Registered and OpenConns sample live goroutines / conn endpoints
@@ -269,6 +274,13 @@ func Run(spec Spec) (*Outcome, error) {
 	out := &Outcome{Spec: spec}
 	clock := w.Net.Clock()
 
+	// The metric recorder samples every fuzzed world: its sampler is one
+	// more simulation goroutine, so simtest continuously proves that
+	// observability itself preserves determinism (the recorder runs in
+	// both runs of the determinism invariant and in both leak samples,
+	// so it cancels out of those comparisons).
+	rec := obs.AttachWorld(w, obs.DefaultInterval)
+
 	out.Methods = measure(w, spec, spec.Repeats, &out.ClockErr)
 	park(w, spec)
 	clock.Sleep(drainTime)
@@ -285,6 +297,10 @@ func Run(spec Spec) (*Outcome, error) {
 	out.Registered[1] = clock.Registered()
 	out.Acct = w.Net.Acct().Snapshot()
 	out.OpenConns[1] = out.Acct.OpenConns()
+	// Close at the final quiescent point: no virtual time passes between
+	// the Acct snapshot above and the recorder's final sample, so the
+	// timeline's totals must reconstruct out.Acct exactly.
+	out.Timeline = rec.Close()
 
 	if w.Censor != nil {
 		out.Censor = w.Censor.Stats()
@@ -436,6 +452,13 @@ func render(o *Outcome) string {
 	fmt.Fprintf(&b, "  faults crashes=%d restarts=%d flapsdown=%d flapsup=%d withdrawn=%d rejoined=%d skipped=%d down=%s\n",
 		fs.Crashes, fs.Restarts, fs.FlapsDown, fs.FlapsUp, fs.Withdrawn, fs.Rejoined, fs.Skipped,
 		strings.Join(o.DownHosts, ","))
+	// The timeline line folds the metric layer into the determinism
+	// comparand: sample count, clamp regressions and the Prometheus
+	// rendering's digest must all be a pure function of the spec.
+	if tl := o.Timeline; tl != nil {
+		fmt.Fprintf(&b, "  timeline samples=%d regressions=%d digest=%s\n",
+			len(tl.Samples), tl.Regressions, tl.Digest())
+	}
 	return b.String()
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"time"
 
 	"ptperf/internal/censor"
@@ -80,6 +81,12 @@ type Options struct {
 	// byte-for-byte; churn worlds raise the budgets and add backoff.
 	Retry tor.RetryPolicy
 }
+
+// WithDefaults returns the options with every zero field filled in —
+// the fully determined input New actually builds from. The cache layer
+// (internal/obs) digests defaulted options so two spellings of the
+// same world share one cache entry.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
 
 // withDefaults fills the zero Options with the standard campaign world.
 func (o Options) withDefaults() Options {
@@ -267,6 +274,32 @@ func (w *World) registerRelay(r *tor.Relay) {
 	if w.Faults != nil {
 		w.Faults.RegisterRelay(r)
 	}
+}
+
+// Relays lists every relay started in this world so far, in creation
+// order — the volunteer fleet plus any shared-hop guards and PT-side
+// relays deployments added later. The order is deterministic (relay
+// creation is), which is what lets the metrics layer label per-relay
+// series stably. Call from the world's driver or one of its simulation
+// goroutines.
+func (w *World) Relays() []*tor.Relay {
+	return append([]*tor.Relay(nil), w.relays...)
+}
+
+// BuiltDeployments lists the deployments built so far, sorted by name —
+// never building one. The metrics layer samples per-method recovery
+// counters through it without perturbing which worlds build what.
+func (w *World) BuiltDeployments() []*Deployment {
+	names := make([]string, 0, len(w.deps))
+	for name := range w.deps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*Deployment, 0, len(names))
+	for _, name := range names {
+		out = append(out, w.deps[name])
+	}
+	return out
 }
 
 // FaultStats reports what the fault injector actually did (zero when no

@@ -109,6 +109,10 @@ func (r *Relay) Descriptor() *Descriptor { return r.desc }
 // Host returns the virtual machine the relay runs on.
 func (r *Relay) Host() *netem.Host { return r.cfg.Host }
 
+// Name returns the relay's directory nickname. Names are unique within
+// a world, so the metrics layer uses them as series labels.
+func (r *Relay) Name() string { return r.cfg.Name }
+
 // scheduler returns the current incarnation's cell scheduler. Links
 // bind it once at creation, so a restart's fresh scheduler never sees
 // calls from links that belong to a crashed incarnation.

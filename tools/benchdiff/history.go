@@ -1,0 +1,36 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// historyEntry mirrors internal/obs.HistoryEntry: one benchmark run in
+// the committed perf-history JSONL file the HTML report renders as the
+// perf trajectory. benchdiff appends, obs.ParseBenchHistory reads; the
+// two must agree on this wire shape.
+type historyEntry struct {
+	Label string             `json:"label"`
+	NS    map[string]float64 `json:"ns"`
+}
+
+// appendHistory appends one {"label","ns"} line to the JSONL history
+// file at path, creating the file if needed. Appending is the only
+// mutation — prior entries are never rewritten, so the file is a
+// monotone log suitable for committing.
+func appendHistory(path, label string, ns map[string]float64) error {
+	b, err := json.Marshal(historyEntry{Label: label, NS: ns})
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "%s\n", b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ptperf/internal/obs"
+)
+
+// TestAppendHistoryRoundTrip appends two runs and reads them back
+// through the same parser the HTML report uses — the wire format is a
+// cross-package contract, so the test goes through obs, not a local
+// decoder.
+func TestAppendHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	if err := appendHistory(path, "r1", map[string]float64{"BenchmarkA": 100, "BenchmarkB": 30}); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if err := appendHistory(path, "r2", map[string]float64{"BenchmarkA": 90}); err != nil {
+		t.Fatalf("second append: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got := obs.ParseBenchHistory(f)
+	if len(got) != 2 {
+		t.Fatalf("parsed %d entries, want 2: %+v", len(got), got)
+	}
+	if got[0].Label != "r1" || got[0].NS["BenchmarkB"] != 30 {
+		t.Errorf("first entry = %+v", got[0])
+	}
+	if got[1].Label != "r2" || got[1].NS["BenchmarkA"] != 90 {
+		t.Errorf("second entry = %+v", got[1])
+	}
+}
+
+// TestAppendHistoryPreservesPriorLines: appending must never rewrite
+// existing entries, even hand-edited ones.
+func TestAppendHistoryPreservesPriorLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.jsonl")
+	seed := `{"label":"seed","ns":{"BenchmarkA":123}}` + "\n"
+	if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendHistory(path, "next", map[string]float64{"BenchmarkA": 110}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:len(seed)]) != seed {
+		t.Fatalf("prior line rewritten:\n%s", data)
+	}
+}

@@ -28,9 +28,17 @@
 // at least N times the ns/op of BenchmarkSweepParallel (all cores) in
 // the results file. CI passes this only on runners with enough cores.
 //
+// With -append-history FILE it also appends the results as one
+// {"label": ..., "ns": {...}} line to the JSONL perf-history file —
+// the format internal/obs.ParseBenchHistory reads to render the HTML
+// report's perf-trajectory section. -history-label names the entry
+// (CI passes the commit SHA). Passing -baseline "" skips the gate and
+// only appends.
+//
 // Usage:
 //
 //	go run ./tools/benchdiff -baseline BENCH_baseline.json -results BENCH_results.json -threshold 0.25
+//	go run ./tools/benchdiff -baseline "" -results BENCH_results.json -append-history BENCH_history.jsonl -history-label $SHA
 package main
 
 import (
@@ -46,14 +54,26 @@ func main() {
 		resultsPath  = flag.String("results", "BENCH_results.json", "fresh results {name: ns/op}")
 		threshold    = flag.Float64("threshold", 0.25, "max allowed slowdown relative to the suite's minimum-ratio floor")
 		minSpeedup   = flag.Float64("min-sweep-speedup", 0, "if > 0, require ScenarioSweep/SweepParallel >= this in results")
+		historyPath  = flag.String("append-history", "", "append the results as one {label, ns} line to this JSONL perf-history file")
+		historyLabel = flag.String("history-label", "", "label for the appended history entry (e.g. the commit SHA)")
 	)
 	flag.Parse()
 
-	base, err := readNsOp(*baselinePath)
+	res, err := readNsOp(*resultsPath)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	res, err := readNsOp(*resultsPath)
+	if *historyPath != "" {
+		if err := appendHistory(*historyPath, *historyLabel, res); err != nil {
+			fatalf("append history: %v", err)
+		}
+		fmt.Printf("appended %d benchmarks to %s\n", len(res), *historyPath)
+	}
+	if *baselinePath == "" {
+		// History-only invocation: nothing to gate against.
+		return
+	}
+	base, err := readNsOp(*baselinePath)
 	if err != nil {
 		fatalf("%v", err)
 	}
