@@ -145,7 +145,7 @@ func (c *Client) get(origin, path string, keepBody bool, start time.Duration, de
 		bodyBuf = &buf
 		sink = io.MultiWriter(sink, sliceWriter{bodyBuf})
 	}
-	_, err = io.Copy(sink, io.LimitReader(br, resp.ContentLength))
+	_, err = copyBody(sink, br, conn, resp.ContentLength)
 	if err == nil && res.BytesGot < resp.ContentLength {
 		err = io.ErrUnexpectedEOF
 	}
@@ -213,11 +213,66 @@ func fetchOn(conn net.Conn, br *bufio.Reader, path string) (int64, error) {
 		return 0, fmt.Errorf("fetch: status %d for %s", resp.Status, path)
 	}
 	var got int64
-	_, err = io.Copy(countWriter{&got}, io.LimitReader(br, resp.ContentLength))
+	_, err = copyBody(countWriter{&got}, br, conn, resp.ContentLength)
 	if err == nil && got < resp.ContentLength {
 		err = io.ErrUnexpectedEOF
 	}
 	return got, err
+}
+
+// fullReader is the threshold-read interface tor streams provide: fill
+// p completely, parking until enough bytes have accumulated rather than
+// waking for every arriving cell.
+type fullReader interface {
+	ReadFull(p []byte) (int, error)
+}
+
+// bodyChunk sizes the threshold reads of copyBody.
+const bodyChunk = 64 << 10
+
+// copyBody drains a response body of n bytes: whatever ReadResponse
+// left buffered in br first, then the remainder from conn. When conn
+// supports threshold reads, the bulk is pulled in large chunks so the
+// reader parks once per chunk instead of once per arriving cell; the
+// last byte is still consumed at its arrival instant, so TTLB and
+// timeout behavior match the eager copy exactly. Early end-of-stream
+// returns a short count with nil error, like io.Copy; callers detect
+// the short body from the count.
+func copyBody(dst io.Writer, br *bufio.Reader, conn net.Conn, n int64) (int64, error) {
+	fr, ok := conn.(fullReader)
+	if !ok {
+		return io.Copy(dst, io.LimitReader(br, n))
+	}
+	var written int64
+	if b := int64(br.Buffered()); b > 0 {
+		m, err := io.Copy(dst, io.LimitReader(br, min64(b, n)))
+		written += m
+		if err != nil || written >= n {
+			return written, err
+		}
+	}
+	buf := make([]byte, bodyChunk)
+	for written < n {
+		chunk := n - written
+		if chunk > bodyChunk {
+			chunk = bodyChunk
+		}
+		m, err := fr.ReadFull(buf[:chunk])
+		if m > 0 {
+			wm, werr := dst.Write(buf[:m])
+			written += int64(wm)
+			if werr != nil {
+				return written, werr
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				err = nil
+			}
+			return written, err
+		}
+	}
+	return written, nil
 }
 
 // firstByteReader invokes onFirst once, at the first successful read.

@@ -14,7 +14,16 @@
 // goroutine is parked in a scheduler wait, the clock jumps to the
 // earliest timer and wakes its owner. Campaigns therefore execute at CPU
 // speed, reported durations carry no OS-scheduler noise, and identical
-// seeds produce bit-identical results. See DESIGN.md for the
-// architecture and the rules simulation code must follow (spawn via
-// Clock.Go, block only in scheduler-aware primitives).
+// seeds produce bit-identical results.
+//
+// Pure data-plane consumers need not be goroutines at all: Clock.EventAt
+// runs a callback inline on the dispatching goroutine at a virtual
+// instant, Conn.SetReadSink delivers each arrived segment to an inline
+// callback at exactly its arrival time, and Conn.ReadFull parks a
+// record-structured reader once per request instead of once per segment.
+// Event callbacks must never park — they use the non-parking primitives
+// (TryWriteOwned, Chan.TrySend, Clock.Go, further EventAt arms).
+// See DESIGN.md ("Inline event execution") for the architecture and the
+// rules simulation code must follow (spawn via Clock.Go, block only in
+// scheduler-aware primitives).
 package netem

@@ -89,6 +89,27 @@ func (c *Conn) Read(p []byte) (int, error) {
 	}
 }
 
+// ReadFull reads exactly len(p) bytes, parking once until the byte
+// completing the request arrives rather than waking per segment;
+// n < len(p) only with a non-nil error (io.EOF on early end-of-stream,
+// after draining what arrived). Protocol layers that know their record
+// length (the PT record framing) use it to take bulk payloads off the
+// per-segment wake-up path.
+func (c *Conn) ReadFull(p []byte) (int, error) {
+	c.dlMu.Lock()
+	dl := c.rdl
+	c.dlMu.Unlock()
+	return c.rx.popFull(p, dl)
+}
+
+// SetReadSink replaces the conn's receive direction with inline
+// delivery: each segment is handed to fn at its arrival instant on the
+// clock's event dispatcher, instead of waking a goroutine parked in
+// Read. Delivery and window timing are identical to an always-eager
+// reader; only the goroutine switch per segment disappears. Once a sink
+// is set, calling Read panics. See ReadSink for the callback contract.
+func (c *Conn) SetReadSink(fn ReadSink) { c.rx.setSink(fn) }
+
 // Write implements net.Conn. Data is chunked into segments; each segment
 // reserves transmission time on the sender-egress and receiver-ingress
 // buckets and is delivered after the propagation delay plus jitter and
@@ -107,44 +128,96 @@ func (c *Conn) Write(p []byte) (int, error) {
 	dl := c.wdl
 	c.dlMu.Unlock()
 
-	clock := c.tx.clock
-	pol := c.policy()
 	written := 0
 	for len(p) > 0 {
 		n := len(p)
 		if n > segmentSize {
 			n = segmentSize
 		}
-		var censored time.Duration
-		var shaper *Bucket
-		if pol != nil {
-			c.acct().addSegmentFiltered()
-			v := pol.FilterSegment(Flow{Src: c.local.host, Dst: c.remote.host}, n)
-			if v.Action == Reset {
-				c.Abort()
-				return written, ErrReset
-			}
-			censored = v.Extra
-			shaper = v.Shaper
-		}
-		data, base := getSegBuf(p[:n])
-
-		now := clock.Now()
-		done := c.out.egress.Reserve(now, n)
-		done = c.out.ingress.Reserve(done, n)
-		if shaper != nil {
-			done = shaper.Reserve(done, n)
-			censored += shaper.QueueDelay()
-		}
-		arrival := done + c.out.delay + c.extraDelay() + censored +
-			c.out.egress.QueueDelay() + c.out.ingress.QueueDelay()
-		if err := c.tx.push(data, base, arrival, dl); err != nil {
+		data, base, pool := getSegBuf(p[:n])
+		if _, err := c.writeSegment(data, base, pool, dl, true); err != nil {
 			return written, err
 		}
 		written += n
 		p = p[n:]
 	}
 	return written, nil
+}
+
+// WriteOwned is a zero-copy single-segment Write: ownership of data's
+// backing array (base, recycled into pool when non-nil) transfers to
+// the conn, which hands it through the pipe to the reader untouched.
+// The payload must fit one segment. Like Write, it parks on
+// receive-window backpressure.
+func (c *Conn) WriteOwned(data []byte, base *[]byte, pool *sync.Pool) error {
+	if len(data) > segmentSize {
+		defer putSegBuf(pool, base)
+		_, err := c.Write(data)
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.dlMu.Lock()
+	dl := c.wdl
+	c.dlMu.Unlock()
+	_, err := c.writeSegment(data, base, pool, dl, true)
+	return err
+}
+
+// TryWriteOwned is WriteOwned without parking, for inline event
+// callbacks (Clock.EventAt): ok is false — and ownership stays with the
+// caller — when the write would have parked (writer lock contended or
+// receive window full). ok true means the segment was consumed, with
+// err reporting a closed/reset conn exactly like Write.
+func (c *Conn) TryWriteOwned(data []byte, base *[]byte, pool *sync.Pool) (ok bool, err error) {
+	if len(data) > segmentSize {
+		return false, nil
+	}
+	if !c.wmu.TryLock() {
+		return false, nil
+	}
+	defer c.wmu.Unlock()
+	return c.writeSegment(data, base, pool, time.Time{}, false)
+}
+
+// writeSegment shapes and delivers one owned segment: policy filtering,
+// egress/ingress/shaper reservations, then the pipe push. wait=false is
+// the non-parking form — it refuses (ok=false, ownership retained)
+// instead of blocking, checking window space before booking bucket
+// time so a refused segment leaves no shaping trace. The writer lock
+// must be held.
+func (c *Conn) writeSegment(data []byte, base *[]byte, pool *sync.Pool, dl time.Time, wait bool) (ok bool, err error) {
+	n := len(data)
+	if !wait && !c.closed.Load() && c.tx.freeSpace() < n {
+		return false, nil
+	}
+	var censored time.Duration
+	var shaper *Bucket
+	if pol := c.policy(); pol != nil {
+		c.acct().addSegmentFiltered()
+		v := pol.FilterSegment(Flow{Src: c.local.host, Dst: c.remote.host}, n)
+		if v.Action == Reset {
+			putSegBuf(pool, base)
+			c.Abort()
+			return true, ErrReset
+		}
+		censored = v.Extra
+		shaper = v.Shaper
+	}
+	clock := c.tx.clock
+	now := clock.Now()
+	done := c.out.egress.Reserve(now, n)
+	done = c.out.ingress.Reserve(done, n)
+	if shaper != nil {
+		done = shaper.Reserve(done, n)
+		censored += shaper.QueueDelay()
+	}
+	arrival := done + c.out.delay + c.extraDelay() + censored +
+		c.out.egress.QueueDelay() + c.out.ingress.QueueDelay()
+	if wait {
+		return true, c.tx.push(data, base, pool, arrival, dl)
+	}
+	return c.tx.tryPush(data, base, pool, arrival)
 }
 
 // WriteBudget reports how many payload bytes a Write can currently

@@ -194,9 +194,12 @@ func (h *Host) Dial(address string) (net.Conn, error) {
 	cc, sc := newConnPair(h.net, localAddr, remoteAddr, out, in, seed)
 
 	// Deliver the server side after one one-way delay (the SYN), then
-	// return to the dialer after the full handshake round trip.
-	h.net.clock.Go(func() {
-		h.net.clock.Sleep(out.delay)
+	// return to the dialer after the full handshake round trip. The SYN
+	// is a pure data-plane event — deliver (TrySend) and Abort never
+	// park — so it runs as an inline clock event instead of costing a
+	// goroutine spawn per dial.
+	clk := h.net.clock
+	clk.EventAt(clk.Now()+out.delay, func() {
 		if err := l.deliver(sc); err != nil {
 			// Abort both endpoints: the server side was never accepted,
 			// and leaving it half-open would count as a live flow in

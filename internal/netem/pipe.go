@@ -24,17 +24,24 @@ func (*timeoutError) Error() string   { return "netem: i/o timeout" }
 func (*timeoutError) Timeout() bool   { return true }
 func (*timeoutError) Temporary() bool { return true }
 
-// seg is one shaped segment in flight: its payload and the virtual time at
-// which the last byte arrives at the receiver. base retains the pooled
-// backing array while data shrinks across partial reads.
+// seg is one shaped segment in flight: its payload and the virtual time
+// at which the last byte arrives at the receiver. base retains the
+// backing array while data shrinks across partial reads; pool is the
+// pool base returns to once fully consumed (nil for plain GC-owned
+// allocations). Carrying the origin pool in the segment is what makes
+// zero-copy handoff safe: a caller can push a buffer drawn from its own
+// pool (e.g. the tor layer's 512-byte cell pool) and the pipe recycles
+// it to the right place instead of poisoning the 16K segment pool with
+// short arrays.
 type seg struct {
 	data []byte
 	base *[]byte
+	pool *sync.Pool
 	at   time.Duration
 }
 
-// segBufPool recycles segment backing arrays; segment copies are the
-// simulation's dominant allocation.
+// segBufPool recycles bulk segment backing arrays; segment copies are
+// the simulation's dominant allocation.
 var segBufPool = sync.Pool{
 	New: func() any {
 		b := make([]byte, segmentSize)
@@ -42,26 +49,59 @@ var segBufPool = sync.Pool{
 	},
 }
 
-// getSegBuf returns a buffer holding a copy of p: tiny frames get a
-// plain allocation (cheaper than pool churn), bulk segments a pooled
-// backing array.
-func getSegBuf(p []byte) ([]byte, *[]byte) {
-	if len(p) <= 1024 {
-		data := make([]byte, len(p))
-		copy(data, p)
-		return data, nil
-	}
-	base := segBufPool.Get().(*[]byte)
-	data := (*base)[:len(p)]
-	copy(data, p)
-	return data, base
+// smallBufSize bounds the small-frame pool class: cells, handshakes and
+// acks all fit, and a 2× size overhead on a transient buffer is cheaper
+// than a GC allocation per frame.
+const smallBufSize = 1024
+
+// smallBufPool recycles small-frame backing arrays (protocol cells are
+// the hot case: a contention sweep pushes hundreds of thousands of
+// 512-byte frames).
+var smallBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, smallBufSize)
+		return &b
+	},
 }
 
-func putSegBuf(base *[]byte) {
-	if base != nil {
-		segBufPool.Put(base)
+// getSegBuf returns a buffer holding a copy of p: small frames and bulk
+// segments draw from their size-class pools; anything larger than
+// segmentSize falls back to a plain allocation (slicing the pooled
+// segmentSize array used to panic with slice bounds out of range).
+func getSegBuf(p []byte) (data []byte, base *[]byte, pool *sync.Pool) {
+	switch {
+	case len(p) <= smallBufSize:
+		pool = &smallBufPool
+	case len(p) <= segmentSize:
+		pool = &segBufPool
+	default:
+		data = make([]byte, len(p))
+		copy(data, p)
+		return data, nil, nil
+	}
+	base = pool.Get().(*[]byte)
+	data = (*base)[:len(p)]
+	copy(data, p)
+	return data, base, pool
+}
+
+func putSegBuf(pool *sync.Pool, base *[]byte) {
+	if base != nil && pool != nil {
+		pool.Put(base)
 	}
 }
+
+// ReadSink is an inline segment consumer registered with
+// Conn.SetReadSink. Each arrived segment is delivered exactly at its
+// arrival instant on the clock's event dispatcher, with ownership of
+// the backing array (recycle base into pool when both are non-nil).
+// After the terminal call — data nil and err non-nil (io.EOF once
+// drained, ErrClosed on reset/close) — no further calls are made.
+//
+// Sink callbacks run as inline clock events and must never park; use
+// the non-parking primitives (TrySend, TryWriteOwned, Clock.Go,
+// EventAt) and hand parking work to a goroutine.
+type ReadSink func(data []byte, base *[]byte, pool *sync.Pool, err error)
 
 // pipe is one direction of a shaped duplex connection. All waits go
 // through the scheduler cond, so a blocked reader or writer releases its
@@ -71,13 +111,30 @@ type pipe struct {
 	clock *Clock
 	acct  *Acct // network accounting, nil for pipes outside a network
 
-	mu       sync.Mutex
-	cond     *Cond
+	mu   sync.Mutex
+	cond *Cond
+	// segs is a head-indexed ring slice (like Clock.ready): pop advances
+	// segHead and the backing array is reused once drained, instead of
+	// re-slicing capacity away on every segment.
 	segs     []seg
+	segHead  int
 	buffered int  // bytes queued and not yet read
 	maxBuf   int  // receive-window bound for backpressure
 	wclosed  bool // writer has closed; reader drains then sees EOF
 	rclosed  bool // reader has closed; writes fail
+	// rdWant, while a popFull caller is parked, is the byte count it
+	// still needs; enqueueLocked skips the arrival wake until the queue
+	// holds that much, so a threshold reader parks once per request
+	// instead of once per arriving segment.
+	rdWant int
+
+	// sink, when set, replaces parked reads with inline delivery events
+	// (see ReadSink). sinkArmed marks a pending delivery event;
+	// sinkDone marks the terminal callback as delivered.
+	sink      ReadSink
+	sinkFn    func() // cached p.sinkEvent bound method (one closure, not one per arm)
+	sinkArmed bool
+	sinkDone  bool
 }
 
 func newPipe(clock *Clock, maxBuf int, acct *Acct) *pipe {
@@ -103,63 +160,211 @@ func vtExpired(c *Clock, vt time.Duration) bool {
 }
 
 // push enqueues a shaped segment, parking while the receive window is
-// full. It returns an error if either side has closed.
-func (p *pipe) push(data []byte, base *[]byte, arrival time.Duration, deadline time.Time) error {
+// full. It returns an error if either side has closed. Ownership of
+// base transfers to the pipe on any outcome (errors recycle it).
+func (p *pipe) push(data []byte, base *[]byte, pool *sync.Pool, arrival time.Duration, deadline time.Time) error {
 	vt := deadlineVT(deadline)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for p.buffered+len(data) > p.maxBuf && !p.rclosed && !p.wclosed {
 		if vtExpired(p.clock, vt) {
-			putSegBuf(base)
+			putSegBuf(pool, base)
 			return ErrTimeout
 		}
 		p.cond.WaitVT(vt)
 	}
 	if p.wclosed {
-		putSegBuf(base)
+		putSegBuf(pool, base)
 		return ErrClosed
 	}
 	if p.rclosed {
-		putSegBuf(base)
+		putSegBuf(pool, base)
 		return ErrReset
 	}
-	p.segs = append(p.segs, seg{data: data, base: base, at: arrival})
+	p.enqueueLocked(data, base, pool, arrival)
+	return nil
+}
+
+// tryPush is push without parking, for inline event callbacks: ok is
+// false (and ownership stays with the caller) when the receive window
+// has no room. Closed pipes report their error with ok true — the
+// segment is consumed (recycled) either way.
+func (p *pipe) tryPush(data []byte, base *[]byte, pool *sync.Pool, arrival time.Duration) (ok bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wclosed {
+		putSegBuf(pool, base)
+		return true, ErrClosed
+	}
+	if p.rclosed {
+		putSegBuf(pool, base)
+		return true, ErrReset
+	}
+	if p.buffered+len(data) > p.maxBuf {
+		return false, nil
+	}
+	p.enqueueLocked(data, base, pool, arrival)
+	return true, nil
+}
+
+// enqueueLocked appends a segment and schedules its consumption at the
+// arrival instant: an inline delivery event in sink mode, otherwise a
+// parked-reader wake-up (waking the reader at push time would only make
+// it re-park until the data has propagated).
+func (p *pipe) enqueueLocked(data []byte, base *[]byte, pool *sync.Pool, arrival time.Duration) {
+	p.segs = append(p.segs, seg{data: data, base: base, pool: pool, at: arrival})
 	p.buffered += len(data)
 	p.acct.addSent(len(data))
-	// Wake a parked reader at the segment's arrival, not now: waking it
-	// at push time would only make it re-park until the data has
-	// propagated.
-	p.cond.WakeAt(arrival)
-	return nil
+	if p.sink != nil {
+		p.armSinkLocked()
+		return
+	}
+	if p.rdWant == 0 || p.buffered >= p.rdWant {
+		p.cond.WakeAt(arrival)
+	}
+}
+
+// setSink registers an inline consumer for this pipe's segments; any
+// already-queued data (or a pending close) is delivered through it.
+// Reads and sink mode are mutually exclusive from this point on.
+func (p *pipe) setSink(fn ReadSink) {
+	p.mu.Lock()
+	p.sink = fn
+	p.sinkFn = p.sinkEvent
+	p.armSinkLocked()
+	p.mu.Unlock()
+}
+
+// armSinkLocked schedules the next delivery event unless one is already
+// armed: at the head segment's arrival instant, or immediately when the
+// pipe has closed and only the terminal callback remains.
+func (p *pipe) armSinkLocked() {
+	if p.sink == nil || p.sinkArmed || p.sinkDone {
+		return
+	}
+	at := p.clock.Now()
+	if p.segHead < len(p.segs) {
+		if first := p.segs[p.segHead].at; first > at {
+			at = first
+		}
+	} else if !p.wclosed && !p.rclosed {
+		return // nothing to deliver yet
+	}
+	p.sinkArmed = true
+	p.clock.EventAt(at, p.sinkFn)
+}
+
+// sinkEvent delivers every arrived segment (and, once drained on a
+// closed pipe, the terminal error) to the sink. Window accounting is
+// identical to pop at the same instants, so writer backpressure —
+// freeSpace, push parking — behaves exactly as it does for an eager
+// parked reader.
+func (p *pipe) sinkEvent() {
+	p.mu.Lock()
+	p.sinkArmed = false
+	if p.sink == nil || p.sinkDone {
+		p.mu.Unlock()
+		return
+	}
+	now := p.clock.Now()
+	var batchArr [8]seg
+	batch := batchArr[:0]
+	total := 0
+	for p.segHead < len(p.segs) {
+		s := p.segs[p.segHead]
+		if s.at > now {
+			break
+		}
+		batch = append(batch, s)
+		total += len(s.data)
+		p.segs[p.segHead] = seg{}
+		p.segHead++
+	}
+	if p.segHead == len(p.segs) {
+		p.segs = p.segs[:0]
+		p.segHead = 0
+	}
+	var term error
+	if p.rclosed {
+		term = ErrClosed
+	} else if p.wclosed && p.segHead == len(p.segs) {
+		term = io.EOF
+	}
+	if total > 0 {
+		p.buffered -= total
+		p.acct.addDelivered(total)
+	}
+	if term != nil {
+		p.sinkDone = true
+	} else {
+		p.armSinkLocked()
+	}
+	sink := p.sink
+	p.mu.Unlock()
+	if total > 0 {
+		// Receive-window space was freed; unblock parked writers.
+		p.cond.Broadcast()
+	}
+	for _, s := range batch {
+		sink(s.data, s.base, s.pool, nil)
+	}
+	if term != nil {
+		sink(nil, nil, nil, term)
+	}
 }
 
 // pop reads up to len(buf) bytes that have "arrived" on the virtual
 // clock, parking through propagation delay as needed. Unlike the retired
 // wall-clock implementation it never returns (0, nil): it loops back to
-// waiting until data, EOF, close or a deadline resolves the read.
+// waiting until data, EOF, close or a deadline resolves the read. The
+// one legitimate zero-byte read is a zero-length buf, which returns
+// (0, nil) immediately per the io.Reader contract — it used to fall
+// through the copy loop, leave the segment queued and return (0, nil)
+// as if data had been consumed.
 func (p *pipe) pop(buf []byte, deadline time.Time) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
 	vt := deadlineVT(deadline)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.sink != nil {
+		panic("netem: Read on a conn with an inline read sink")
+	}
 	for {
 		if p.rclosed {
 			return 0, ErrClosed
 		}
-		if len(p.segs) > 0 {
-			s := &p.segs[0]
+		if p.segHead < len(p.segs) {
 			now := p.clock.Now()
-			if s.at <= now {
-				n := copy(buf, s.data)
-				if n == len(s.data) {
-					putSegBuf(s.base)
-					p.segs = p.segs[1:]
-				} else {
-					s.data = s.data[n:]
+			if s := &p.segs[p.segHead]; s.at <= now {
+				// Drain every segment that has already arrived, not just
+				// the first: bulk readers hand in large buffers, and one
+				// batched pop replaces a park/re-pop cycle per segment.
+				total := 0
+				for p.segHead < len(p.segs) && total < len(buf) {
+					s := &p.segs[p.segHead]
+					if s.at > now {
+						break
+					}
+					n := copy(buf[total:], s.data)
+					total += n
+					if n == len(s.data) {
+						putSegBuf(s.pool, s.base)
+						p.segs[p.segHead] = seg{}
+						p.segHead++
+					} else {
+						s.data = s.data[n:]
+					}
 				}
-				p.buffered -= n
-				p.acct.addDelivered(n)
+				if p.segHead == len(p.segs) {
+					p.segs = p.segs[:0]
+					p.segHead = 0
+				}
+				p.buffered -= total
+				p.acct.addDelivered(total)
 				p.cond.Broadcast()
-				return n, nil
+				return total, nil
 			}
 			if vtExpired(p.clock, vt) {
 				return 0, ErrTimeout
@@ -167,7 +372,7 @@ func (p *pipe) pop(buf []byte, deadline time.Time) (int, error) {
 			// Park until the segment's arrival or the deadline,
 			// whichever is earlier; a broadcast (new segment, close)
 			// re-evaluates.
-			wake := s.at
+			wake := p.segs[p.segHead].at
 			if vt != noDeadline && vt < wake {
 				wake = vt
 			}
@@ -181,6 +386,107 @@ func (p *pipe) pop(buf []byte, deadline time.Time) (int, error) {
 			return 0, ErrTimeout
 		}
 		p.cond.WaitVT(vt)
+	}
+}
+
+// popFull reads exactly len(buf) arrived bytes, unless the stream ends
+// or the deadline expires first — then it returns what had arrived with
+// io.EOF/ErrClosed/ErrTimeout. While parked it suppresses per-segment
+// arrival wake-ups: the reader wakes at the arrival instant of the byte
+// completing the request (or at close/deadline), which is exactly when
+// an eager read loop would have consumed that byte. Window space is
+// freed in request-sized steps rather than per segment, so a writer
+// parked on the receive-window bound can unpark up to one request later
+// than under an eager reader.
+func (p *pipe) popFull(buf []byte, deadline time.Time) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	vt := deadlineVT(deadline)
+	p.mu.Lock()
+	defer func() {
+		p.rdWant = 0
+		p.mu.Unlock()
+	}()
+	if p.sink != nil {
+		panic("netem: Read on a conn with an inline read sink")
+	}
+	total := 0
+	for {
+		if p.rclosed {
+			return total, ErrClosed
+		}
+		now := p.clock.Now()
+		drained := 0
+		for p.segHead < len(p.segs) && total < len(buf) {
+			s := &p.segs[p.segHead]
+			if s.at > now {
+				break
+			}
+			n := copy(buf[total:], s.data)
+			total += n
+			drained += n
+			if n == len(s.data) {
+				putSegBuf(s.pool, s.base)
+				p.segs[p.segHead] = seg{}
+				p.segHead++
+			} else {
+				s.data = s.data[n:]
+			}
+		}
+		if p.segHead == len(p.segs) {
+			p.segs = p.segs[:0]
+			p.segHead = 0
+		}
+		if drained > 0 {
+			p.buffered -= drained
+			p.acct.addDelivered(drained)
+			p.cond.Broadcast()
+		}
+		if total == len(buf) {
+			return total, nil
+		}
+		if vtExpired(p.clock, vt) {
+			return total, ErrTimeout
+		}
+		// Pick the park horizon: the instant the request's in-order
+		// prefix has fully arrived if the queue already holds enough
+		// bytes, the whole queue's arrival if the writer has closed
+		// (drain, then EOF), else the deadline — with pushes waking us
+		// early only once the queue can complete the request. Delivery
+		// is in order but jitter can reorder raw arrivals, so the
+		// horizon is the *maximum* arrival over the prefix — waiting on
+		// the completing segment alone could pick an instant already in
+		// the past while the head segment is still in flight.
+		wake := vt
+		need := len(buf) - total
+		queued := 0
+		var arr time.Duration
+		for i := p.segHead; i < len(p.segs); i++ {
+			queued += len(p.segs[i].data)
+			if a := p.segs[i].at; a > arr {
+				arr = a
+			}
+			if queued >= need {
+				break
+			}
+		}
+		if queued >= need {
+			if vt == noDeadline || arr < vt {
+				wake = arr
+			}
+		} else if p.wclosed {
+			if p.segHead == len(p.segs) {
+				return total, io.EOF
+			}
+			if vt == noDeadline || arr < vt {
+				wake = arr
+			}
+		} else {
+			p.rdWant = need
+		}
+		p.cond.WaitVT(wake)
+		p.rdWant = 0
 	}
 }
 
@@ -211,6 +517,7 @@ func (p *pipe) readerClosed() bool {
 func (p *pipe) closeWrite() {
 	p.mu.Lock()
 	p.wclosed = true
+	p.armSinkLocked()
 	p.mu.Unlock()
 	p.cond.Broadcast()
 }
@@ -220,12 +527,14 @@ func (p *pipe) closeWrite() {
 func (p *pipe) closeRead() {
 	p.mu.Lock()
 	p.rclosed = true
-	for i := range p.segs {
-		putSegBuf(p.segs[i].base)
+	for i := p.segHead; i < len(p.segs); i++ {
+		putSegBuf(p.segs[i].pool, p.segs[i].base)
 	}
 	p.segs = nil
+	p.segHead = 0
 	p.acct.addDropped(p.buffered)
 	p.buffered = 0
+	p.armSinkLocked()
 	p.mu.Unlock()
 	p.cond.Broadcast()
 }

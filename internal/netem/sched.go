@@ -56,6 +56,10 @@ type waiter struct {
 	// broadcast) fired. Written under the scheduler lock before the
 	// wake-up send, read only after it.
 	timedOut bool
+	// fn, when non-nil, marks this timer entry as an inline event: when
+	// it reaches the head of the timer heap the dispatcher runs fn on
+	// its own stack instead of waking a goroutine. See Clock.EventAt.
+	fn func()
 }
 
 // waiterPool recycles waiters; a campaign parks millions of times.
@@ -69,6 +73,7 @@ func (w *waiter) release() {
 	w.woken = false
 	w.timedOut = false
 	w.cond = nil
+	w.fn = nil
 	w.heapIndex = -1
 	waiterPool.Put(w)
 }
@@ -125,9 +130,14 @@ type Clock struct {
 	// creator.
 	registered int
 	// ready is the FIFO run queue of woken-but-not-yet-running
-	// goroutines.
-	ready  []*waiter
-	timers timerHeap
+	// goroutines. It is a head-indexed ring slice: dispatch advances
+	// readyHead instead of re-slicing, so a long campaign reuses one
+	// backing array instead of forcing append to reallocate every time
+	// the queue refills (the old ready[1:] idiom leaked capacity and
+	// showed up as ~5% of all allocations in a contention sweep).
+	ready     []*waiter
+	readyHead int
+	timers    timerHeap
 }
 
 // NewClock returns a fresh scheduler. The scale argument is accepted
@@ -184,41 +194,65 @@ func (c *Clock) park(w *waiter) (timedOut bool) {
 	return timedOut
 }
 
+// readyLen reports the number of queued runnable goroutines.
+func (c *Clock) readyLen() int { return len(c.ready) - c.readyHead }
+
 // dispatchLocked hands the run token to the next goroutine: first the
 // ready queue (work at the current virtual time), then the earliest
-// timer (advancing the clock). Called with the scheduler lock held and
-// active == 0, or as a no-op when another goroutine still runs.
+// timer (advancing the clock). Inline events (EventAt) encountered at
+// the head of the timer heap are executed on the calling goroutine's
+// stack — the scheduler lock is dropped around the callback and the
+// loop continues, so a burst of data-plane events costs zero goroutine
+// switches. Called with the scheduler lock held and active == 0, or as
+// a no-op when another goroutine still runs.
 func (c *Clock) dispatchLocked() {
-	if c.active > 0 {
-		return
-	}
-	if len(c.ready) > 0 {
-		w := c.ready[0]
-		c.ready[0] = nil
-		c.ready = c.ready[1:]
-		c.active++
-		w.ch <- struct{}{}
-		return
-	}
-	if c.timers.Len() > 0 {
-		w := heap.Pop(&c.timers).(*waiter)
-		w.woken = true
-		w.timedOut = true
-		if w.cond != nil {
-			w.cond.remove(w)
-			w.cond = nil
+	for c.active == 0 {
+		if c.readyLen() > 0 {
+			w := c.ready[c.readyHead]
+			c.ready[c.readyHead] = nil
+			c.readyHead++
+			if c.readyHead == len(c.ready) {
+				c.ready = c.ready[:0]
+				c.readyHead = 0
+			}
+			c.active++
+			w.ch <- struct{}{}
+			return
 		}
-		if w.at > c.nowLocked() {
-			c.now.Store(int64(w.at))
+		if c.timers.Len() > 0 {
+			w := heap.Pop(&c.timers).(*waiter)
+			if w.at > c.nowLocked() {
+				c.now.Store(int64(w.at))
+			}
+			if w.fn != nil {
+				fn := w.fn
+				w.release()
+				// Run the event with the scheduler unlocked so it can
+				// use Try* primitives, ready goroutines, or arm further
+				// events. active is still 0: event callbacks are not
+				// simulation goroutines and must never park (a park
+				// panics as an unregistered-goroutine wait).
+				c.mu.Unlock()
+				fn()
+				c.mu.Lock()
+				continue
+			}
+			w.woken = true
+			w.timedOut = true
+			if w.cond != nil {
+				w.cond.remove(w)
+				w.cond = nil
+			}
+			c.active++
+			w.ch <- struct{}{}
+			return
 		}
-		c.active++
-		w.ch <- struct{}{}
+		if c.registered > 0 {
+			panic(fmt.Sprintf(
+				"netem: deadlock — all %d simulation goroutines are blocked with no pending timers at virtual t=%v",
+				c.registered, c.nowLocked()))
+		}
 		return
-	}
-	if c.registered > 0 {
-		panic(fmt.Sprintf(
-			"netem: deadlock — all %d simulation goroutines are blocked with no pending timers at virtual t=%v",
-			c.registered, c.nowLocked()))
 	}
 }
 
@@ -286,10 +320,10 @@ func (c *Clock) SleepUntil(vt time.Duration) {
 func (c *Clock) sleepUntilLocked(vt time.Duration) {
 	// Fast path: if nothing else can run before vt — no ready
 	// goroutines, no earlier (or equal, which would win the seq
-	// tie-break) timer — advance the clock in place and keep running.
-	// Lockstep protocol chains hit this constantly; it saves the full
-	// park/dispatch/goroutine-switch round trip.
-	if c.active == 1 && len(c.ready) == 0 &&
+	// tie-break) timer or event — advance the clock in place and keep
+	// running. Lockstep protocol chains hit this constantly; it saves
+	// the full park/dispatch/goroutine-switch round trip.
+	if c.active == 1 && c.readyLen() == 0 &&
 		(c.timers.Len() == 0 || c.timers[0].at > vt) {
 		c.now.Store(int64(vt))
 		c.mu.Unlock()
@@ -300,6 +334,32 @@ func (c *Clock) sleepUntilLocked(vt time.Duration) {
 	w.timed = true
 	heap.Push(&c.timers, w)
 	c.park(w)
+}
+
+// EventAt schedules fn to run when virtual time reaches vt (or at the
+// current instant, if vt has already passed). The callback executes
+// inline on whichever goroutine is dispatching at that moment — no
+// goroutine is spawned or unparked for it — which makes it the cheap
+// way to model pure data-plane events: segment deliveries, paced flush
+// passes, SYN arrivals. Ordering is deterministic: events and timers
+// share one heap ordered by (at, seq), so two events at the same
+// instant fire in registration order.
+//
+// Contract: fn runs with no scheduler state held and must never park.
+// Use the non-parking primitives (TrySend, Mutex.TryLock,
+// Conn.TryWriteOwned, Clock.Go, EventAt) inside callbacks; any parking
+// wait panics as an unregistered-goroutine wait.
+func (c *Clock) EventAt(vt time.Duration, fn func()) {
+	c.mu.Lock()
+	w := c.newWaiter()
+	if now := c.nowLocked(); vt < now {
+		vt = now
+	}
+	w.at = vt
+	w.timed = true
+	w.fn = fn
+	heap.Push(&c.timers, w)
+	c.mu.Unlock()
 }
 
 // VirtualDeadline converts a virtual timeout (from now) into the

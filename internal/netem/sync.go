@@ -64,7 +64,7 @@ func (cd *Cond) WaitVT(vt time.Duration) bool {
 	// just a clock advance — the wait "times out" in place, and the
 	// caller's loop re-checks its condition. This is the hot pattern
 	// of a reader waiting out a segment's propagation delay.
-	if vt != noDeadline && c.active == 1 && len(c.ready) == 0 &&
+	if vt != noDeadline && c.active == 1 && c.readyLen() == 0 &&
 		(c.timers.Len() == 0 || c.timers[0].at > vt) {
 		c.now.Store(int64(vt))
 		c.mu.Unlock()
@@ -79,17 +79,21 @@ func (cd *Cond) WaitVT(vt time.Duration) bool {
 	w.cond = cd
 	cd.waiters = append(cd.waiters, w)
 	cd.nwait.Store(int32(len(cd.waiters)))
-	// Parking while still holding L is what makes the wait atomic with
-	// the condition check: a Broadcast needs the scheduler lock, which
-	// we hold until parked.
+	// Registering under the scheduler lock is what makes the wait
+	// atomic with the condition check: a Broadcast needs the scheduler
+	// lock, which we hold until the waiter is listed. L itself is
+	// released *before* dispatching — the dispatch below may execute
+	// inline events (Clock.EventAt) that need the very lock this waiter
+	// guards, e.g. a flush callback pushing into the pipe a reader is
+	// parked on.
 	c.active--
 	if c.active < 0 {
 		c.mu.Unlock()
 		panic("netem: Cond.Wait from an unregistered goroutine — spawn simulation goroutines with Clock.Go")
 	}
+	cd.L.Unlock()
 	c.dispatchLocked()
 	c.mu.Unlock()
-	cd.L.Unlock()
 	<-w.ch
 	timedOut := w.timedOut
 	w.release()
@@ -185,6 +189,21 @@ func (m *Mutex) Lock() {
 	}
 	m.locked = true
 	m.mu.Unlock()
+}
+
+// TryLock acquires the mutex without parking; false means contended.
+// It is the form event callbacks must use: a callback runs on the
+// dispatching goroutine and may not release a run token it doesn't
+// hold.
+func (m *Mutex) TryLock() bool {
+	m.mu.Lock()
+	if m.locked {
+		m.mu.Unlock()
+		return false
+	}
+	m.locked = true
+	m.mu.Unlock()
+	return true
 }
 
 // Unlock releases the mutex.

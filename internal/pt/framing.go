@@ -38,7 +38,34 @@ type RecordConn struct {
 
 	rmu     sync.Mutex
 	pending []byte
-	wmu     sync.Mutex
+	// rbuf is the reused record read buffer; pending aliases it, and it
+	// is only overwritten once pending has drained.
+	rbuf []byte
+	wmu  sync.Mutex
+}
+
+// fullReader is the threshold-read fast path netem conns provide: fill
+// p completely, parking once at the completing byte's arrival instead
+// of waking for every segment of a multi-segment record.
+type fullReader interface {
+	ReadFull(p []byte) (int, error)
+}
+
+// readFull fills p from rc's inner conn, using the threshold path when
+// available.
+func (rc *RecordConn) readFull(p []byte) error {
+	if fr, ok := rc.Conn.(fullReader); ok {
+		n, err := fr.ReadFull(p)
+		if err != nil && n < len(p) {
+			if n > 0 && err == io.EOF {
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		return nil
+	}
+	_, err := io.ReadFull(rc.Conn, p)
+	return err
 }
 
 // RecordConfig configures a RecordConn.
@@ -131,8 +158,12 @@ func (rc *RecordConn) Read(p []byte) (int, error) {
 	rc.rmu.Lock()
 	defer rc.rmu.Unlock()
 	for len(rc.pending) == 0 {
-		head := make([]byte, len(rc.header)+4)
-		if _, err := io.ReadFull(rc.Conn, head); err != nil {
+		headLen := len(rc.header) + 4
+		if cap(rc.rbuf) < headLen {
+			rc.rbuf = make([]byte, MaxRecord+headLen)
+		}
+		head := rc.rbuf[:headLen]
+		if err := rc.readFull(head); err != nil {
 			return 0, err
 		}
 		n := int(binary.BigEndian.Uint16(head[len(rc.header):]))
@@ -140,8 +171,11 @@ func (rc *RecordConn) Read(p []byte) (int, error) {
 		if n > MaxRecord {
 			return 0, ErrRecordTooLarge
 		}
-		body := make([]byte, n+pad)
-		if _, err := io.ReadFull(rc.Conn, body); err != nil {
+		if cap(rc.rbuf) < n+pad {
+			rc.rbuf = make([]byte, n+pad)
+		}
+		body := rc.rbuf[:n+pad]
+		if err := rc.readFull(body); err != nil {
 			return 0, err
 		}
 		if rc.dec != nil {

@@ -148,20 +148,56 @@ func (c *Cell) Decode(buf []byte) error {
 	return nil
 }
 
-// WriteCell writes one cell to w.
+// WriteCell writes one cell to w. The encode buffer is pooled: a stack
+// array here escapes through the io.Writer call and used to cost one
+// 512-byte heap allocation per cell.
 func WriteCell(w io.Writer, c *Cell) error {
-	var buf [CellSize]byte
+	buf, base := getCellBuf()
 	_, err := w.Write(c.Encode(buf[:0]))
+	putCellBuf(base)
 	return err
 }
 
 // ReadCell reads one cell from r.
 func ReadCell(r io.Reader, c *Cell) error {
-	var buf [CellSize]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return err
+	buf, base := getCellBuf()
+	_, err := io.ReadFull(r, buf)
+	if err == nil {
+		err = c.Decode(buf)
 	}
-	return c.Decode(buf[:])
+	putCellBuf(base)
+	return err
+}
+
+// Wire-buffer accessors for the zero-copy cell path: hot loops operate
+// directly on pooled CellSize byte slices (cellBufPool) instead of
+// round-tripping through the Cell struct, so a relayed cell's payload
+// crosses a relay with exactly one in-copy and one out-copy (the pipe
+// boundary) and no intermediate allocation.
+
+// getCellBuf returns a pooled CellSize wire buffer and its backing
+// array for putCellBuf / ownership handoff.
+func getCellBuf() (buf []byte, base *[]byte) {
+	base = cellBufPool.Get().(*[]byte)
+	return (*base)[:CellSize], base
+}
+
+// wireCircID reads the circuit ID of a wire cell.
+func wireCircID(buf []byte) uint32 { return binary.BigEndian.Uint32(buf[0:4]) }
+
+// setWireHeader stamps the circuit ID and command of a wire cell.
+func setWireHeader(buf []byte, id uint32, cmd Command) {
+	binary.BigEndian.PutUint32(buf[0:4], id)
+	buf[4] = byte(cmd)
+}
+
+// wirePayload returns the PayloadSize payload view of a wire cell.
+func wirePayload(buf []byte) []byte { return buf[headerSize:CellSize] }
+
+// readWire fills one wire cell from r.
+func readWire(r io.Reader, buf []byte) error {
+	_, err := io.ReadFull(r, buf)
+	return err
 }
 
 // RelayCell is the decrypted interior of a CmdRelay cell.
@@ -177,12 +213,17 @@ type RelayCell struct {
 // ErrRelayTooLong reports an oversized relay payload.
 var ErrRelayTooLong = errors.New("tor: relay data exceeds cell capacity")
 
-// marshalRelay builds the plaintext relay payload with a zero digest; the
-// crypto layer fills the digest before encrypting.
-func marshalRelay(rc *RelayCell) ([PayloadSize]byte, error) {
-	var p [PayloadSize]byte
+// marshalRelayInto builds the plaintext relay payload in p (a
+// PayloadSize-byte slice) with a zero digest; the crypto layer fills
+// the digest before encrypting. p is zeroed first: it is typically a
+// recycled pooled buffer carrying stale bytes, and the padding (which
+// both digest computations cover) must be deterministic.
+func marshalRelayInto(p []byte, rc *RelayCell) error {
 	if len(rc.Data) > MaxRelayData {
-		return p, ErrRelayTooLong
+		return ErrRelayTooLong
+	}
+	for i := range p {
+		p[i] = 0
 	}
 	p[0] = byte(rc.Cmd)
 	// p[1:3] is "recognized", zero in plaintext.
@@ -190,13 +231,22 @@ func marshalRelay(rc *RelayCell) ([PayloadSize]byte, error) {
 	// p[5:9] is the digest, filled by the crypto layer.
 	binary.BigEndian.PutUint16(p[9:11], uint16(len(rc.Data)))
 	copy(p[relayHeaderSize:], rc.Data)
-	return p, nil
+	return nil
 }
 
-// parseRelay parses a decrypted relay payload; ok reports whether the
-// recognized field is zero and the length is sane (digest checking is the
-// crypto layer's job).
-func parseRelay(p *[PayloadSize]byte) (RelayCell, bool) {
+// marshalRelay is marshalRelayInto with a fresh payload array.
+func marshalRelay(rc *RelayCell) ([PayloadSize]byte, error) {
+	var p [PayloadSize]byte
+	err := marshalRelayInto(p[:], rc)
+	return p, err
+}
+
+// parseRelayView parses a decrypted relay payload; ok reports whether
+// the recognized field is zero and the length is sane (digest checking
+// is the crypto layer's job). Data is a view into p — valid only while
+// p's buffer is; callers that retain it past the cell's lifetime (the
+// client's circuit-build control queue) copy it first.
+func parseRelayView(p []byte) (RelayCell, bool) {
 	if p[1] != 0 || p[2] != 0 {
 		return RelayCell{}, false
 	}
@@ -207,7 +257,16 @@ func parseRelay(p *[PayloadSize]byte) (RelayCell, bool) {
 	rc := RelayCell{
 		Cmd:      RelayCommand(p[0]),
 		StreamID: binary.BigEndian.Uint16(p[3:5]),
-		Data:     append([]byte(nil), p[relayHeaderSize:relayHeaderSize+int(n)]...),
+		Data:     p[relayHeaderSize : relayHeaderSize+int(n)],
 	}
 	return rc, true
+}
+
+// parseRelay is parseRelayView with Data copied out of the payload.
+func parseRelay(p *[PayloadSize]byte) (RelayCell, bool) {
+	rc, ok := parseRelayView(p[:])
+	if ok {
+		rc.Data = append([]byte(nil), rc.Data...)
+	}
+	return rc, ok
 }

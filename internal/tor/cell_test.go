@@ -96,11 +96,11 @@ func TestHandshakeDerivesSharedKeys(t *testing.T) {
 	// Client encrypts forward; relay decrypts forward: same keystream.
 	rc := RelayCell{Cmd: RelayData, StreamID: 7, Data: []byte("onion payload")}
 	p, _ := marshalRelay(&rc)
-	ka.sealForward(&p)
-	ka.encryptForward(&p)
-	kb.decryptForward(&p)
+	ka.sealForward(p[:])
+	ka.encryptForward(p[:])
+	kb.decryptForward(p[:])
 	got, ok := parseRelay(&p)
-	if !ok || !kb.checkForward(&p) {
+	if !ok || !kb.checkForward(p[:]) {
 		t.Fatal("relay should recognize the sealed cell")
 	}
 	if string(got.Data) != "onion payload" {
@@ -117,13 +117,13 @@ func TestDigestCountersDetectReplay(t *testing.T) {
 
 	rc := RelayCell{Cmd: RelayData, StreamID: 1, Data: []byte("cell-1")}
 	p1, _ := marshalRelay(&rc)
-	ka.sealForward(&p1)
+	ka.sealForward(p1[:])
 	replay := p1 // plaintext copy before encryption
-	if !kb.checkForward(&p1) {
+	if !kb.checkForward(p1[:]) {
 		t.Fatal("first cell should verify")
 	}
 	// The same sealed payload replayed must fail: the counter moved on.
-	if kb.checkForward(&replay) {
+	if kb.checkForward(replay[:]) {
 		t.Fatal("replayed cell must not verify")
 	}
 }
@@ -149,19 +149,19 @@ func TestOnionLayering(t *testing.T) {
 	}
 	rc := RelayCell{Cmd: RelayBegin, StreamID: 3, Data: []byte("web:80")}
 	p, _ := marshalRelay(&rc)
-	client[2].sealForward(&p)
+	client[2].sealForward(p[:])
 	for i := 2; i >= 0; i-- {
-		client[i].encryptForward(&p)
+		client[i].encryptForward(p[:])
 	}
 	for i := 0; i < 2; i++ {
-		relays[i].decryptForward(&p)
-		if got, ok := parseRelay(&p); ok && relays[i].checkForward(&p) {
+		relays[i].decryptForward(p[:])
+		if got, ok := parseRelay(&p); ok && relays[i].checkForward(p[:]) {
 			t.Fatalf("hop %d should not recognize cell %+v", i, got)
 		}
 	}
-	relays[2].decryptForward(&p)
+	relays[2].decryptForward(p[:])
 	got, ok := parseRelay(&p)
-	if !ok || !relays[2].checkForward(&p) {
+	if !ok || !relays[2].checkForward(p[:]) {
 		t.Fatal("exit must recognize the cell")
 	}
 	if string(got.Data) != "web:80" || got.Cmd != RelayBegin {

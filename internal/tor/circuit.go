@@ -41,6 +41,11 @@ type circuit struct {
 
 	control *netem.Chan[RelayCell] // EXTENDED / TRUNCATED during build
 
+	// rdStage reassembles backward bytes into cells in cellSink when a
+	// segment boundary does not fall on a cell boundary. Only the sink
+	// (serialized by the event dispatcher) touches it.
+	rdStage []byte
+
 	fcMu       sync.Mutex
 	fcCond     *netem.Cond
 	circPkgWin int // forward-data budget toward the exit
@@ -104,7 +109,15 @@ func (circ *circuit) build() error {
 	circ.hops = append(circ.hops, hop)
 	circ.mu.Unlock()
 
-	c.clock.Go(circ.readLoop)
+	if oc, ok := circ.conn.(*netem.Conn); ok {
+		// Vanilla-tor first hop: demultiplex backward cells inline at
+		// their arrival instants instead of in a reader goroutine. PT
+		// transports wrap the conn in a stream transform, so they keep
+		// the goroutine read loop.
+		oc.SetReadSink(circ.cellSink)
+	} else {
+		c.clock.Go(circ.readLoop)
+	}
 
 	for _, next := range []*Descriptor{circ.path.Middle, circ.path.Exit} {
 		if next == nil {
@@ -158,13 +171,16 @@ func (circ *circuit) extend(next *Descriptor) error {
 // sendRelay seals a relay cell for hop index h and onion-encrypts it
 // outward before writing.
 func (circ *circuit) sendRelay(h int, rc RelayCell) error {
-	payload, err := marshalRelay(&rc)
-	if err != nil {
+	buf, base := getCellBuf()
+	p := wirePayload(buf)
+	if err := marshalRelayInto(p, &rc); err != nil {
+		putCellBuf(base)
 		return err
 	}
 	circ.mu.Lock()
 	if circ.closed {
 		circ.mu.Unlock()
+		putCellBuf(base)
 		return ErrCircuitClosed
 	}
 	hops := circ.hops[:h+1]
@@ -172,32 +188,43 @@ func (circ *circuit) sendRelay(h int, rc RelayCell) error {
 
 	circ.sendMu.Lock()
 	defer circ.sendMu.Unlock()
-	hops[h].sealForward(&payload)
+	hops[h].sealForward(p)
 	for i := h; i >= 0; i-- {
-		hops[i].encryptForward(&payload)
+		hops[i].encryptForward(p)
 	}
-	cell := &Cell{CircID: circ.id, Cmd: CmdRelay, Payload: payload}
-	if err := WriteCell(circ.conn, cell); err != nil {
+	setWireHeader(buf, circ.id, CmdRelay)
+	var err error
+	if oc, ok := circ.conn.(*netem.Conn); ok {
+		// Zero-copy: the conn takes buffer ownership and recycles it.
+		err = oc.WriteOwned(buf, base, &cellBufPool)
+	} else {
+		_, err = circ.conn.Write(buf)
+		putCellBuf(base)
+	}
+	if err != nil {
 		circ.close(err)
 		return ErrCircuitClosed
 	}
 	return nil
 }
 
-// readLoop demultiplexes backward cells.
+// readLoop demultiplexes backward cells. One persistent wire buffer is
+// reused for every cell: deliver's handlers either consume rc.Data
+// synchronously (Stream.push copies) or copy it before retaining it
+// (the build control queue).
 func (circ *circuit) readLoop() {
-	var cell Cell
+	buf := make([]byte, CellSize)
 	for {
-		if err := ReadCell(circ.conn, &cell); err != nil {
+		if err := readWire(circ.conn, buf); err != nil {
 			circ.close(err)
 			return
 		}
-		switch cell.Cmd {
+		switch Command(buf[4]) {
 		case CmdRelay:
-			if cell.CircID != circ.id {
+			if wireCircID(buf) != circ.id {
 				continue
 			}
-			hop, rc, ok := circ.peel(&cell.Payload)
+			hop, rc, ok := circ.peel(wirePayload(buf))
 			if !ok {
 				circ.close(fmt.Errorf("tor: unrecognized backward cell"))
 				return
@@ -210,14 +237,70 @@ func (circ *circuit) readLoop() {
 	}
 }
 
-// peel removes onion layers until a hop recognizes the cell.
-func (circ *circuit) peel(p *[PayloadSize]byte) (int, RelayCell, bool) {
+// cellSink is the inline form of readLoop, installed as the conn's read
+// sink when the first hop is a bare netem.Conn. It runs on the clock's
+// event dispatcher and must never park: every handler on this path is
+// park-free (Stream.push appends, the control and connected queues use
+// TrySend, close only broadcasts), and SENDME origination — which can
+// park on sendMu or conn backpressure — goes through sendRelayAsync.
+func (circ *circuit) cellSink(data []byte, base *[]byte, pool *sync.Pool, err error) {
+	if err != nil {
+		circ.close(err)
+		return
+	}
+	if len(circ.rdStage) == 0 && len(data) == CellSize {
+		circ.clientCell(data)
+		if base != nil && pool != nil {
+			pool.Put(base)
+		}
+		return
+	}
+	// Partial or coalesced frames: stage bytes and re-slice into cells.
+	circ.rdStage = append(circ.rdStage, data...)
+	if base != nil && pool != nil {
+		pool.Put(base)
+	}
+	for len(circ.rdStage) >= CellSize {
+		circ.clientCell(circ.rdStage[:CellSize])
+		circ.rdStage = circ.rdStage[CellSize:]
+	}
+	if len(circ.rdStage) == 0 {
+		circ.rdStage = nil
+	}
+}
+
+// clientCell handles one backward wire cell in place; the caller keeps
+// buffer ownership (deliver's handlers consume or copy Data
+// synchronously, as in readLoop).
+func (circ *circuit) clientCell(buf []byte) {
+	switch Command(buf[4]) {
+	case CmdRelay:
+		if wireCircID(buf) != circ.id {
+			return
+		}
+		hop, rc, ok := circ.peel(wirePayload(buf))
+		if !ok {
+			circ.close(fmt.Errorf("tor: unrecognized backward cell"))
+			return
+		}
+		circ.deliver(hop, rc)
+	case CmdDestroy:
+		circ.close(ErrCircuitClosed)
+	}
+}
+
+// peel removes onion layers until a hop recognizes the cell. The
+// returned RelayCell's Data is a view into p.
+func (circ *circuit) peel(p []byte) (int, RelayCell, bool) {
+	// Snapshot the slice header; hops is append-only under mu, and a
+	// concurrent append builds a fresh array rather than mutating this
+	// one.
 	circ.mu.Lock()
-	hops := append([]*hopCrypto(nil), circ.hops...)
+	hops := circ.hops
 	circ.mu.Unlock()
 	for i, hop := range hops {
 		hop.decryptBackward(p)
-		if rc, ok := parseRelay(p); ok && hop.checkBackward(p) {
+		if rc, ok := parseRelayView(p); ok && hop.checkBackward(p) {
 			return i, rc, true
 		}
 	}
@@ -228,6 +311,9 @@ func (circ *circuit) peel(p *[PayloadSize]byte) (int, RelayCell, bool) {
 func (circ *circuit) deliver(hop int, rc RelayCell) {
 	switch rc.Cmd {
 	case RelayExtended, RelayTruncated:
+		// The control queue outlives this cell's wire buffer; detach the
+		// Data view before handing it over.
+		rc.Data = append([]byte(nil), rc.Data...)
 		circ.control.TrySend(rc)
 	case RelayConnected:
 		if s := circ.stream(rc.StreamID); s != nil {
@@ -284,11 +370,19 @@ func (circ *circuit) deliverData(rc RelayCell) {
 	}
 	circ.fcMu.Unlock()
 	if sendCirc {
-		circ.sendRelay(exit, RelayCell{Cmd: RelaySendme})
+		circ.sendRelayAsync(exit, RelayCell{Cmd: RelaySendme})
 	}
 	if sendStream {
-		circ.sendRelay(exit, RelayCell{Cmd: RelaySendme, StreamID: rc.StreamID})
+		circ.sendRelayAsync(exit, RelayCell{Cmd: RelaySendme, StreamID: rc.StreamID})
 	}
+}
+
+// sendRelayAsync originates rc from a dedicated goroutine. Handlers
+// that may run inline on the event dispatcher use it because sendRelay
+// can park (sendMu, conn backpressure); it is used in both read modes
+// so cell ordering does not depend on which mode is active.
+func (circ *circuit) sendRelayAsync(h int, rc RelayCell) {
+	circ.client.clock.Go(func() { circ.sendRelay(h, rc) })
 }
 
 func (circ *circuit) lastHop() int {
@@ -414,12 +508,23 @@ type Stream struct {
 
 	connected *netem.Chan[error]
 
-	mu           sync.Mutex
-	cond         *netem.Cond
+	mu   sync.Mutex
+	cond *netem.Cond
+	// buf[bufHead:] is the unread inbound data. The head index (rather
+	// than re-slicing buf itself) keeps the slice anchored at its
+	// allocation, so once the reader fully drains it the capacity is
+	// reused — without it, push re-grows the buffer for every chunk of
+	// a bulk download.
 	buf          []byte
+	bufHead      int
 	remoteClosed bool
 	localClosed  bool
 	rdl          time.Time
+	// rdWant, while a ReadFull caller is parked, is the total byte
+	// count it needs; push skips the wake-up until the buffer reaches
+	// it, so a bulk reader parks once per chunk instead of once per
+	// arriving cell. Zero means any data wakes the reader (plain Read).
+	rdWant int
 
 	// guarded by circ.fcMu
 	pkgWin int
@@ -451,7 +556,28 @@ func (s *Stream) push(data []byte) {
 		return
 	}
 	s.buf = append(s.buf, data...)
-	s.cond.Broadcast()
+	if len(s.buf)-s.bufHead >= s.rdWant {
+		s.cond.Broadcast()
+	}
+}
+
+// consume moves up to len(p) buffered bytes into p, recycling the
+// buffer's capacity once fully drained. Callers hold s.mu.
+func (s *Stream) consume(p []byte) int {
+	n := copy(p, s.buf[s.bufHead:])
+	s.bufHead += n
+	if s.bufHead == len(s.buf) {
+		s.buf = s.buf[:0]
+		s.bufHead = 0
+	} else if s.bufHead >= 32<<10 {
+		// A big threshold read usually leaves a sub-cell remainder;
+		// move it to the front so the buffer never grows past one
+		// chunk plus a few cells.
+		m := copy(s.buf, s.buf[s.bufHead:])
+		s.buf = s.buf[:m]
+		s.bufHead = 0
+	}
+	return n
 }
 
 // remoteClose marks end-of-stream from the exit.
@@ -476,10 +602,8 @@ func (s *Stream) Read(p []byte) (int, error) {
 		if s.localClosed {
 			return 0, ErrCircuitClosed
 		}
-		if len(s.buf) > 0 {
-			n := copy(p, s.buf)
-			s.buf = s.buf[n:]
-			return n, nil
+		if len(s.buf) > s.bufHead {
+			return s.consume(p), nil
 		}
 		if s.remoteClosed {
 			return 0, io.EOF
@@ -487,6 +611,39 @@ func (s *Stream) Read(p []byte) (int, error) {
 		if s.circ.client.clock.Expired(s.rdl) {
 			return 0, errStreamTimeout
 		}
+		s.cond.WaitDeadline(s.rdl)
+	}
+}
+
+// ReadFull fills p completely before returning; n < len(p) only with a
+// non-nil error (io.EOF on early end-of-stream, after draining what
+// arrived). Unlike Read, the caller parks until len(p) bytes have
+// accumulated — the wake-up happens at the arrival instant of the byte
+// that completes the request, exactly when an eager Read loop would
+// have consumed that byte, so end-to-end timing is unchanged while the
+// per-cell wake-ups in between disappear. Bulk downloads (the fetch
+// body copy) use it; header parsing and latency-sensitive reads keep
+// the eager Read.
+func (s *Stream) ReadFull(p []byte) (int, error) {
+	s.mu.Lock()
+	defer func() {
+		s.rdWant = 0
+		s.mu.Unlock()
+	}()
+	for {
+		if s.localClosed {
+			return 0, ErrCircuitClosed
+		}
+		if len(s.buf)-s.bufHead >= len(p) {
+			return s.consume(p), nil
+		}
+		if s.remoteClosed {
+			return s.consume(p), io.EOF
+		}
+		if s.circ.client.clock.Expired(s.rdl) {
+			return s.consume(p), errStreamTimeout
+		}
+		s.rdWant = len(p)
 		s.cond.WaitDeadline(s.rdl)
 	}
 }

@@ -97,7 +97,6 @@ func StartRelay(cfg RelayConfig) (*Relay, error) {
 		}
 	}
 	r.sched = newCellScheduler(r.clock, cfg.Host.Network().Acct(), cfg.Sched, cfg.Bandwidth)
-	r.clock.Go(r.sched.run)
 	r.clock.Go(func() { r.acceptLoop(ln) })
 	return r, nil
 }
@@ -188,7 +187,6 @@ func (r *Relay) Restart() error {
 	r.sched = sched
 	r.crashed = false
 	r.mu.Unlock()
-	r.clock.Go(sched.run)
 	r.clock.Go(func() { r.acceptLoop(ln) })
 	if !r.cfg.Unpublished && r.cfg.Directory != nil {
 		if err := r.cfg.Directory.Publish(r.desc); err != nil {
@@ -270,6 +268,12 @@ type link struct {
 	// write can park on conn backpressure while other circuits contend.
 	wmu *netem.Mutex
 
+	// flusher is the slow-path scheduler writer queue, created lazily
+	// (under the scheduler's mu) for links whose conn lacks the
+	// non-parking zero-copy write path — PT stream tunnels fed through
+	// ServeConn. See link.flushCell.
+	flusher *netem.Chan[queuedCell]
+
 	mu    sync.Mutex
 	circs map[uint32]*relayCirc
 }
@@ -277,7 +281,48 @@ type link struct {
 // writeCell writes one control cell (CREATED, DESTROY) directly to the
 // link. Relay cells go through the scheduler queues instead.
 func (l *link) writeCell(c *Cell) error {
-	return l.writeWire(c.Encode(make([]byte, 0, CellSize)))
+	buf, base := getCellBuf()
+	err := l.writeWire(c.Encode(buf[:0]))
+	putCellBuf(base)
+	return err
+}
+
+// flushCell writes one scheduled cell without parking; the scheduler's
+// mu is held. Fast links (netem conns) take the zero-copy owned write
+// inline — cell framing stays atomic because every cell is a single
+// segment serialized on the conn's own writer lock. Other conns get a
+// lazily-spawned flusher goroutine that is allowed to park on real
+// backpressure, fed through an unbounded scheduler-aware queue (bounded
+// in practice by the circuits' flow-control windows). false means the
+// link cannot accept the cell this pass (retry next interval); true
+// means the cell was consumed — written, handed off, or dropped
+// against a dead link, whose serve loop is already tearing its
+// circuits down (the retired blocking scheduler ignored those write
+// errors the same way).
+func (l *link) flushCell(s *cellScheduler, cell queuedCell) bool {
+	if fc, isFast := l.conn.(*netem.Conn); isFast {
+		ok, _ := fc.TryWriteOwned(cell.buf, cell.base, &cellBufPool)
+		return ok
+	}
+	if l.flusher == nil {
+		f := netem.NewChan[queuedCell](s.clock, 0)
+		l.flusher = f
+		s.flushers = append(s.flushers, f)
+		s.clock.Go(func() {
+			for {
+				c, ok := f.Recv()
+				if !ok {
+					return
+				}
+				l.writeWire(c.buf)
+				putCellBuf(c.base)
+			}
+		})
+	}
+	if !l.flusher.TrySend(cell) {
+		putCellBuf(cell.base)
+	}
+	return true
 }
 
 // writeWire writes wire-ready bytes under the link write lock.
@@ -311,31 +356,43 @@ func (l *link) removeCircuit(id uint32) {
 	l.mu.Unlock()
 }
 
-// serve is the upstream read loop.
+// serve is the upstream read loop. It reads into a pooled wire buffer
+// that is reused across cells except when a relay cell is forwarded
+// downstream zero-copy, in which case ownership moves with the cell and
+// the loop fetches a fresh buffer.
 func (l *link) serve() {
 	defer l.teardown()
-	var cell Cell
+	buf, base := getCellBuf()
+	defer func() { putCellBuf(base) }()
 	for {
-		if err := ReadCell(l.conn, &cell); err != nil {
+		if err := readWire(l.conn, buf); err != nil {
 			return
 		}
-		switch cell.Cmd {
+		switch Command(buf[4]) {
 		case CmdPadding:
 			// ignored
 		case CmdCreate:
+			var cell Cell
+			if err := cell.Decode(buf); err != nil {
+				return
+			}
 			if err := l.handleCreate(&cell); err != nil {
 				return
 			}
 		case CmdRelay:
-			circ := l.circuit(cell.CircID)
+			circ := l.circuit(wireCircID(buf))
 			if circ == nil {
 				continue
 			}
-			if err := circ.handleRelay(&cell); err != nil {
+			consumed, err := circ.handleRelayWire(buf, base)
+			if consumed {
+				buf, base = getCellBuf()
+			}
+			if err != nil {
 				circ.destroy(true, false)
 			}
 		case CmdDestroy:
-			if circ := l.circuit(cell.CircID); circ != nil {
+			if circ := l.circuit(wireCircID(buf)); circ != nil {
 				circ.destroy(false, true)
 			}
 		}
@@ -357,6 +414,17 @@ func (l *link) teardown() {
 		c.destroy(false, true)
 	}
 	l.conn.Close()
+	// Retire the slow-path flusher with the link: every queue feeding it
+	// was just retired, so closing here lets the goroutine drain and
+	// exit instead of living until scheduler stop. Close is idempotent —
+	// stop() may close it again via s.flushers.
+	s := l.sched
+	s.mu.Lock()
+	f := l.flusher
+	s.mu.Unlock()
+	if f != nil {
+		f.Close()
+	}
 }
 
 func (l *link) handleCreate(cell *Cell) error {
@@ -415,6 +483,10 @@ type relayCirc struct {
 	bwdMu   *netem.Mutex
 	streams map[uint16]*exitStream
 	closed  bool
+	// bwdStage reassembles downstream bytes into cells in backwardSink
+	// when a segment boundary does not fall on a cell boundary. Only the
+	// sink (serialized by the event dispatcher) touches it.
+	bwdStage []byte
 
 	// Backward (towards client) flow control.
 	fcMu       sync.Mutex
@@ -424,24 +496,34 @@ type relayCirc struct {
 	circDlvWin int
 }
 
-// handleRelay processes one forward relay cell.
-func (c *relayCirc) handleRelay(cell *Cell) error {
-	c.crypto.decryptForward(&cell.Payload)
-	if rc, ok := parseRelay(&cell.Payload); ok && c.crypto.checkForward(&cell.Payload) {
-		return c.handleRecognized(rc)
+// handleRelayWire processes one forward relay cell in its wire buffer.
+// consumed reports that buffer ownership moved downstream (the
+// zero-copy forward), in which case the caller must fetch a fresh
+// buffer. Recognized cells are handled in place: rc.Data is a view
+// into buf, safe because the serve goroutine does not reuse buf until
+// handleRecognized returns (handlers that retain data — s.conn.Write,
+// control replies — copy it synchronously).
+func (c *relayCirc) handleRelayWire(buf []byte, base *[]byte) (consumed bool, err error) {
+	p := wirePayload(buf)
+	c.crypto.decryptForward(p)
+	if rc, ok := parseRelayView(p); ok && c.crypto.checkForward(p) {
+		return false, c.handleRecognized(rc)
 	}
 	// Not for us: forward downstream.
 	c.mu.Lock()
 	next, nextID := c.next, c.nextID
 	c.mu.Unlock()
 	if next == nil {
-		return fmt.Errorf("tor: unrecognized relay cell at last hop")
+		return false, fmt.Errorf("tor: unrecognized relay cell at last hop")
 	}
-	out := &Cell{CircID: nextID, Cmd: CmdRelay, Payload: cell.Payload}
+	setWireHeader(buf, nextID, CmdRelay)
 	c.nextWMu.Lock()
-	err := WriteCell(next, out)
-	c.nextWMu.Unlock()
-	return err
+	defer c.nextWMu.Unlock()
+	if oc, ok := next.(*netem.Conn); ok {
+		return true, oc.WriteOwned(buf, base, &cellBufPool)
+	}
+	_, werr := next.Write(buf)
+	return false, werr
 }
 
 func (c *relayCirc) handleRecognized(rc RelayCell) error {
@@ -496,33 +578,113 @@ func (c *relayCirc) handleExtend(rc RelayCell) error {
 	c.next = conn
 	c.nextID = nextID
 	c.mu.Unlock()
-	c.link.relay.clock.Go(func() { c.pumpBackward(conn) })
+	if oc, ok := conn.(*netem.Conn); ok {
+		// Inline backward path: downstream cells are encrypted and
+		// queued at their arrival instants on the clock's event
+		// dispatcher, with no relay goroutine in the loop.
+		oc.SetReadSink(c.backwardSink)
+	} else {
+		c.link.relay.clock.Go(func() { c.pumpBackward(conn) })
+	}
 
 	return c.sendBackwardControl(RelayExtended, readHandshake(&created.Payload))
+}
+
+// backwardSink is the inline form of pumpBackward, installed as the
+// downstream conn's read sink once the circuit is spliced. It runs on
+// the clock's event dispatcher and must never park: relay cells go
+// through bwdMu (structurally uncontended here — its critical sections
+// never park, and events only run while every sim goroutine is parked)
+// straight into the scheduler queue, and teardown — which does park —
+// is handed to a fresh goroutine.
+func (c *relayCirc) backwardSink(data []byte, base *[]byte, pool *sync.Pool, err error) {
+	if err != nil {
+		c.link.relay.clock.Go(func() { c.destroy(true, false) })
+		return
+	}
+	if len(c.bwdStage) == 0 && len(data) == CellSize {
+		c.backwardCell(data, base, pool)
+		return
+	}
+	// Partial or coalesced frames: stage bytes and re-slice into cells.
+	c.bwdStage = append(c.bwdStage, data...)
+	if base != nil && pool != nil {
+		pool.Put(base)
+	}
+	for len(c.bwdStage) >= CellSize {
+		buf, cb := getCellBuf()
+		copy(buf, c.bwdStage[:CellSize])
+		c.bwdStage = c.bwdStage[CellSize:]
+		c.backwardCell(buf, cb, &cellBufPool)
+	}
+	if len(c.bwdStage) == 0 {
+		c.bwdStage = nil
+	}
+}
+
+// backwardCell processes one downstream wire cell, taking ownership of
+// its buffer.
+func (c *relayCirc) backwardCell(buf []byte, base *[]byte, pool *sync.Pool) {
+	switch Command(buf[4]) {
+	case CmdRelay:
+		c.bwdMu.Lock()
+		c.crypto.encryptBackward(wirePayload(buf))
+		setWireHeader(buf, c.id, CmdRelay)
+		var err error
+		if pool == &cellBufPool {
+			// The buffer came out of the cell pool (a scheduler flush
+			// upstream): hand it to our queue as-is.
+			err = c.link.sched.enqueueWire(c.q, buf, base)
+		} else {
+			nb, nbase := getCellBuf()
+			copy(nb, buf)
+			if base != nil && pool != nil {
+				pool.Put(base)
+			}
+			err = c.link.sched.enqueueWire(c.q, nb, nbase)
+		}
+		c.bwdMu.Unlock()
+		if err != nil {
+			c.link.relay.clock.Go(func() { c.destroy(false, true) })
+		}
+	case CmdDestroy:
+		if base != nil && pool != nil {
+			pool.Put(base)
+		}
+		c.link.relay.clock.Go(func() { c.destroy(true, false) })
+	default:
+		if base != nil && pool != nil {
+			pool.Put(base)
+		}
+	}
 }
 
 // pumpBackward relays downstream→upstream cells, adding our onion
 // layer. Cells are encrypted under bwdMu (fixing the CTR-stream order)
 // and handed to the scheduler queue, which preserves per-circuit FIFO.
 func (c *relayCirc) pumpBackward(conn net.Conn) {
-	var cell Cell
+	buf, base := getCellBuf()
 	for {
-		if err := ReadCell(conn, &cell); err != nil {
+		if err := readWire(conn, buf); err != nil {
+			putCellBuf(base)
 			c.destroy(true, false)
 			return
 		}
-		switch cell.Cmd {
+		switch Command(buf[4]) {
 		case CmdRelay:
 			c.bwdMu.Lock()
-			c.crypto.encryptBackward(&cell.Payload)
-			out := &Cell{CircID: c.id, Cmd: CmdRelay, Payload: cell.Payload}
-			err := c.link.sched.enqueue(c.q, out)
+			c.crypto.encryptBackward(wirePayload(buf))
+			setWireHeader(buf, c.id, CmdRelay)
+			err := c.link.sched.enqueueWire(c.q, buf, base)
 			c.bwdMu.Unlock()
 			if err != nil {
 				c.destroy(false, true)
 				return
 			}
+			// The queue owns the old buffer now.
+			buf, base = getCellBuf()
 		case CmdDestroy:
+			putCellBuf(base)
 			c.destroy(true, false)
 			return
 		}
@@ -535,8 +697,10 @@ func (c *relayCirc) sendBackwardControl(cmd RelayCommand, data []byte) error {
 }
 
 func (c *relayCirc) sendBackward(rc RelayCell) error {
-	payload, err := marshalRelay(&rc)
-	if err != nil {
+	buf, base := getCellBuf()
+	p := wirePayload(buf)
+	if err := marshalRelayInto(p, &rc); err != nil {
+		putCellBuf(base)
 		return err
 	}
 	// Seal, encrypt and enqueue atomically so digest counters and the
@@ -545,10 +709,10 @@ func (c *relayCirc) sendBackward(rc RelayCell) error {
 	// order matches crypto order.
 	c.bwdMu.Lock()
 	defer c.bwdMu.Unlock()
-	c.crypto.sealBackward(&payload)
-	c.crypto.encryptBackward(&payload)
-	cell := &Cell{CircID: c.id, Cmd: CmdRelay, Payload: payload}
-	return c.link.sched.enqueue(c.q, cell)
+	c.crypto.sealBackward(p)
+	c.crypto.encryptBackward(p)
+	setWireHeader(buf, c.id, CmdRelay)
+	return c.link.sched.enqueueWire(c.q, buf, base)
 }
 
 // handleBegin opens the exit connection for a new stream.

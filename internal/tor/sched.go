@@ -9,8 +9,8 @@ import (
 )
 
 // This file implements the relay cell scheduler: per-circuit output
-// queues for the backward (toward-client) direction, flushed by one
-// scheduler goroutine per relay. Before it, relays forwarded cells
+// queues for the backward (toward-client) direction, flushed by
+// budgeted passes. Before it, relays forwarded cells
 // first-come-first-served with a blocking write per cell, so relay-side
 // contention — what a client measures through a guard depends on who
 // else is queued there — was invisible in every report.
@@ -29,10 +29,20 @@ import (
 //     instead of issuing blind blocking writes, so one backlogged link
 //     cannot head-of-line-block every other circuit of the relay.
 //
-// Everything runs on the virtual clock: the scheduler goroutine parks
-// on a scheduler-aware cond while idle, and polls on Interval only
-// while cells are pending — same-seed runs stay byte-identical and
-// -jobs N equivalence survives, because no wall-clock state exists.
+// Flush passes are inline clock events (netem.Clock.EventAt), not a
+// goroutine: enqueue arms at most one timer per relay per Interval
+// (the armed flag batches arms across circuits), and the pass runs on
+// whichever goroutine is dispatching when the timer fires, writing
+// cells with the non-parking zero-copy Conn.TryWriteOwned. A link that
+// cannot take the write this pass is skipped — KIST semantics — and
+// retried next Interval. Links without the fast path (PT stream
+// tunnels fed through ServeConn) get a lazily-spawned per-link flusher
+// goroutine that is allowed to park on backpressure; handoff to it is
+// an unbounded scheduler-aware queue, bounded in practice by the
+// circuits' flow-control windows. Everything runs on the virtual
+// clock, events and timers share one deterministically-ordered heap,
+// and no wall-clock state exists — so same-seed runs stay
+// byte-identical and -jobs N equivalence survives.
 
 // SchedPolicy selects how the scheduler picks the next circuit.
 type SchedPolicy int
@@ -130,7 +140,11 @@ type circQueue struct {
 	link *link
 	id   uint32
 
+	// cells is a head-indexed ring slice: flushes advance head and the
+	// backing array is reused once drained, instead of re-slicing
+	// capacity away cell by cell.
 	cells  []queuedCell
+	head   int
 	closed bool
 
 	// EWMA cell count, decayed with the configured half-life.
@@ -160,14 +174,13 @@ func (q *circQueue) decayTo(now, halflife time.Duration) {
 }
 
 // cellScheduler is one relay's scheduler: the registry of circuit
-// queues and the goroutine flushing them.
+// queues and the flush events draining them.
 type cellScheduler struct {
 	clock *netem.Clock
 	acct  *netem.Acct
 	cfg   SchedConfig
 
-	mu   sync.Mutex
-	cond *netem.Cond
+	mu sync.Mutex
 	// active holds queues that may still receive cells, in creation
 	// order (deterministic pick iteration); done retains closed queues
 	// for the stats accessors.
@@ -177,11 +190,23 @@ type cellScheduler struct {
 	enqSeq  uint64
 	passes  int64
 	closed  bool
+
+	// armed marks a pending flush event; enqueues while armed add no
+	// timer, so the relay arms at most one event per Interval however
+	// many circuits feed it. nextPass is the earliest instant the next
+	// pass may run (pass pacing models the relayed-bandwidth rate).
+	armed    bool
+	nextPass time.Duration
+	flushFn  func() // cached s.flushEvent bound method
+
+	// flushers lists the slow-link writer queues in creation order
+	// (deterministic stop); see link.flusher.
+	flushers []*netem.Chan[queuedCell]
 }
 
 func newCellScheduler(clock *netem.Clock, acct *netem.Acct, cfg SchedConfig, bandwidth float64) *cellScheduler {
 	s := &cellScheduler{clock: clock, acct: acct, cfg: cfg.withDefaults(bandwidth)}
-	s.cond = netem.NewCond(clock, &s.mu)
+	s.flushFn = s.flushEvent // one closure, not one per arm
 	return s
 }
 
@@ -199,12 +224,11 @@ func (s *cellScheduler) newQueue(l *link, id uint32) *circQueue {
 	return q
 }
 
-// enqueue accepts one wire-ready cell into q. It never parks — relay
+// enqueueWire accepts one wire-ready cell into q, taking ownership of
+// its pooled buffer (recycled on error). It never parks — relay
 // backpressure is the flow-control windows' job — and fails only once
 // the circuit (or the relay) has been torn down.
-func (s *cellScheduler) enqueue(q *circQueue, c *Cell) error {
-	base := cellBufPool.Get().(*[]byte)
-	buf := c.Encode((*base)[:0])
+func (s *cellScheduler) enqueueWire(q *circQueue, buf []byte, base *[]byte) error {
 	s.mu.Lock()
 	if s.closed || q.closed {
 		s.mu.Unlock()
@@ -216,9 +240,47 @@ func (s *cellScheduler) enqueue(q *circQueue, c *Cell) error {
 	q.queued++
 	s.pending++
 	s.acct.AddCellsQueued(1)
+	s.armLocked()
 	s.mu.Unlock()
-	s.cond.Broadcast()
 	return nil
+}
+
+// armLocked schedules the next flush event unless one is already armed:
+// immediately when the pass cadence allows, at the pace boundary
+// otherwise. A cell arriving after a quiet stretch is still flushed at
+// once (its pass runs immediately; only the next one is paced) — the
+// same cadence contract the retired scheduler goroutine kept.
+func (s *cellScheduler) armLocked() {
+	if s.armed || s.closed || s.pending == 0 {
+		return
+	}
+	s.armed = true
+	at := s.clock.Now()
+	if at < s.nextPass {
+		at = s.nextPass
+	}
+	s.clock.EventAt(at, s.flushFn)
+}
+
+// flushEvent is the inline flush pass, run on the dispatching goroutine
+// when the armed timer fires. It must never park: writes go through
+// link.flushCell.
+func (s *cellScheduler) flushEvent() {
+	s.mu.Lock()
+	s.armed = false
+	if s.closed || s.pending == 0 {
+		// The pending cells were dropped by a teardown between arm and
+		// fire; nothing to do.
+		s.mu.Unlock()
+		return
+	}
+	now := s.clock.Now()
+	s.flushPassLocked()
+	s.nextPass = now + s.cfg.Interval
+	// Cells the pass could not flush (budget exhausted, unwritable
+	// links) re-arm for the next interval.
+	s.armLocked()
+	s.mu.Unlock()
 }
 
 // retireQueueLocked marks q closed, drops its pending cells (counted,
@@ -226,11 +288,12 @@ func (s *cellScheduler) enqueue(q *circQueue, c *Cell) error {
 // lock must be held; the caller removes q from (or resets) s.active.
 func (s *cellScheduler) retireQueueLocked(q *circQueue) {
 	q.closed = true
-	for i := range q.cells {
+	for i := q.head; i < len(q.cells); i++ {
 		putCellBuf(q.cells[i].base)
 	}
-	n := len(q.cells)
+	n := len(q.cells) - q.head
 	q.cells = nil
+	q.head = 0
 	q.dropped += int64(n)
 	s.pending -= n
 	s.acct.AddCellsDropped(int64(n))
@@ -254,7 +317,9 @@ func (s *cellScheduler) closeQueue(q *circQueue) {
 	s.mu.Unlock()
 }
 
-// stop shuts the scheduler down, retiring every queue.
+// stop shuts the scheduler down, retiring every queue and closing the
+// slow-link flushers (each drains its handed-off cells, then exits —
+// the leak invariants sample goroutine counts at quiescent points).
 func (s *cellScheduler) stop() {
 	s.mu.Lock()
 	if s.closed {
@@ -266,59 +331,46 @@ func (s *cellScheduler) stop() {
 		s.retireQueueLocked(q)
 	}
 	s.active = nil
+	fls := s.flushers
+	s.flushers = nil
 	s.mu.Unlock()
-	s.cond.Broadcast()
-}
-
-// run is the scheduler goroutine: park while idle, and otherwise run
-// budgeted passes at most once per Interval — the cadence is enforced
-// even when a queue drains between passes, because the per-pass budget
-// only models the relay's relayed-bandwidth rate if passes cannot run
-// back-to-back. A cell arriving after a quiet stretch is still flushed
-// immediately (its pass runs at once; only the next one is paced).
-func (s *cellScheduler) run() {
-	s.mu.Lock()
-	lastPass := -s.cfg.Interval
-	for {
-		for !s.closed && s.pending == 0 {
-			s.cond.Wait()
-		}
-		if s.closed {
-			s.mu.Unlock()
-			return
-		}
-		if next := lastPass + s.cfg.Interval; s.clock.Now() < next {
-			// The interval since the previous pass has not elapsed:
-			// sleep it off (this poll also stands in for KIST's
-			// kernel writability notifications) and re-check — the
-			// pending cells may have been dropped by a teardown.
-			s.mu.Unlock()
-			s.clock.SleepUntil(next)
-			s.mu.Lock()
-			continue
-		}
-		lastPass = s.clock.Now()
-		s.flushPassLocked()
+	for _, f := range fls {
+		f.Close()
 	}
 }
 
 // flushPassLocked flushes up to CellsPerPass cells, re-picking the
-// best circuit before every cell. Called and returns with s.mu held;
-// the lock is released around each link write (which can still park on
-// a race for the probed budget, and must not hold s.mu if it does).
+// best circuit before every cell. Called and returns with s.mu held.
+// No write in the pass parks: fast links take the inline zero-copy
+// path, slow links a flusher handoff, and a link whose window is full
+// is excluded for the rest of the pass (it re-arms for the next one).
 func (s *cellScheduler) flushPassLocked() {
 	s.passes++
 	// linkBudget caches each link's writable budget for this pass; it
 	// is only ever indexed by a picked queue's link, never iterated, so
 	// map order cannot leak into scheduling.
 	linkBudget := make(map[*link]int)
-	for budget := s.cfg.CellsPerPass; budget > 0; budget-- {
+	for budget := s.cfg.CellsPerPass; budget > 0; {
 		q := s.pickLocked(linkBudget)
 		if q == nil {
 			return
 		}
-		cell := q.cells[0]
-		q.cells = q.cells[1:]
+		l := q.link
+		cell := q.cells[q.head]
+		if !l.flushCell(s, cell) {
+			// The link cannot take this write right now (writer lock
+			// contended or receive window full between the budget probe
+			// and the write): spend its pass budget so other links'
+			// circuits still flush, and retry next interval.
+			linkBudget[l] = 0
+			continue
+		}
+		q.cells[q.head] = queuedCell{}
+		q.head++
+		if q.head == len(q.cells) {
+			q.cells = q.cells[:0]
+			q.head = 0
+		}
 		s.pending--
 		now := s.clock.Now()
 		q.decayTo(now, s.cfg.Halflife)
@@ -329,15 +381,9 @@ func (s *cellScheduler) flushPassLocked() {
 		if len(q.delays) < schedDelaySampleCap {
 			q.delays = append(q.delays, delay)
 		}
-		linkBudget[q.link] -= len(cell.buf)
-		l := q.link
-		s.mu.Unlock()
-		// A write error means the link died; its serve loop is already
-		// tearing the circuits down, which will drop their queues.
-		l.writeWire(cell.buf)
-		putCellBuf(cell.base)
-		s.mu.Lock()
+		linkBudget[l] -= len(cell.buf)
 		s.acct.AddCellsFlushed(1)
+		budget--
 	}
 }
 
@@ -347,7 +393,7 @@ func (s *cellScheduler) pickLocked(linkBudget map[*link]int) *circQueue {
 	var best *circQueue
 	now := s.clock.Now()
 	for _, q := range s.active {
-		if len(q.cells) == 0 {
+		if q.head == len(q.cells) {
 			continue
 		}
 		lb, ok := linkBudget[q.link]
@@ -363,14 +409,14 @@ func (s *cellScheduler) pickLocked(linkBudget map[*link]int) *circQueue {
 			continue
 		}
 		if s.cfg.Policy == SchedFIFO {
-			if q.cells[0].seq < best.cells[0].seq {
+			if q.cells[q.head].seq < best.cells[best.head].seq {
 				best = q
 			}
 			continue
 		}
 		q.decayTo(now, s.cfg.Halflife)
 		best.decayTo(now, s.cfg.Halflife)
-		if q.ewma < best.ewma || (q.ewma == best.ewma && q.cells[0].seq < best.cells[0].seq) {
+		if q.ewma < best.ewma || (q.ewma == best.ewma && q.cells[q.head].seq < best.cells[best.head].seq) {
 			best = q
 		}
 	}
@@ -462,7 +508,7 @@ func (r *Relay) CircuitScheds() []CircuitSched {
 					Queued:   q.queued,
 					Flushed:  q.flushed,
 					Dropped:  q.dropped,
-					Pending:  int64(len(q.cells)),
+					Pending:  int64(len(q.cells) - q.head),
 					DelaySum: q.delaySum,
 					Delays:   append([]time.Duration(nil), q.delays...),
 				})

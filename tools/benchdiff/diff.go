@@ -93,6 +93,65 @@ func (c compareResult) render() string {
 	return b.String()
 }
 
+// allocRow is one benchmark's allocs/op comparison.
+type allocRow struct {
+	name      string
+	base, res float64
+	ratio     float64
+	regressed bool
+}
+
+// allocResult is the allocs/op gate's verdict.
+type allocResult struct {
+	rows   []allocRow
+	failed bool
+}
+
+// compareAllocs runs the allocs/op regression gate. Unlike the ns/op
+// gate there is no machine-speed normalization: allocation counts do
+// not depend on runner hardware, so each benchmark's result/baseline
+// ratio gates directly against 1+threshold. The threshold absorbs the
+// residual nondeterminism that does exist (GC emptying a sync.Pool
+// forces reallocation, so allocs/op jitters a few percent run to run).
+// parName is gated too — its allocation count, unlike its ns/op, does
+// not scale with core count. Benchmarks missing from either side are
+// skipped.
+func compareAllocs(base, res map[string]float64, threshold float64) (allocResult, error) {
+	var out allocResult
+	for name, b := range base {
+		r, ok := res[name]
+		if !ok || b <= 0 {
+			continue
+		}
+		out.rows = append(out.rows, allocRow{name: name, base: b, res: r, ratio: r / b})
+	}
+	if len(out.rows) == 0 {
+		return out, fmt.Errorf("no benchmarks in common")
+	}
+	sort.Slice(out.rows, func(i, j int) bool { return out.rows[i].name < out.rows[j].name })
+	for i := range out.rows {
+		if out.rows[i].ratio > 1+threshold {
+			out.rows[i].regressed = true
+			out.failed = true
+		}
+	}
+	return out, nil
+}
+
+// render formats the allocs gate's table.
+func (c allocResult) render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %14s %14s %8s\n", "benchmark", "base allocs/op", "res allocs/op", "ratio")
+	for _, r := range c.rows {
+		verdict := "ok"
+		if r.regressed {
+			verdict = "REGRESSION"
+		}
+		fmt.Fprintf(&b, "%-40s %14.0f %14.0f %8.3f %s\n", r.name, r.base, r.res, r.ratio, verdict)
+	}
+	return b.String()
+}
+
 // sweepSpeedup evaluates the same-run shard-executor assertion:
 // seqName's ns/op over parName's must reach minSpeedup. With minSpeedup
 // <= 0 the check is disabled (ok, no failure). Both benchmarks missing

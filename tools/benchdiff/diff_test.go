@@ -131,6 +131,49 @@ func TestDroppedAndNewBenchmarksSkipped(t *testing.T) {
 	}
 }
 
+// TestAllocsUniformGrowthGates pins the difference from the ns/op gate:
+// allocs/op has no hardware factor, so a uniform 2x allocation growth is
+// a regression everywhere, not a slower machine.
+func TestAllocsUniformGrowthGates(t *testing.T) {
+	base := map[string]float64{"BenchmarkA": 1000, "BenchmarkB": 500}
+	res := map[string]float64{"BenchmarkA": 2000, "BenchmarkB": 1000}
+	c, err := compareAllocs(base, res, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.failed {
+		t.Fatal("uniform 2x allocs growth passed the gate")
+	}
+	for _, r := range c.rows {
+		if !r.regressed {
+			t.Errorf("%s not flagged", r.name)
+		}
+	}
+}
+
+// TestAllocsWithinHeadroom: pool-refill jitter under the threshold
+// passes, and SweepParallel is gated like any other benchmark (its
+// allocation count does not scale with cores).
+func TestAllocsWithinHeadroom(t *testing.T) {
+	base := map[string]float64{"BenchmarkA": 1000, parName: 1000}
+	res := map[string]float64{"BenchmarkA": 1200, parName: 1300}
+	c, err := compareAllocs(base, res, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.failed {
+		t.Fatalf("within-threshold allocs jitter flagged: %+v", c.rows)
+	}
+	res[parName] = 2000
+	c, err = compareAllocs(base, res, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.failed {
+		t.Fatal("SweepParallel allocs regression slipped past the gate")
+	}
+}
+
 // TestSweepSpeedupAssertion covers the same-run shard-executor gate.
 func TestSweepSpeedupAssertion(t *testing.T) {
 	res := map[string]float64{seqName: 1000, parName: 250}

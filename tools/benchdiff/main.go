@@ -28,6 +28,15 @@
 // at least N times the ns/op of BenchmarkSweepParallel (all cores) in
 // the results file. CI passes this only on runners with enough cores.
 //
+// With -allocs-baseline/-allocs-results (from a -benchmem run) it also
+// gates allocs/op. That gate is a direct per-benchmark ratio against
+// 1 + -allocs-threshold, with no minimum-ratio normalization:
+// allocation counts do not depend on runner speed, so the hardware
+// factor that motivates the ns/op floor does not exist, and a uniform
+// allocs blow-up — invisible to a relative scheme — is exactly what the
+// gate must catch. The default 35% headroom absorbs sync.Pool refills
+// after GC, the one nondeterministic allocs source in the suite.
+//
 // With -append-history FILE it also appends the results as one
 // {"label": ..., "ns": {...}} line to the JSONL perf-history file —
 // the format internal/obs.ParseBenchHistory reads to render the HTML
@@ -56,6 +65,10 @@ func main() {
 		minSpeedup   = flag.Float64("min-sweep-speedup", 0, "if > 0, require ScenarioSweep/SweepParallel >= this in results")
 		historyPath  = flag.String("append-history", "", "append the results as one {label, ns} line to this JSONL perf-history file")
 		historyLabel = flag.String("history-label", "", "label for the appended history entry (e.g. the commit SHA)")
+
+		allocsBaseline  = flag.String("allocs-baseline", "", "committed allocs/op baseline {name: allocs/op}; empty disables the allocs gate")
+		allocsResults   = flag.String("allocs-results", "", "fresh allocs/op results (from -benchmem), required with -allocs-baseline")
+		allocsThreshold = flag.Float64("allocs-threshold", 0.35, "max allowed allocs/op growth per benchmark (direct ratio, no hardware normalization)")
 	)
 	flag.Parse()
 
@@ -84,6 +97,26 @@ func main() {
 	}
 	fmt.Print(cmp.render())
 	failed := cmp.failed
+
+	if *allocsBaseline != "" {
+		if *allocsResults == "" {
+			fatalf("-allocs-baseline set without -allocs-results")
+		}
+		abase, err := readNsOp(*allocsBaseline)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ares, err := readNsOp(*allocsResults)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		acmp, err := compareAllocs(abase, ares, *allocsThreshold)
+		if err != nil {
+			fatalf("%s vs %s: %v", *allocsBaseline, *allocsResults, err)
+		}
+		fmt.Print("\n" + acmp.render())
+		failed = failed || acmp.failed
+	}
 
 	speedup, present, speedupFailed := sweepSpeedup(res, *minSpeedup)
 	if present {
