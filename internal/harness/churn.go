@@ -135,6 +135,7 @@ func (r *Runner) churnTask(li int) *sim.Future[any] {
 			Methods: make(map[string]*churnMethod, len(results)),
 			Faults:  w.FaultStats(),
 		}
+		//simlint:allow maprange -- map-to-map copy under the same keys; per-key writes commute, and the churn report orders methods explicitly.
 		for name, v := range results {
 			cell.Methods[name] = v.(*churnMethod)
 		}

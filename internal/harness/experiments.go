@@ -113,6 +113,7 @@ func (r *Runner) accessSamples(w *testbed.World, methods []string) (map[string][
 		return nil, err
 	}
 	out := make(map[string][]float64, len(results))
+	//simlint:allow maprange -- map-to-map copy under the same keys; per-key writes commute, and readers order methods explicitly before rendering.
 	for name, v := range results {
 		if xs, ok := v.([]float64); ok {
 			out[name] = xs
@@ -388,6 +389,7 @@ func (r *Runner) runFig6() error {
 		return err
 	}
 	series := map[string][]float64{}
+	//simlint:allow maprange -- map-to-map copy under the same keys; per-key writes commute, and writeECDF orders the series by cfg.Transports.
 	for name, d := range data {
 		series[name] = d.TTFBs
 	}
@@ -510,6 +512,7 @@ func (r *Runner) fig9Task() *sim.Future[any] {
 				return nil, err
 			}
 			out := make(map[string][]float64, len(results))
+			//simlint:allow maprange -- map-to-map copy under the same keys; per-key writes commute, and readers order methods explicitly before rendering.
 			for name, v := range results {
 				if diffs, ok := v.([]float64); ok {
 					out[name] = diffs
@@ -753,6 +756,7 @@ func (r *Runner) runTable7() error {
 		return err
 	}
 	acc := map[string]*accessData{}
+	//simlint:allow maprange -- per-key transform into a fresh map; keys are independent, so writes commute, and allPairs orders methods explicitly.
 	for name, fd := range data {
 		d := &accessData{Name: name}
 		for _, a := range fd.Attempts {
@@ -787,6 +791,7 @@ func (r *Runner) runTable10() error {
 	if d, ok := data["tor"]; ok {
 		catData["Tor"] = d
 	}
+	//simlint:allow maprange -- per-category aggregation: each key writes only its own catData entry (members iterate a slice), so writes commute; allPairsNamed fixes the output order.
 	for cat, members := range cats {
 		agg := &accessData{Name: cat.String()}
 		var n int

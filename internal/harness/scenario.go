@@ -100,6 +100,7 @@ func (r *Runner) scenarioAccess(w *testbed.World) (map[string]*scenarioResult, c
 		return nil, censor.Stats{}, err
 	}
 	out := make(map[string]*scenarioResult, len(results))
+	//simlint:allow maprange -- map-to-map copy under the same keys; per-key writes commute, and every reader orders methods explicitly before rendering.
 	for method, v := range results {
 		if v != nil {
 			out[method] = v.(*scenarioResult)

@@ -25,5 +25,9 @@
 // (TryWriteOwned, Chan.TrySend, Clock.Go, further EventAt arms).
 // See DESIGN.md ("Inline event execution") for the architecture and the
 // rules simulation code must follow (spawn via Clock.Go, block only in
-// scheduler-aware primitives).
+// scheduler-aware primitives). These rules are machine-checked:
+// tools/simlint runs in CI as a go vet tool and rejects wall-clock
+// reads, raw go statements, unseeded randomness and parking calls
+// reachable from event callbacks — see DESIGN.md ("Static enforcement
+// of the determinism contract").
 package netem

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"fmt"
 	"math/rand"
 	"net"
 	"sync"
@@ -307,8 +308,32 @@ func (c *Conn) LocalAddr() net.Addr { return c.local }
 // RemoteAddr implements net.Conn.
 func (c *Conn) RemoteAddr() net.Addr { return c.remote }
 
+// deadlineHorizon bounds how far from Epoch an encoded deadline may
+// sit and still be accepted as Epoch-relative. Virtual time starts at
+// zero and campaigns run for simulated hours, so any legitimate
+// deadline decodes to an offset of at most days; a wall-clock instant
+// (time.Now().Add(d)) decodes to roughly minus seventy-four years and
+// is rejected rather than silently stored as "already expired".
+const deadlineHorizon = 10 * 365 * 24 * time.Hour
+
+// checkDeadline is the runtime backstop behind the simlint wallclock
+// rule: deadlines reaching a simulated conn must be Epoch-relative
+// (Clock.VirtualDeadline), never wall-clock instants.
+func checkDeadline(t time.Time) error {
+	if t.IsZero() {
+		return nil
+	}
+	if d := t.Sub(Epoch); d < -deadlineHorizon || d > deadlineHorizon {
+		return fmt.Errorf("netem: deadline %v is %v from netem.Epoch and cannot be a virtual instant; encode deadlines with Clock.VirtualDeadline, not time.Now().Add", t.UTC(), d)
+	}
+	return nil
+}
+
 // SetDeadline implements net.Conn.
 func (c *Conn) SetDeadline(t time.Time) error {
+	if err := checkDeadline(t); err != nil {
+		return err
+	}
 	c.dlMu.Lock()
 	c.rdl, c.wdl = t, t
 	c.dlMu.Unlock()
@@ -317,6 +342,9 @@ func (c *Conn) SetDeadline(t time.Time) error {
 
 // SetReadDeadline implements net.Conn.
 func (c *Conn) SetReadDeadline(t time.Time) error {
+	if err := checkDeadline(t); err != nil {
+		return err
+	}
 	c.dlMu.Lock()
 	c.rdl = t
 	c.dlMu.Unlock()
@@ -325,6 +353,9 @@ func (c *Conn) SetReadDeadline(t time.Time) error {
 
 // SetWriteDeadline implements net.Conn.
 func (c *Conn) SetWriteDeadline(t time.Time) error {
+	if err := checkDeadline(t); err != nil {
+		return err
+	}
 	c.dlMu.Lock()
 	c.wdl = t
 	c.dlMu.Unlock()

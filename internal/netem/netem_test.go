@@ -204,6 +204,49 @@ func TestDeadline(t *testing.T) {
 	}
 }
 
+// TestDeadlineRejectsWallClock pins the runtime backstop behind the
+// simlint wallclock rule: a wall-clock instant handed to a deadline
+// setter (the time.Now().Add(d) idiom) decodes ~74 years before Epoch
+// and must be rejected with a diagnosable error instead of being
+// stored as an already-expired virtual deadline. A fixed 2026 date
+// stands in for time.Now(), which is itself banned in this package.
+func TestDeadlineRejectsWallClock(t *testing.T) {
+	n, a, b := testNetwork(t)
+	l, _ := b.Listen(80)
+	defer l.Close()
+	n.Go(func() {
+		if c, _ := l.Accept(); c != nil {
+			c.Read(make([]byte, 1))
+			c.Close()
+		}
+	})
+	c, err := a.Dial("b:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	wall := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC).Add(5 * time.Second)
+	for _, set := range []func(time.Time) error{c.SetDeadline, c.SetReadDeadline, c.SetWriteDeadline} {
+		if err := set(wall); err == nil {
+			t.Fatal("wall-clock deadline accepted; want rejection naming netem.Epoch")
+		}
+	}
+	// The rejected deadline must not have been stored: a legitimate
+	// virtual deadline set afterwards still governs the read.
+	if err := c.SetReadDeadline(n.VirtualDeadline(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Read(make([]byte, 1))
+	ne, ok := err.(interface{ Timeout() bool })
+	if !ok || !ne.Timeout() {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+	// Zero time (clear the deadline) stays legal.
+	if err := c.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCloseSemantics(t *testing.T) {
 	n, a, b := testNetwork(t)
 	l, _ := b.Listen(80)

@@ -278,6 +278,7 @@ func (c *Clock) Go(fn func()) {
 	c.registered++
 	c.readyLocked(w)
 	c.mu.Unlock()
+	//simlint:allow rawgo -- Clock.Go is the one place sim goroutines are minted; the waiter is registered under the scheduler lock above, before the OS goroutine starts.
 	go func() {
 		<-w.ch
 		w.release()

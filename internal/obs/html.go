@@ -189,6 +189,7 @@ td.num { text-align: right; font-variant-numeric: tabular-nums; }
 		fmt.Fprintf(bw, "<p>ns/op per benchmark across the committed history (%d runs, oldest first; lower is better).</p>\n", len(rep.History))
 		names := make(map[string]bool)
 		for _, e := range rep.History {
+			//simlint:allow maprange -- set insertion only; the union is order-independent and the keys are sorted below before rendering.
 			for n := range e.NS {
 				names[n] = true
 			}

@@ -39,6 +39,7 @@ func TestJobsBoundIsRespected(t *testing.T) {
 					break
 				}
 			}
+			//simlint:allow wallclock -- the sim executor runs on the wall clock by design; this sleep widens the concurrency-peak measurement window.
 			time.Sleep(time.Millisecond)
 			running.Add(-1)
 			return struct{}{}, nil

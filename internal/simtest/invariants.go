@@ -129,6 +129,7 @@ func checkCellConservation(o *Outcome) error {
 		return err
 	}
 	anyOK := false
+	//simlint:allow maprange -- existence scan: ORs one boolean over the values, which commutes.
 	for _, m := range o.Methods {
 		if m.OK > 0 {
 			anyOK = true
@@ -186,13 +187,18 @@ func checkCensorAccounting(o *Outcome) error {
 func checkRecoveryAccounting(o *Outcome) error {
 	for _, name := range o.orderedMethods() {
 		r := o.Recovery[name]
-		for label, n := range map[string]int64{
-			"rebuilds": r.Rebuilds, "build-timeouts": r.BuildTimeouts,
-			"stream-failures": r.StreamFailures, "re-attaches": r.ReAttaches,
-			"abandoned": r.Abandoned, "guard-probations": r.GuardProbations,
+		// A slice, not a map: with several negative counters the error
+		// must name the same one on every run.
+		for _, c := range []struct {
+			label string
+			n     int64
+		}{
+			{"rebuilds", r.Rebuilds}, {"build-timeouts", r.BuildTimeouts},
+			{"stream-failures", r.StreamFailures}, {"re-attaches", r.ReAttaches},
+			{"abandoned", r.Abandoned}, {"guard-probations", r.GuardProbations},
 		} {
-			if n < 0 {
-				return fmt.Errorf("%s: negative recovery counter %s=%d", name, label, n)
+			if c.n < 0 {
+				return fmt.Errorf("%s: negative recovery counter %s=%d", name, c.label, c.n)
 			}
 		}
 		if r.ReAttaches > r.StreamFailures {

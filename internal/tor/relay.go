@@ -593,10 +593,11 @@ func (c *relayCirc) handleExtend(rc RelayCell) error {
 // backwardSink is the inline form of pumpBackward, installed as the
 // downstream conn's read sink once the circuit is spliced. It runs on
 // the clock's event dispatcher and must never park: relay cells go
-// through bwdMu (structurally uncontended here — its critical sections
-// never park, and events only run while every sim goroutine is parked)
-// straight into the scheduler queue, and teardown — which does park —
-// is handed to a fresh goroutine.
+// through bwdMu — acquired with TryLock, since bwdMu is structurally
+// uncontended here (its critical sections never park, and events only
+// run while every sim goroutine is parked) and a parking Lock has no
+// place in an event callback — straight into the scheduler queue, and
+// teardown — which does park — is handed to a fresh goroutine.
 func (c *relayCirc) backwardSink(data []byte, base *[]byte, pool *sync.Pool, err error) {
 	if err != nil {
 		c.link.relay.clock.Go(func() { c.destroy(true, false) })
@@ -627,7 +628,14 @@ func (c *relayCirc) backwardSink(data []byte, base *[]byte, pool *sync.Pool, err
 func (c *relayCirc) backwardCell(buf []byte, base *[]byte, pool *sync.Pool) {
 	switch Command(buf[4]) {
 	case CmdRelay:
-		c.bwdMu.Lock()
+		// Event context: parking is forbidden, so acquire bwdMu without
+		// it. Contention is structurally impossible — every bwdMu
+		// critical section is park-free, and events dispatch only while
+		// all sim goroutines are parked — so a failed TryLock means that
+		// invariant broke, not that we should wait.
+		if !c.bwdMu.TryLock() {
+			panic("tor: bwdMu contended in event context; backward event path must stay park-free")
+		}
 		c.crypto.encryptBackward(wirePayload(buf))
 		setWireHeader(buf, c.id, CmdRelay)
 		var err error

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"ptperf/tools/simlint/internal/analyzers"
+	"ptperf/tools/simlint/internal/lint/linttest"
+)
+
+// TestSandbox runs the full analyzer suite over the testdata sandbox
+// module: each package holds the positive, negative and
+// allow-directive cases for one analyzer, with expectations inline as
+// `// want` comments.
+func TestSandbox(t *testing.T) {
+	linttest.Run(t, "testdata/sandbox", analyzers.All(), "./...")
+}

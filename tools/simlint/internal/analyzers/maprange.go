@@ -1,0 +1,240 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ptperf/tools/simlint/internal/lint"
+)
+
+// MapRange flags `range` over a map in report/render/digest packages
+// (harness, obs, simtest, plot, stats, benchdiff): Go randomizes map
+// iteration order per run, so any map range whose effects can reach
+// report bytes forks same-seed outputs. Two shapes are recognized as
+// safe automatically:
+//
+//   - key collection followed by a sort: the loop body only appends to
+//     slice variables (optionally behind an if), and every such slice
+//     is later passed to a sort.* / slices.Sort* call in the same
+//     function. Order is established by the sort, not the map.
+//
+// Everything else — including commutative aggregations (integer sums,
+// map-to-map copies, max tracking) — needs an explicit
+// //simlint:allow maprange -- <why order cannot reach output>
+// directive, so each site's order-independence argument is recorded
+// where the next reader (and the next refactor) can see it. Note that
+// float accumulation is NOT commutative (rounding depends on order) and
+// must be sorted, not annotated.
+//
+// Scope: non-test files only; test helpers assert rather than render.
+var MapRange = &lint.Analyzer{
+	Name: "maprange",
+	Doc: "flag range over a map in report/render/digest packages unless " +
+		"keys are collected and sorted, or the site carries a commutativity justification",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *lint.Pass) error {
+	if !isRenderPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		var funcStack []ast.Node // enclosing FuncDecl/FuncLit bodies
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					funcStack = append(funcStack, n.Body)
+					ast.Inspect(n.Body, walk)
+					funcStack = funcStack[:len(funcStack)-1]
+				}
+				return false
+			case *ast.FuncLit:
+				funcStack = append(funcStack, n.Body)
+				ast.Inspect(n.Body, walk)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, enclosing(funcStack))
+				return true
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+func enclosing(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+func checkMapRange(pass *lint.Pass, rs *ast.RangeStmt, fnBody ast.Node) {
+	if pass.IsTestFile(rs.Pos()) {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if targets, pure := collectOnlyBody(pass.TypesInfo, rs.Body); pure && len(targets) > 0 {
+		if fnBody != nil && allSortedAfter(pass.TypesInfo, fnBody, rs, targets) {
+			return
+		}
+	}
+	pass.Reportf(rs.Pos(),
+		"iteration over map %s has nondeterministic order in render/report code; collect+sort the keys, or annotate //simlint:allow maprange -- <why order cannot reach output>",
+		exprString(rs.X))
+}
+
+// collectOnlyBody reports whether every statement in the loop body is a
+// slice append `x = append(x, ...)` (optionally nested in if/blocks,
+// with continue allowed), returning the appended-to variables.
+func collectOnlyBody(info *types.Info, body *ast.BlockStmt) (targets []*types.Var, pure bool) {
+	pure = true
+	var visit func(s ast.Stmt)
+	visit = func(s ast.Stmt) {
+		if !pure {
+			return
+		}
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				visit(st)
+			}
+		case *ast.IfStmt:
+			visit(s.Body)
+			if s.Else != nil {
+				visit(s.Else)
+			}
+		case *ast.BranchStmt:
+			// continue/break carry no effects.
+		case *ast.AssignStmt:
+			v := appendTarget(info, s)
+			if v == nil {
+				pure = false
+				return
+			}
+			targets = append(targets, v)
+		default:
+			pure = false
+		}
+	}
+	visit(body)
+	return targets, pure
+}
+
+// appendTarget matches `x = append(x, ...)` / `x := append(x, ...)` and
+// returns x's variable, or nil.
+func appendTarget(info *types.Info, s *ast.AssignStmt) *types.Var {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil
+	}
+	if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || arg0.Name != lhs.Name {
+		return nil
+	}
+	v := identVar(info, lhs)
+	if v == nil || v != identVar(info, arg0) {
+		return nil
+	}
+	return v
+}
+
+func identVar(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// allSortedAfter reports whether every target variable is passed to a
+// sort.*/slices.Sort* call positioned after the range statement within
+// the enclosing function body.
+func allSortedAfter(info *types.Info, fnBody ast.Node, rs *ast.RangeStmt, targets []*types.Var) bool {
+	sorted := make(map[*types.Var]bool)
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if !sortFuncs[fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if v := identVar(info, id); v != nil {
+					sorted[v] = true
+				}
+			}
+		}
+		return true
+	})
+	for _, v := range targets {
+		if !sorted[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortFuncs are the sort/slices package functions accepted as
+// establishing a deterministic order.
+var sortFuncs = map[string]bool{
+	// package sort
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	// package slices
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	}
+	return "expression"
+}

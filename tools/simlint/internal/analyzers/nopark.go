@@ -1,0 +1,395 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"ptperf/tools/simlint/internal/lint"
+)
+
+// NoParkInEvent enforces the PR-9 inline-event contract documented in
+// netem's Clock.EventAt: an event callback executes on the dispatching
+// goroutine with the scheduler's active count at zero, so any parking
+// wait inside it panics at runtime as an unregistered-goroutine wait —
+// and only on the seed/schedule that happens to contend. This analyzer
+// finds those paths at compile time.
+//
+// Roots (the event-callback entry points):
+//   - the callback argument of (netem.Clock).EventAt — including
+//     callbacks stored in struct fields first (p.sinkFn, s.flushFn):
+//     every function ever assigned to such a field in the package is
+//     treated as a root;
+//   - the sink argument of (netem.Conn).SetReadSink and the package-
+//     internal (netem.pipe).setSink — which covers the tor cell sinks
+//     (cellSink, clientCell, backwardSink) and the relay scheduler's
+//     flush pass, both armed through these APIs.
+//
+// From each root the analyzer walks the intra-package static call graph
+// (direct calls to functions and methods declared in the same package,
+// plus immediately-analyzable function literals). Reaching any parking
+// primitive is an error:
+//   - netem scheduler waits: Clock.Sleep/SleepUntil, Cond.Wait/WaitVT/
+//     WaitDeadline, Mutex.Lock, WaitGroup.Wait, Chan.Send/Recv/
+//     RecvTimeout;
+//   - netem conn/pipe operations that park on backpressure or arrival:
+//     Conn.Read/ReadFull/Write/WriteOwned, pipe.pop/popFull/push;
+//   - interface escape hatches that reach the same parking code
+//     dynamically: (net.Conn).Read/Write, (io.Reader).Read,
+//     (io.Writer).Write, and io.ReadFull/ReadAtLeast/Copy/CopyN/
+//     CopyBuffer.
+//
+// The legal surface inside a callback is the non-parking one:
+// Conn.TryWriteOwned, Chan.TrySend, Mutex.TryLock, Clock.Go (the
+// spawned function is a registered goroutine and may park — its body is
+// deliberately NOT traversed), and arming further EventAt events.
+//
+// Known limits (by design, per-package analysis without cross-package
+// facts): calls into other packages' non-primitive functions are not
+// traversed, and calls through arbitrary function values or interfaces
+// other than the registry above are invisible. The runtime panic in
+// Clock.park remains the backstop for those; this analyzer makes the
+// overwhelmingly common direct paths a compile-time error instead.
+var NoParkInEvent = &lint.Analyzer{
+	Name: "noparkinevent",
+	Doc: "functions reachable from Clock.EventAt arms and Conn.SetReadSink sinks " +
+		"must never reach a parking primitive; only the non-parking surface is allowed",
+	Run: runNoParkInEvent,
+}
+
+// parkingMethods lists (package match, receiver type, method) parking
+// primitives. pkg "netem" matches by final import-path segment; "net"
+// and "io" match the standard-library paths exactly.
+type primKey struct{ pkg, recv, name string }
+
+var parkingMethods = map[primKey]string{
+	{"netem", "Clock", "Sleep"}:        "parks until a virtual instant",
+	{"netem", "Clock", "SleepUntil"}:   "parks until a virtual instant",
+	{"netem", "Cond", "Wait"}:          "parks until broadcast",
+	{"netem", "Cond", "WaitVT"}:        "parks until broadcast or deadline",
+	{"netem", "Cond", "WaitDeadline"}:  "parks until broadcast or deadline",
+	{"netem", "Mutex", "Lock"}:         "parks while contended (use TryLock)",
+	{"netem", "WaitGroup", "Wait"}:     "parks until the counter drains",
+	{"netem", "Chan", "Send"}:          "parks while full (use TrySend)",
+	{"netem", "Chan", "Recv"}:          "parks while empty",
+	{"netem", "Chan", "RecvTimeout"}:   "parks while empty",
+	{"netem", "Conn", "Read"}:          "parks until arrival",
+	{"netem", "Conn", "ReadFull"}:      "parks until the record completes",
+	{"netem", "Conn", "Write"}:         "parks on receive-window backpressure (use TryWriteOwned)",
+	{"netem", "Conn", "WriteOwned"}:    "parks on receive-window backpressure (use TryWriteOwned)",
+	{"netem", "pipe", "pop"}:           "parks until arrival",
+	{"netem", "pipe", "popFull"}:       "parks until the record completes",
+	{"netem", "pipe", "push"}:          "parks on receive-window backpressure (use tryPush)",
+	{"net", "Conn", "Read"}:            "dynamic dispatch into a parking Read",
+	{"net", "Conn", "Write"}:           "dynamic dispatch into a parking Write",
+	{"io", "Reader", "Read"}:           "dynamic dispatch into a parking Read",
+	{"io", "Writer", "Write"}:          "dynamic dispatch into a parking Write",
+	{"io", "ReadWriter", "Read"}:       "dynamic dispatch into a parking Read",
+	{"io", "ReadWriter", "Write"}:      "dynamic dispatch into a parking Write",
+	{"io", "ReadCloser", "Read"}:       "dynamic dispatch into a parking Read",
+	{"io", "WriteCloser", "Write"}:     "dynamic dispatch into a parking Write",
+	{"io", "ReadWriteCloser", "Read"}:  "dynamic dispatch into a parking Read",
+	{"io", "ReadWriteCloser", "Write"}: "dynamic dispatch into a parking Write",
+	{"io", "", "ReadFull"}:             "loops over a parking Read",
+	{"io", "", "ReadAtLeast"}:          "loops over a parking Read",
+	{"io", "", "Copy"}:                 "loops over parking Read/Write",
+	{"io", "", "CopyN"}:                "loops over parking Read/Write",
+	{"io", "", "CopyBuffer"}:           "loops over parking Read/Write",
+}
+
+// parkingPrimitive reports whether f is a registered parking primitive,
+// returning a description when it is.
+func parkingPrimitive(f *types.Func) (string, string, bool) {
+	if f == nil || f.Pkg() == nil {
+		return "", "", false
+	}
+	pkgPath := f.Pkg().Path()
+	pkgKey := pkgPath
+	if lastSegment(pkgPath) == "netem" {
+		pkgKey = "netem"
+	}
+	recv := recvTypeName(f)
+	if why, ok := parkingMethods[primKey{pkgKey, recv, f.Name()}]; ok {
+		label := f.Name()
+		if recv != "" {
+			label = "(" + lastSegment(pkgPath) + "." + recv + ")." + f.Name()
+		} else {
+			label = lastSegment(pkgPath) + "." + f.Name()
+		}
+		return label, why, true
+	}
+	return "", "", false
+}
+
+// contextSwitchers are netem Clock/Conn/pipe methods whose function-
+// literal argument runs in a different context than the caller: Go's
+// argument becomes a registered goroutine (may park), EventAt's and the
+// sink setters' arguments are event callbacks (collected as roots
+// separately). The walker does not descend into these literals.
+func contextSwitchArg(f *types.Func) int {
+	switch {
+	case isMethodOf(f, "netem", "Clock", "Go"):
+		return 0
+	case isMethodOf(f, "netem", "Clock", "EventAt"):
+		return 1
+	case isMethodOf(f, "netem", "Conn", "SetReadSink"):
+		return 0
+	case isMethodOf(f, "netem", "pipe", "setSink"):
+		return 0
+	}
+	return -1
+}
+
+// root is one event-callback entry point.
+type root struct {
+	node ast.Node // *ast.FuncLit body-bearing node or *ast.FuncDecl
+	desc string   // human description, e.g. "Clock.EventAt arm at pipe.go:254"
+}
+
+func runNoParkInEvent(pass *lint.Pass) error {
+	a := &noParkAnalysis{
+		pass:     pass,
+		decls:    map[*types.Func]*ast.FuncDecl{},
+		fieldFns: map[*types.Var][]ast.Expr{},
+		visited:  map[ast.Node]bool{},
+		reported: map[token.Pos]bool{},
+	}
+	a.index()
+	roots := a.collectRoots()
+	for _, r := range roots {
+		a.walkContext(r.node, r.desc, nil)
+	}
+	return nil
+}
+
+type noParkAnalysis struct {
+	pass     *lint.Pass
+	decls    map[*types.Func]*ast.FuncDecl
+	fieldFns map[*types.Var][]ast.Expr // func-typed field -> every RHS assigned to it
+	visited  map[ast.Node]bool
+	reported map[token.Pos]bool
+}
+
+// index builds the package's function-declaration table and the
+// field-assignment table used to resolve callbacks stored in struct
+// fields (p.sinkFn = p.sinkEvent).
+func (a *noParkAnalysis) index() {
+	info := a.pass.TypesInfo
+	for _, f := range a.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if obj, ok := info.Defs[n.Name].(*types.Func); ok && n.Body != nil {
+					a.decls[obj] = n
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if v, ok := info.Selections[sel]; ok {
+						if fv, ok := v.Obj().(*types.Var); ok && fv.IsField() && isFuncType(fv.Type()) {
+							a.fieldFns[fv] = append(a.fieldFns[fv], n.Rhs[i])
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if fv, ok := info.Uses[key].(*types.Var); ok && fv.IsField() && isFuncType(fv.Type()) {
+						a.fieldFns[fv] = append(a.fieldFns[fv], kv.Value)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isFuncType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+// collectRoots finds every event-arming call in the package and
+// resolves its callback argument to analyzable function nodes.
+func (a *noParkAnalysis) collectRoots() []root {
+	var roots []root
+	info := a.pass.TypesInfo
+	for _, f := range a.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			idx := -1
+			var kind string
+			switch {
+			case isMethodOf(fn, "netem", "Clock", "EventAt"):
+				idx, kind = 1, "Clock.EventAt arm"
+			case isMethodOf(fn, "netem", "Conn", "SetReadSink"):
+				idx, kind = 0, "Conn.SetReadSink sink"
+			case isMethodOf(fn, "netem", "pipe", "setSink"):
+				idx, kind = 0, "pipe.setSink sink"
+			default:
+				return true
+			}
+			if idx >= len(call.Args) {
+				return true
+			}
+			at := a.pass.Fset.Position(call.Pos())
+			desc := kind + " at " + shortPos(at)
+			for _, node := range a.resolveCallback(call.Args[idx], 0) {
+				roots = append(roots, root{node: node, desc: desc})
+			}
+			return true
+		})
+	}
+	return roots
+}
+
+// resolveCallback maps a callback expression to the function nodes it
+// can denote: a literal, a function/method declared in this package, or
+// — for struct-field callbacks — everything ever assigned to the field.
+func (a *noParkAnalysis) resolveCallback(e ast.Expr, depth int) []ast.Node {
+	if depth > 4 { // defensive bound on field -> field chains
+		return nil
+	}
+	info := a.pass.TypesInfo
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return []ast.Node{e}
+	case *ast.Ident:
+		if f, ok := info.Uses[e].(*types.Func); ok {
+			if d := a.decls[f]; d != nil {
+				return []ast.Node{d}
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			switch obj := sel.Obj().(type) {
+			case *types.Func: // method value: circ.cellSink
+				if d := a.decls[obj]; d != nil {
+					return []ast.Node{d}
+				}
+			case *types.Var: // func-typed field: p.sinkFn
+				if obj.IsField() {
+					var out []ast.Node
+					for _, rhs := range a.fieldFns[obj] {
+						out = append(out, a.resolveCallback(rhs, depth+1)...)
+					}
+					return out
+				}
+			}
+		} else if f, ok := info.Uses[e.Sel].(*types.Func); ok { // pkg.Fn
+			if d := a.decls[f]; d != nil {
+				return []ast.Node{d}
+			}
+		}
+	}
+	return nil
+}
+
+// walkContext traverses one function node in event-callback context,
+// reporting parking-primitive calls and following intra-package calls.
+// chain carries the call path from the root for diagnostics.
+func (a *noParkAnalysis) walkContext(node ast.Node, rootDesc string, chain []string) {
+	if a.visited[node] {
+		return
+	}
+	a.visited[node] = true
+	var body *ast.BlockStmt
+	name := "func literal"
+	switch n := node.(type) {
+	case *ast.FuncDecl:
+		body = n.Body
+		name = n.Name.Name
+		if n.Recv != nil {
+			name = recvName(n) + "." + name
+		}
+	case *ast.FuncLit:
+		body = n.Body
+	}
+	if body == nil {
+		return
+	}
+	chain = append(chain, name)
+	info := a.pass.TypesInfo
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if label, why, isPark := parkingPrimitive(fn); isPark {
+			if !a.reported[call.Pos()] {
+				a.reported[call.Pos()] = true
+				a.pass.Reportf(call.Pos(),
+					"%s %s inside an event callback (%s, via %s); event callbacks must never park — use the non-parking surface (TryWriteOwned, TrySend, TryLock, Clock.Go, EventAt)",
+					label, why, rootDesc, strings.Join(chain, " → "))
+			}
+			return true
+		}
+		// Do not descend into function literals that switch context
+		// (Clock.Go goroutines; EventAt/sink arguments are separate
+		// roots). Other arguments of those calls are still walked.
+		if idx := contextSwitchArg(fn); idx >= 0 {
+			for i, arg := range call.Args {
+				if i == idx {
+					continue
+				}
+				ast.Inspect(arg, walk)
+			}
+			ast.Inspect(call.Fun, walk)
+			return false
+		}
+		if fn != nil {
+			if d := a.decls[fn]; d != nil {
+				a.walkContext(d, rootDesc, chain)
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+func recvName(d *ast.FuncDecl) string {
+	if len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver Chan[T]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func shortPos(p token.Position) string {
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name + ":" + strconv.Itoa(p.Line)
+}

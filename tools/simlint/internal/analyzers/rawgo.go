@@ -1,0 +1,49 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"ptperf/tools/simlint/internal/lint"
+)
+
+// RawGo forbids raw `go` statements in simulation packages: every
+// goroutine participating in a simulation must enter through Clock.Go
+// so that the goroutine registry, the leak invariants
+// (Clock.Registered sampling) and the deterministic start order hold.
+// A goroutine the scheduler cannot see either stalls the virtual clock
+// or lets it advance past work still pending.
+//
+// Scope: non-test files of simulation packages only. Test files are
+// exempt — tests drive the simulator from outside (raw pipes without a
+// clock, concurrent assertion helpers), and the leak invariants already
+// police what runs inside a world. Non-simulation packages (the sim
+// shard executor, obs monitors, cmd/tools) spawn OS goroutines
+// legitimately.
+var RawGo = &lint.Analyzer{
+	Name: "rawgo",
+	Doc: "forbid raw go statements in simulation packages; " +
+		"goroutines must enter through Clock.Go",
+	Run: runRawGo,
+}
+
+func runRawGo(pass *lint.Pass) error {
+	if !isSimPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if pass.IsTestFile(g.Pos()) {
+				return true
+			}
+			pass.Reportf(g.Pos(),
+				"raw go statement in simulation package %s: spawn via Clock.Go so the goroutine is registered with the scheduler",
+				pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

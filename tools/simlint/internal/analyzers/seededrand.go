@@ -1,0 +1,59 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"ptperf/tools/simlint/internal/lint"
+)
+
+// SeededRand forbids the top-level math/rand (and math/rand/v2)
+// functions module-wide: they draw from a process-global, unseeded (or
+// racily shared) source, so two same-seed campaigns — or the two halves
+// of a -jobs equivalence pair — would diverge. Randomness must flow
+// from *rand.Rand instances built on seeded sources (rand.New(
+// rand.NewSource(seed)), sim.DeriveSeed streams). Constructors
+// (rand.New, rand.NewSource, rand.NewZipf, v2's NewPCG/NewChaCha8) are
+// legal; every draw function on the package itself is not.
+var SeededRand = &lint.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid top-level math/rand draws (rand.Intn, rand.Int63, ...); " +
+		"randomness only flows from seeded *rand.Rand instances",
+	Run: runSeededRand,
+}
+
+// seededRandAllowed are the package-level functions of math/rand and
+// math/rand/v2 that construct rather than draw.
+var seededRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes an explicit *Rand
+	"NewPCG":     true, // math/rand/v2 seeded source
+	"NewChaCha8": true, // math/rand/v2 seeded source
+}
+
+func runSeededRand(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand / *rand.Zipf are the seeded surface.
+			if recvTypeName(fn) != "" || seededRandAllowed[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"top-level rand.%s draws from the unseeded global source; use a *rand.Rand from a seeded source (rand.New(rand.NewSource(seed)))",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

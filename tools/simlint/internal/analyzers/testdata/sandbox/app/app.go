@@ -1,0 +1,84 @@
+// Package app exercises the noparkinevent analyzer from outside the
+// netem/tor no-suppress zone: roots are EventAt arms and SetReadSink
+// sinks; reaching a parking primitive is an error; the non-parking
+// surface and Clock.Go bodies are legal; a justified directive is
+// honored here.
+package app
+
+import (
+	"io"
+
+	"sandbox/netem"
+)
+
+type proc struct {
+	clock *netem.Clock
+	conn  *netem.Conn
+	mu    netem.Mutex
+	ch    *netem.Chan[int]
+	fn    func()
+}
+
+// badLiteral arms a literal callback that parks directly.
+func badLiteral(c *netem.Clock, mu *netem.Mutex) {
+	c.EventAt(0, func() {
+		mu.Lock() // want `\(netem\.Mutex\)\.Lock parks while contended.*Clock\.EventAt arm.*\[noparkinevent\]`
+	})
+}
+
+// badTransitive arms a method whose callee's callee parks.
+func badTransitive(p *proc) {
+	p.clock.EventAt(0, p.step)
+}
+
+func (p *proc) step() {
+	p.helper()
+}
+
+func (p *proc) helper() {
+	p.ch.Send(1) // want `\(netem\.Chan\)\.Send parks while full.*via proc\.step → proc\.helper`
+}
+
+// badSink installs a read sink that writes with the parking Write.
+func badSink(p *proc) {
+	p.conn.SetReadSink(func(data []byte, err error) {
+		p.conn.Write(data) // want `\(netem\.Conn\)\.Write parks on receive-window backpressure.*Conn\.SetReadSink sink`
+	})
+}
+
+// badField stores the callback in a func-typed field before arming it;
+// the analyzer resolves the field through its assignments.
+func badField(p *proc) {
+	p.fn = p.onEvent
+	p.clock.EventAt(0, p.fn)
+}
+
+func (p *proc) onEvent() {
+	io.Copy(io.Discard, p.conn) // want `io\.Copy loops over parking Read/Write`
+}
+
+// good stays on the non-parking surface; the Clock.Go body is a
+// registered goroutine and may park.
+func good(p *proc) {
+	p.clock.EventAt(0, func() {
+		if p.mu.TryLock() {
+			p.mu.Unlock()
+		}
+		p.ch.TrySend(1)
+		p.conn.TryWriteOwned(nil, nil)
+		p.clock.EventAt(1, func() {})
+		p.clock.Go(func() {
+			p.mu.Lock()
+			p.mu.Unlock()
+		})
+	})
+}
+
+// allowed: outside netem/tor, a directive with a recorded reason is
+// honored.
+func allowed(p *proc) {
+	p.clock.EventAt(0, func() {
+		//simlint:allow noparkinevent -- sandbox fixture: provably uncontended here
+		p.mu.Lock()
+	})
+}

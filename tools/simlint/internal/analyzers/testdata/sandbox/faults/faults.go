@@ -1,0 +1,26 @@
+// Package faults exercises the rawgo analyzer (this is a simulation
+// package by segment) plus the simulation-package hint of wallclock.
+package faults
+
+import (
+	"time"
+
+	"sandbox/netem"
+)
+
+func bad(c *netem.Clock) {
+	go func() {}()          // want `raw go statement in simulation package sandbox/faults.*\[rawgo\]`
+	time.Sleep(time.Second) // want `wall-clock time\.Sleep breaks the determinism contract; use the netem clock`
+	_ = c
+}
+
+// good spawns through the scheduler.
+func good(c *netem.Clock) {
+	c.Go(func() {})
+}
+
+// allowed records why this goroutine may bypass the scheduler.
+func allowed() {
+	//simlint:allow rawgo -- drains an OS-level resource; never touches virtual time
+	go func() {}()
+}

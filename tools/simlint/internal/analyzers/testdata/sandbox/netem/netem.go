@@ -1,0 +1,56 @@
+// Package netem is a stub of ptperf/internal/netem for the simlint
+// analysistest sandbox: the analyzers match netem primitives by the
+// final import-path segment, receiver type and method name, so these
+// empty shells stand in for the real scheduler.
+package netem
+
+import "time"
+
+type Clock struct{}
+
+func (c *Clock) Now() time.Duration                  { return 0 }
+func (c *Clock) Sleep(d time.Duration)               {}
+func (c *Clock) SleepUntil(vt time.Duration)         {}
+func (c *Clock) Go(fn func())                        {}
+func (c *Clock) EventAt(vt time.Duration, fn func()) {}
+
+type Mutex struct{}
+
+func (m *Mutex) Lock()         {}
+func (m *Mutex) TryLock() bool { return true }
+func (m *Mutex) Unlock()       {}
+
+type Cond struct{}
+
+func (cd *Cond) Wait()                         {}
+func (cd *Cond) WaitVT(vt time.Duration) bool  { return false }
+func (cd *Cond) WaitDeadline(t time.Time) bool { return false }
+func (cd *Cond) Broadcast()                    {}
+
+type WaitGroup struct{}
+
+func (w *WaitGroup) Add(n int) {}
+func (w *WaitGroup) Done()     {}
+func (w *WaitGroup) Wait()     {}
+
+type Chan[T any] struct{}
+
+func (ch *Chan[T]) Send(v T)         {}
+func (ch *Chan[T]) TrySend(v T) bool { return true }
+func (ch *Chan[T]) Recv() (T, bool) {
+	var zero T
+	return zero, false
+}
+func (ch *Chan[T]) RecvTimeout(d time.Duration) (T, bool, bool) {
+	var zero T
+	return zero, false, false
+}
+
+type Conn struct{}
+
+func (c *Conn) Read(p []byte) (int, error)                         { return 0, nil }
+func (c *Conn) ReadFull(p []byte) (int, error)                     { return 0, nil }
+func (c *Conn) Write(p []byte) (int, error)                        { return 0, nil }
+func (c *Conn) WriteOwned(p []byte, base *[]byte) (int, error)     { return 0, nil }
+func (c *Conn) TryWriteOwned(p []byte, base *[]byte) (bool, error) { return true, nil }
+func (c *Conn) SetReadSink(sink func(data []byte, err error))      {}

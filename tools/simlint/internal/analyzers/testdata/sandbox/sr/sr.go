@@ -1,0 +1,23 @@
+// Package sr exercises the seededrand analyzer: top-level math/rand
+// draws are banned; seeded *rand.Rand instances are the legal surface.
+package sr
+
+import "math/rand"
+
+func bad() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `top-level rand\.Shuffle draws from the unseeded global source.*\[seededrand\]`
+	_ = rand.Float64()                 // want `top-level rand\.Float64`
+	return rand.Intn(10)               // want `top-level rand\.Intn`
+}
+
+// good draws only from an explicitly seeded generator.
+func good(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.1, 1, 100)
+	return r.Intn(10) + int(z.Uint64())
+}
+
+// allowed records why a global draw is tolerable here.
+func allowed() int {
+	return rand.Int() //simlint:allow seededrand -- non-reproducible jitter for an operator-facing demo
+}

@@ -1,0 +1,55 @@
+// Package stats exercises the maprange analyzer (this is a render
+// package by segment): map iteration must be sorted or justified.
+package stats
+
+import "sort"
+
+func bad(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `iteration over map m has nondeterministic order.*\[maprange\]`
+		total += v
+	}
+	return total
+}
+
+// collectNoSort collects keys but never sorts them, so map order leaks.
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `iteration over map m has nondeterministic order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// goodSorted is the collect-keys-then-sort shape the analyzer accepts
+// without annotation.
+func goodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		if k == "" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// allowed records why this unsorted iteration cannot reach output.
+func allowed(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	//simlint:allow maprange -- map-to-map copy; per-key writes commute
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// nonMap ranges are out of scope.
+func nonMap(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,20 @@
+// Package tor exercises the no-suppress policy: inside a package whose
+// path has a netem or tor segment, a noparkinevent directive is itself
+// an error and suppresses nothing.
+package tor
+
+import "sandbox/netem"
+
+type sched struct {
+	clock *netem.Clock
+	mu    netem.Mutex
+}
+
+func (s *sched) arm() {
+	s.clock.EventAt(0, s.flush)
+}
+
+func (s *sched) flush() {
+	//simlint:allow noparkinevent -- not honored here // want `noparkinevent may not be suppressed in package sandbox/tor.*\[directive\]`
+	s.mu.Lock() // want `\(netem\.Mutex\)\.Lock parks while contended`
+}

@@ -1,0 +1,26 @@
+// Package wc exercises the wallclock analyzer outside simulation
+// packages: the rule is module-wide, with the hint pointing at the
+// directive escape hatch.
+package wc
+
+import "time"
+
+func bad() time.Time {
+	time.Sleep(time.Second)        // want `wall-clock time\.Sleep breaks the determinism contract.*\[wallclock\]`
+	<-time.After(time.Second)      // want `wall-clock time\.After`
+	_ = time.Since(time.Time{})    // want `wall-clock time\.Since`
+	_ = time.NewTimer(time.Second) // want `wall-clock time\.NewTimer`
+	return time.Now()              // want `wall-clock time\.Now`
+}
+
+// good uses only inert time constructors and arithmetic.
+func good() time.Duration {
+	t := time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC)
+	return t.Sub(time.Unix(0, 0)) + 3*time.Second
+}
+
+// allowed records why this wall-clock read is legitimate.
+func allowed() time.Time {
+	//simlint:allow wallclock -- operator-facing timing output, not simulation state
+	return time.Now()
+}

@@ -1,0 +1,162 @@
+// Package linttest is simlint's analysistest: it loads a testdata
+// module with the same loader the standalone tool uses, runs the
+// analyzer suite, and checks the diagnostics against expectations
+// written in the sources as
+//
+//	code() // want "regexp" "another regexp"
+//
+// following the golang.org/x/tools analysistest convention (which this
+// offline build cannot import). Each double-quoted Go string is a
+// regular expression matched against `<message> [<analyzer>]` of a
+// diagnostic reported on that line; expectations and diagnostics must
+// match one-to-one per line.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ptperf/tools/simlint/internal/lint"
+	"ptperf/tools/simlint/internal/load"
+)
+
+// expectation is one `// want` pattern at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads patterns from the module rooted at dir, runs analyzers over
+// every matched package, and reports any mismatch between diagnostics
+// and `// want` expectations as test errors.
+func Run(t *testing.T, dir string, analyzers []*lint.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := load.Load(dir, false, patterns...)
+	if err != nil {
+		t.Fatalf("loading %s %v: %v", dir, patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages matched %v under %s", patterns, dir)
+	}
+	for _, p := range pkgs {
+		diags, err := lint.RunPackage(p.Fset, p.Files, p.Pkg, p.Info, analyzers)
+		if err != nil {
+			t.Fatalf("%s: %v", p.ImportPath, err)
+		}
+		wants := collectWants(t, p.Fset, p.Files)
+		check(t, p.ImportPath, diags, wants)
+	}
+}
+
+// collectWants parses every `// want` comment in files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The marker may open the comment or trail other text —
+				// the latter lets a //simlint:allow directive that is
+				// itself expected to be rejected carry an expectation.
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				text := c.Text[idx+len("// want "):]
+				pos := fset.Position(c.Pos())
+				pats, err := splitPatterns(text)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, pat := range pats {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns decodes a sequence of double-quoted or backquoted Go
+// strings (backquotes keep regexp backslashes readable).
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		if s[0] == '`' {
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated pattern in %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = s[end+2:]
+			continue
+		}
+		if s[0] != '"' {
+			return nil, fmt.Errorf("want patterns must be quoted strings, got %q", s)
+		}
+		// Find the closing quote, honoring escapes.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %q: %v", s[:end+1], err)
+		}
+		out = append(out, pat)
+		s = s[end+1:]
+	}
+	return out, nil
+}
+
+// check matches diagnostics against expectations one-to-one per line.
+func check(t *testing.T, importPath string, diags []lint.Diagnostic, wants []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		target := fmt.Sprintf("%s [%s]", d.Message, d.Analyzer)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(target) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic:\n  %s", importPath, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", importPath, w.file, w.line, w.re)
+		}
+	}
+}

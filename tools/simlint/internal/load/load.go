@@ -1,0 +1,161 @@
+// Package load type-checks Go packages for simlint without
+// golang.org/x/tools: it shells out to `go list -export -deps -json`
+// for the build graph and compiled export data, parses the target
+// packages' sources, and type-checks them with the standard library's
+// gc importer reading those export files. This is the loader behind
+// simlint's standalone mode and the analysistest harness; the
+// `go vet -vettool` path gets the same inputs from vet.cfg instead.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listPkg mirrors the subset of `go list -json` output the loader
+// needs.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	ForTest    string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load lists, parses and type-checks the packages matching patterns in
+// dir. With tests true, test variants (in-package and external _test
+// packages) are included, mirroring what `go vet` analyzes.
+func Load(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-export", "-deps", "-json"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// GOWORK=off: testdata sandbox modules must resolve against their
+	// own go.mod, not any workspace of the enclosing checkout.
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard || p.Name == "" || len(p.GoFiles) == 0 {
+			continue
+		}
+		// Skip synthesized test-main packages (pkg.test): their only
+		// source is a generated _testmain.go in the build cache.
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		targets = append(targets, p)
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := typecheck(t, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func typecheck(p *listPkg, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tpkg, info, err := Check(p.ImportPath, fset, files, lookup)
+	if err != nil {
+		return nil, fmt.Errorf("%s: typecheck: %v", p.ImportPath, err)
+	}
+	return &Package{ImportPath: p.ImportPath, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}
+
+// Check type-checks one package's parsed files against export data
+// served by lookup. It is shared with the vet.cfg driver, whose lookup
+// reads the PackageFile/ImportMap tables from the vet config instead of
+// go list output.
+func Check(importPath string, fset *token.FileSet, files []*ast.File, lookup func(string) (io.ReadCloser, error)) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

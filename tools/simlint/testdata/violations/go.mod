@@ -1,0 +1,3 @@
+module scratch
+
+go 1.22

@@ -1,0 +1,17 @@
+// Package netem is the minimal scheduler stub the seeded violations
+// need: the analyzers match primitives by path segment, receiver and
+// method name.
+package netem
+
+import "time"
+
+type Clock struct{}
+
+func (c *Clock) EventAt(vt time.Duration, fn func()) {}
+func (c *Clock) Go(fn func())                        {}
+
+type Mutex struct{}
+
+func (m *Mutex) Lock()         {}
+func (m *Mutex) TryLock() bool { return true }
+func (m *Mutex) Unlock()       {}

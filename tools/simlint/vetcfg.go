@@ -1,0 +1,143 @@
+package main
+
+// The go vet driver protocol, reimplemented from the standard library
+// (golang.org/x/tools/go/analysis/unitchecker is not vendorable in this
+// offline build). `go vet -vettool=simlint` invokes the tool three
+// ways:
+//
+//  1. `simlint -V=full` — print "<name> version <id>" so the go command
+//     can key its action cache on the tool's identity (handled in
+//     main.go; the id hashes the executable, so rebuilding simlint
+//     invalidates cached vet results).
+//  2. `simlint -flags` — print a JSON description of the tool's flags
+//     (simlint has none; handled in main.go).
+//  3. `simlint <dir>/vet.cfg` — analyze one package. The config names
+//     the package's sources, the export-data file of every dependency
+//     (PackageFile, via ImportMap for vendor/test-variant renames), and
+//     a facts output path (VetxOutput) that must exist afterwards even
+//     though simlint keeps no cross-package facts. Diagnostics go to
+//     stderr; exit status 2 means findings, 0 clean.
+//
+// Packages analyzed only for facts (dependencies) arrive with VetxOnly
+// set and are skipped entirely — simlint's rules are module-local.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ptperf/tools/simlint/internal/analyzers"
+	"ptperf/tools/simlint/internal/lint"
+	"ptperf/tools/simlint/internal/load"
+)
+
+// vetConfig mirrors cmd/go's vet config JSON (the same shape
+// unitchecker.Config decodes).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetCfg(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command requires the facts file to exist after every run,
+	// including fact-only dependency passes. simlint keeps no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, info, err := load.Check(cfg.ImportPath, fset, files, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags, err := lint.RunPackage(fset, files, pkg, info, analyzers.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printVersion implements the -V=full handshake: the output's third
+// field hashes the executable, so the go command re-vets when the tool
+// changes (mirroring unitchecker's versionFlag).
+func printVersion() {
+	prog, err := os.Executable()
+	if err != nil {
+		prog = os.Args[0]
+	}
+	h := sha256.New()
+	if f, err := os.Open(prog); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel simlint buildID=%x\n",
+		filepath.Base(prog), h.Sum(nil)[:16])
+}
